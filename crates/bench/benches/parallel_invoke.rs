@@ -1,0 +1,110 @@
+//! Real wall-time cost of a full GridCCM parallel invocation (client
+//! interception → chunked ORB requests → server gather → SPMD upcall →
+//! result routing), end to end through the simulated grid.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use padico_core::dist::{DistSeq, Distribution};
+use padico_core::error::GridCcmError;
+use padico_core::paridl::{ArgDef, InterceptionPlan, InterfaceDef, OpDef, ParamKind};
+use padico_core::parallel::adapter::{ParArgs, ParCtx, ParallelAdapter, ParallelServant};
+use padico_core::parallel::client::ParallelRef;
+use padico_core::parallel::wire::ParValue;
+use padico_fabric::topology::single_cluster;
+use padico_orb::orb::Orb;
+use padico_orb::profile::OrbProfile;
+use padico_tm::runtime::PadicoTM;
+use padico_tm::selector::FabricChoice;
+use std::sync::Arc;
+
+struct Sink;
+
+impl ParallelServant for Sink {
+    fn repository_id(&self) -> &str {
+        "IDL:Bench/Sink:1.0"
+    }
+
+    fn invoke_parallel(
+        &self,
+        _op: &str,
+        args: &ParArgs,
+        _ctx: &ParCtx,
+    ) -> Result<Option<ParValue>, GridCcmError> {
+        let _ = args.dist(0)?;
+        Ok(None)
+    }
+}
+
+fn bench_parallel_invoke(c: &mut Criterion) {
+    let interface = InterfaceDef {
+        repo_id: "IDL:Bench/Sink:1.0".into(),
+        ops: vec![OpDef::new(
+            "store",
+            vec![ArgDef::new("v", ParamKind::Sequence)],
+            None,
+        )],
+    };
+    let xml = r#"<parallelism interface="IDL:Bench/Sink:1.0">
+        <operation name="store"><argument index="0" distribution="block"/></operation>
+    </parallelism>"#;
+    let plan = Arc::new(InterceptionPlan::compile(&interface, xml).unwrap());
+
+    // One client node invoking a 2-replica server.
+    let (topo, _ids) = single_cluster(3);
+    let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+    let choice = FabricChoice::Auto;
+    let mut server_iors = Vec::new();
+    for (rank, tm) in tms.iter().enumerate().take(2) {
+        let orb = Orb::start(
+            Arc::clone(tm),
+            "pbench",
+            OrbProfile::omniorb3(),
+            choice,
+        )
+        .unwrap();
+        let adapter = ParallelAdapter::new(Arc::new(Sink) as _, Arc::clone(&plan));
+        adapter.configure(rank, 2, None);
+        server_iors.push(orb.activate(adapter));
+        std::mem::forget(orb); // keep serving for the bench's lifetime
+    }
+    let client_orb = Orb::start(
+        Arc::clone(&tms[2]),
+        "pbenchc",
+        OrbProfile::omniorb3(),
+        choice,
+    )
+    .unwrap();
+    let replicas = server_iors
+        .into_iter()
+        .map(|ior| client_orb.object_ref(ior))
+        .collect();
+    let client = ParallelRef::new("bench", plan, replicas, 0, 1).unwrap();
+
+    let mut group = c.benchmark_group("gridccm_invoke_1_to_2");
+    for size in [1usize << 10, 256 << 10] {
+        let elems = size / 4;
+        let local = DistSeq::from_i32_local(
+            elems as u64,
+            Distribution::Block,
+            0,
+            1,
+            &vec![1i32; elems],
+        )
+        .unwrap();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| {
+                client
+                    .invoke("store", vec![ParValue::Dist(local.clone())])
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parallel_invoke
+}
+criterion_main!(benches);

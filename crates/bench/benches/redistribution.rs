@@ -1,0 +1,67 @@
+//! Real wall-time cost of the GridCCM redistribution machinery: schedule
+//! computation for the three distribution kinds and block reassembly.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use padico_core::dist::Distribution;
+use padico_core::parallel::wire::{assemble_block, Chunk};
+use padico_core::redistribute::schedule;
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("redistribution_schedule");
+    for (src, dst, label) in [
+        (Distribution::Block, Distribution::Block, "block_to_block"),
+        (Distribution::Block, Distribution::Cyclic, "block_to_cyclic"),
+        (
+            Distribution::BlockCyclic(64),
+            Distribution::Block,
+            "blockcyclic_to_block",
+        ),
+    ] {
+        for (m, n) in [(4usize, 4usize), (8, 16)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{m}x{n}")),
+                &(m, n),
+                |b, &(m, n)| {
+                    b.iter(|| schedule(1 << 16, src, m, dst, n).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_assemble(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assemble_block");
+    for pieces in [1usize, 8, 64] {
+        let total = 1usize << 20;
+        let piece_len = total / pieces;
+        let chunks: Vec<Chunk> = (0..pieces)
+            .map(|i| Chunk {
+                dst_offset: (i * piece_len) as u64,
+                data: Bytes::from(vec![1u8; piece_len]),
+            })
+            .collect();
+        group.throughput(Throughput::Bytes(total as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pieces),
+            &chunks,
+            |b, chunks| {
+                b.iter(|| assemble_block(1, total as u64, chunks).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_owned_ranges(c: &mut Criterion) {
+    c.bench_function("cyclic_owned_ranges_64k", |b| {
+        b.iter(|| Distribution::Cyclic.owned_ranges(1 << 16, 3, 8))
+    });
+    c.bench_function("block_owned_ranges_64k", |b| {
+        b.iter(|| Distribution::Block.owned_ranges(1 << 16, 3, 8))
+    });
+}
+
+criterion_group!(benches, bench_schedule, bench_assemble, bench_owned_ranges);
+criterion_main!(benches);

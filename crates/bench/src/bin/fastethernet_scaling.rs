@@ -1,0 +1,22 @@
+//! Regenerates the §4.4 Fast-Ethernet GridCCM scaling comparison
+//! (MicoCCM vs OpenCCM/Java).
+
+use padico_bench::fig8;
+
+fn main() {
+    let rounds = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    let rows = fig8::run_fastethernet(rounds);
+    println!("## §4.4 — GridCCM aggregate bandwidth on Fast-Ethernet (MB/s)\n");
+    println!("| nodes | MicoCCM | paper | OpenCCM (Java) | paper |");
+    println!("|---|---:|---:|---:|---:|");
+    let paper = [(9.8, 8.3), (19.6, 16.6), (39.2, 33.2), (78.4, 66.4)];
+    for ((n, mico, java), (p_m, p_j)) in rows.iter().zip(paper) {
+        println!("| {n} to {n} | {mico:.1} | {p_m} | {java:.1} | {p_j} |");
+    }
+    println!("\n(The paper reports the 1→1 and 8→8 endpoints: 9.8→78.4 MB/s for");
+    println!("MicoCCM and 8.3→66.4 MB/s for OpenCCM; intermediate rows are the");
+    println!("linear-aggregation interpolation its text implies.)");
+}

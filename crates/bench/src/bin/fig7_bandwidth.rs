@@ -1,0 +1,21 @@
+//! Regenerates Figure 7: CORBA and MPI bandwidth on top of PadicoTM over
+//! Myrinet-2000, with TCP/Ethernet-100 as reference.
+
+use padico_bench::{fig7, report};
+
+fn main() {
+    let rounds = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+    let series = fig7::run(rounds);
+    println!(
+        "{}",
+        report::render_curves(
+            "Figure 7 — bandwidth on top of PadicoTM (MB/s, one-way, virtual time)",
+            &series
+        )
+    );
+    println!("Paper anchors: omniORB ≈ MPI ≈ 240 MB/s peak (96 % of Myrinet-2000),");
+    println!("Mico ≈ 55 MB/s, ORBacus ≈ 63 MB/s, TCP/Ethernet-100 ≈ 11 MB/s.");
+}

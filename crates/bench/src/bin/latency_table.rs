@@ -1,0 +1,18 @@
+//! Regenerates the §4.4 latency numbers (one-way, small messages).
+
+use padico_bench::{latency, report};
+
+fn main() {
+    let rounds = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
+    let rows: Vec<(String, f64, &str, &str)> = latency::run(rounds)
+        .into_iter()
+        .map(|(label, us, paper)| (label, us, "µs", paper))
+        .collect();
+    println!(
+        "{}",
+        report::render_rows("§4.4 — small-message one-way latency", &rows)
+    );
+}

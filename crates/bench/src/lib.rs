@@ -1,0 +1,22 @@
+//! # padico-bench
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation (§4.4), regenerating the same rows and series in virtual
+//! time. Binaries under `src/bin/` print the tables; Criterion benches
+//! under `benches/` measure the real wall-time cost of the hot paths.
+//!
+//! | paper artefact | module | binary |
+//! |---|---|---|
+//! | Figure 7 (bandwidth curves) | [`fig7`] | `fig7_bandwidth` |
+//! | §4.4 latency numbers | [`latency`] | `latency_table` |
+//! | §4.4 concurrent CORBA+MPI | [`concurrent`] | `concurrent_share` |
+//! | Figure 8 (parallel components) | [`fig8`] | `fig8_parallel` |
+//! | §4.4 Fast-Ethernet scaling | [`fig8`] (Ethernet config) | `fastethernet_scaling` |
+//! | §4.3 no-overhead / layering claims | [`ablation`] | `ablation_layers` |
+
+pub mod ablation;
+pub mod concurrent;
+pub mod fig7;
+pub mod fig8;
+pub mod latency;
+pub mod report;

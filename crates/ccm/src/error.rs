@@ -1,0 +1,112 @@
+//! CCM error types.
+
+use padico_orb::OrbError;
+use padico_util::xml::ParseError;
+use std::fmt;
+
+/// Errors raised by the component framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CcmError {
+    /// ORB-level failure.
+    Orb(OrbError),
+    /// Unknown port name or wrong port kind.
+    NoSuchPort(String),
+    /// Connecting an already-connected simple (non-multiplex) receptacle.
+    AlreadyConnected(String),
+    /// Component/home/package lookup failure.
+    NotFound(String),
+    /// Lifecycle violation (e.g. activate before configuration_complete).
+    Lifecycle(String),
+    /// Descriptor parse/validation failure.
+    Descriptor(String),
+    /// Deployment failure (no node satisfies constraints, daemon error).
+    Deployment(String),
+    /// Malformed package archive.
+    Package(String),
+    /// A CCM error raised by a remote component/daemon and carried back
+    /// over the wire.
+    Remote(String),
+}
+
+impl fmt::Display for CcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcmError::Orb(e) => write!(f, "ORB error: {e}"),
+            CcmError::NoSuchPort(p) => write!(f, "no such port: {p}"),
+            CcmError::AlreadyConnected(p) => write!(f, "receptacle already connected: {p}"),
+            CcmError::NotFound(what) => write!(f, "not found: {what}"),
+            CcmError::Lifecycle(what) => write!(f, "lifecycle violation: {what}"),
+            CcmError::Descriptor(what) => write!(f, "descriptor error: {what}"),
+            CcmError::Deployment(what) => write!(f, "deployment failed: {what}"),
+            CcmError::Package(what) => write!(f, "package error: {what}"),
+            CcmError::Remote(what) => write!(f, "remote CCM error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CcmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CcmError::Orb(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OrbError> for CcmError {
+    fn from(e: OrbError) -> Self {
+        match CcmError::from_wire(&e) {
+            Some(msg) => CcmError::Remote(msg),
+            None => CcmError::Orb(e),
+        }
+    }
+}
+
+impl From<ParseError> for CcmError {
+    fn from(e: ParseError) -> Self {
+        CcmError::Descriptor(e.to_string())
+    }
+}
+
+/// CCM errors cross the wire as CORBA user exceptions with this repo-id
+/// prefix; the message rides after a `#`.
+pub const WIRE_EXCEPTION_PREFIX: &str = "IDL:PadicoCCM/Error:1.0#";
+
+impl CcmError {
+    /// Encode for transport inside a CORBA user exception id.
+    pub fn to_wire(&self) -> OrbError {
+        OrbError::User(format!("{WIRE_EXCEPTION_PREFIX}{self}"))
+    }
+
+    /// Decode from a CORBA error, when it carries a CCM wire exception.
+    pub fn from_wire(e: &OrbError) -> Option<String> {
+        match e {
+            OrbError::User(id) => id.strip_prefix(WIRE_EXCEPTION_PREFIX).map(str::to_string),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(CcmError::NoSuchPort("density".into())
+            .to_string()
+            .contains("density"));
+        assert!(CcmError::from(OrbError::Marshal("x".into()))
+            .to_string()
+            .contains("ORB"));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let e = CcmError::AlreadyConnected("porosity".into());
+        let wire = e.to_wire();
+        let back = CcmError::from_wire(&wire).unwrap();
+        assert!(back.contains("porosity"));
+        assert!(CcmError::from_wire(&OrbError::Marshal("no".into())).is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! The CCM event model: sources push to sinks.
+//!
+//! Events travel as oneway CORBA invocations of the `push_event`
+//! operation on a sink object — the direct-push variant of the CCM event
+//! channel (the notification-service variant is out of scope; direct push
+//! is what a coupling application's progress ticks need).
+
+use padico_orb::cdr::{CdrReader, CdrWriter};
+use padico_orb::orb::ObjectRef;
+use padico_orb::poa::{Servant, ServerCtx};
+use padico_orb::OrbError;
+use std::sync::Arc;
+
+use crate::component::CcmComponent;
+use crate::error::CcmError;
+
+/// Operation name sinks implement.
+pub const PUSH_OP: &str = "push_event";
+
+/// An event instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Event type repository id, e.g. `"IDL:Coupling/StepDone:1.0"`.
+    pub type_id: String,
+    /// Opaque CDR-encoded event body.
+    pub data: Vec<u8>,
+}
+
+impl Event {
+    pub fn new(type_id: impl Into<String>, data: Vec<u8>) -> Event {
+        Event {
+            type_id: type_id.into(),
+            data,
+        }
+    }
+
+    /// Push this event to a sink object (oneway).
+    pub fn push_to(&self, sink: &ObjectRef) -> Result<(), CcmError> {
+        sink.request(PUSH_OP)
+            .arg_string(&self.type_id)
+            .arg_octet_seq(bytes::Bytes::from(self.data.clone()))
+            .invoke_oneway()
+            .map_err(CcmError::from)
+    }
+
+    /// Decode from a `push_event` argument stream.
+    pub fn read(args: &mut CdrReader) -> Result<Event, OrbError> {
+        let type_id = args.read_string()?;
+        let data = args.read_octet_seq()?.to_vec();
+        Ok(Event { type_id, data })
+    }
+
+    /// Encode into a CDR stream (server-side replay, tests).
+    pub fn write(&self, w: &mut CdrWriter) {
+        w.write_string(&self.type_id);
+        w.write_octet_slice(&self.data);
+    }
+}
+
+/// Servant adapter the container activates for each event sink port: it
+/// forwards pushed events into the component instance.
+pub struct SinkServant {
+    pub component: Arc<dyn CcmComponent>,
+    pub sink_name: String,
+    pub event_type_id: String,
+}
+
+impl Servant for SinkServant {
+    fn repository_id(&self) -> &str {
+        &self.event_type_id
+    }
+
+    fn dispatch(
+        &self,
+        operation: &str,
+        args: &mut CdrReader,
+        _reply: &mut CdrWriter,
+        _ctx: &ServerCtx,
+    ) -> Result<(), OrbError> {
+        match operation {
+            PUSH_OP => {
+                let event = Event::read(args)?;
+                self.component
+                    .push_event(&self.sink_name, event)
+                    .map_err(|e| e.to_wire())
+            }
+            other => Err(OrbError::BadOperation(other.into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use padico_orb::profile::MarshalStrategy;
+
+    #[test]
+    fn event_cdr_roundtrip() {
+        let e = Event::new("IDL:Coupling/StepDone:1.0", vec![1, 2, 3]);
+        let mut w = CdrWriter::new(MarshalStrategy::Copying);
+        e.write(&mut w);
+        let mut r = CdrReader::new(&w.finish());
+        assert_eq!(Event::read(&mut r).unwrap(), e);
+    }
+
+    #[test]
+    fn empty_event_body_is_fine() {
+        let e = Event::new("IDL:Tick:1.0", vec![]);
+        let mut w = CdrWriter::new(MarshalStrategy::Copying);
+        e.write(&mut w);
+        let mut r = CdrReader::new(&w.finish());
+        assert_eq!(Event::read(&mut r).unwrap().data, Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,158 @@
+//! Component homes: CCM's factory/finder objects.
+//!
+//! A [`Home`] creates component instances of one type. Homes are exposed
+//! as CORBA objects so a deployment engine can call `create_component`
+//! remotely; the created component's equivalent-interface IOR comes back
+//! as the result.
+
+use padico_orb::cdr::{CdrReader, CdrWriter};
+use padico_orb::orb::ObjectRef;
+use padico_orb::poa::{Servant, ServerCtx};
+use padico_orb::{Ior, OrbError};
+use std::sync::Arc;
+
+use crate::component::CcmComponent;
+use crate::container::Container;
+use crate::error::CcmError;
+
+/// A factory for one component type.
+pub trait Home: Send + Sync {
+    /// Type name of the components produced.
+    fn component_type(&self) -> &str;
+
+    /// Create a fresh component instance.
+    fn create(&self) -> Result<Arc<dyn CcmComponent>, CcmError>;
+}
+
+/// A `Home` built from a closure (convenient for registration).
+pub struct FnHome {
+    type_name: String,
+    factory: Box<dyn Fn() -> Arc<dyn CcmComponent> + Send + Sync>,
+}
+
+impl FnHome {
+    pub fn new(
+        type_name: impl Into<String>,
+        factory: impl Fn() -> Arc<dyn CcmComponent> + Send + Sync + 'static,
+    ) -> Arc<FnHome> {
+        Arc::new(FnHome {
+            type_name: type_name.into(),
+            factory: Box::new(factory),
+        })
+    }
+}
+
+impl Home for FnHome {
+    fn component_type(&self) -> &str {
+        &self.type_name
+    }
+
+    fn create(&self) -> Result<Arc<dyn CcmComponent>, CcmError> {
+        Ok((self.factory)())
+    }
+}
+
+/// Servant exposing a home over the ORB.
+pub struct HomeServant {
+    pub container: Arc<Container>,
+    pub home: Arc<dyn Home>,
+}
+
+impl Servant for HomeServant {
+    fn repository_id(&self) -> &str {
+        "IDL:PadicoCCM/Home:1.0"
+    }
+
+    fn dispatch(
+        &self,
+        operation: &str,
+        args: &mut CdrReader,
+        reply: &mut CdrWriter,
+        _ctx: &ServerCtx,
+    ) -> Result<(), OrbError> {
+        match operation {
+            "create_component" => {
+                let instance_name = args.read_string()?;
+                let component = self.home.create().map_err(|e| e.to_wire())?;
+                let handle = self
+                    .container
+                    .install(&instance_name, component)
+                    .map_err(|e| e.to_wire())?;
+                reply.write_string(&handle.meta_ior().stringify());
+                Ok(())
+            }
+            "component_type" => {
+                reply.write_string(self.home.component_type());
+                Ok(())
+            }
+            other => Err(OrbError::BadOperation(other.into())),
+        }
+    }
+}
+
+/// Install a home on a container, exposing it over the node's ORB.
+pub fn install_home(container: &Arc<Container>, home: Arc<dyn Home>) -> Ior {
+    container.orb().activate(Arc::new(HomeServant {
+        container: Arc::clone(container),
+        home,
+    }))
+}
+
+/// Remote-side client for a home.
+#[derive(Clone, Debug)]
+pub struct RemoteHome {
+    obj: ObjectRef,
+}
+
+impl RemoteHome {
+    pub fn new(obj: ObjectRef) -> RemoteHome {
+        RemoteHome { obj }
+    }
+
+    /// Create a component instance and return its equivalent-interface
+    /// IOR.
+    pub fn create_component(&self, instance_name: &str) -> Result<Ior, CcmError> {
+        let mut reply = self
+            .obj
+            .request("create_component")
+            .arg_string(instance_name)
+            .invoke()
+            .map_err(CcmError::from)?;
+        Ok(Ior::destringify(
+            &reply.read_string().map_err(CcmError::from)?,
+        )?)
+    }
+
+    pub fn component_type(&self) -> Result<String, CcmError> {
+        let mut reply = self
+            .obj
+            .request("component_type")
+            .invoke()
+            .map_err(CcmError::from)?;
+        reply.read_string().map_err(CcmError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::tests::{two_containers, FieldComponent};
+    use crate::container::RemoteComponent;
+
+    #[test]
+    fn remote_home_creates_components() {
+        let (c0, c1) = two_containers();
+        let home = FnHome::new("Field", || FieldComponent::new(7) as Arc<dyn CcmComponent>);
+        let home_ior = install_home(&c0, home);
+        let remote_home = RemoteHome::new(c1.orb().object_ref(home_ior));
+        assert_eq!(remote_home.component_type().unwrap(), "Field");
+        let meta = remote_home.create_component("field-a").unwrap();
+        assert!(c0.instance("field-a").is_some());
+        // The returned reference is usable.
+        let remote = RemoteComponent::new(c1.orb().object_ref(meta));
+        assert_eq!(remote.get_descriptor().unwrap().name, "Field");
+        // Duplicate instance names surface as remote errors.
+        let err = remote_home.create_component("field-a").unwrap_err();
+        assert!(matches!(err, CcmError::Remote(_)));
+    }
+}

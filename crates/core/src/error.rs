@@ -1,0 +1,86 @@
+//! GridCCM error type.
+
+use padico_ccm::CcmError;
+use padico_mpi::MpiError;
+use padico_orb::OrbError;
+use std::fmt;
+
+/// Errors raised by the GridCCM layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridCcmError {
+    /// Underlying CCM failure.
+    Ccm(CcmError),
+    /// Underlying ORB failure.
+    Orb(OrbError),
+    /// Underlying MPI failure (inside a parallel component).
+    Mpi(String),
+    /// Distribution metadata mismatch (wrong sizes, incompatible specs).
+    Distribution(String),
+    /// Parallelism descriptor error (bad XML, unknown op, bad arg index).
+    Descriptor(String),
+    /// Interception-layer protocol violation.
+    Protocol(String),
+}
+
+impl fmt::Display for GridCcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridCcmError::Ccm(e) => write!(f, "CCM error: {e}"),
+            GridCcmError::Orb(e) => write!(f, "ORB error: {e}"),
+            GridCcmError::Mpi(e) => write!(f, "MPI error: {e}"),
+            GridCcmError::Distribution(what) => write!(f, "distribution error: {what}"),
+            GridCcmError::Descriptor(what) => write!(f, "parallelism descriptor error: {what}"),
+            GridCcmError::Protocol(what) => write!(f, "GridCCM protocol error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GridCcmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GridCcmError::Ccm(e) => Some(e),
+            GridCcmError::Orb(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CcmError> for GridCcmError {
+    fn from(e: CcmError) -> Self {
+        GridCcmError::Ccm(e)
+    }
+}
+
+impl From<OrbError> for GridCcmError {
+    fn from(e: OrbError) -> Self {
+        GridCcmError::Orb(e)
+    }
+}
+
+impl From<MpiError> for GridCcmError {
+    fn from(e: MpiError) -> Self {
+        GridCcmError::Mpi(e.to_string())
+    }
+}
+
+impl From<padico_tm::TmError> for GridCcmError {
+    fn from(e: padico_tm::TmError) -> Self {
+        GridCcmError::Orb(OrbError::CommFailure(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e = GridCcmError::from(CcmError::NotFound("x".into()));
+        assert!(e.to_string().contains("CCM"));
+        let e = GridCcmError::from(OrbError::Marshal("y".into()));
+        assert!(e.to_string().contains("ORB"));
+        assert!(GridCcmError::Distribution("size".into())
+            .to_string()
+            .contains("distribution"));
+    }
+}

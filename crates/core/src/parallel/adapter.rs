@@ -1,0 +1,500 @@
+//! The server-side GridCCM interception layer.
+//!
+//! A [`ParallelAdapter`] is the servant behind a parallel component's
+//! derived-interface facet on **one** replica (rank `s` of `S`). Incoming
+//! derived invocations from the client group are gathered per logical
+//! invocation; when the expected set of client requests has arrived, the
+//! user's [`ParallelServant`] runs **once** for the invocation — on one
+//! of the pending dispatch threads, while the others wait — and every
+//! pending request is answered with its client's share of the result.
+//!
+//! The user code therefore sees exactly the paper's model: one SPMD
+//! upcall per logical invocation per node, with its local blocks already
+//! assembled, and MPI available for internal communication (the Figure 8
+//! benchmark's `MPI_Barrier` runs here).
+
+use bytes::Bytes;
+use padico_fabric::model::charge_copy;
+use padico_mpi::Communicator;
+use padico_orb::cdr::{CdrReader, CdrWriter};
+use padico_orb::poa::{Servant, ServerCtx};
+use padico_orb::OrbError;
+use padico_util::simtime::SimClock;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use crate::dist::DistSeq;
+use crate::error::GridCcmError;
+use crate::paridl::{InterceptionPlan, OpPlan, DERIVED_OP_PREFIX};
+use crate::parallel::routing::{expected_clients, DistMeta};
+use crate::parallel::wire::{
+    assemble_block, read_arg, write_reply_dist, write_reply_replicated, write_reply_void,
+    InvHeader, ParValue, WireArg,
+};
+use crate::parallel::GRIDCCM_SERVER_NS;
+use crate::redistribute::{schedule, sends_of};
+
+/// What an SPMD upcall sees.
+pub struct ParCtx {
+    /// This replica's rank in the parallel component.
+    pub rank: usize,
+    /// Number of replicas.
+    pub size: usize,
+    /// The component's internal MPI communicator (absent only for
+    /// unit-test adapters configured without one).
+    pub comm: Option<Communicator>,
+    /// The node's virtual clock (charge simulation compute time here).
+    pub clock: SimClock,
+}
+
+/// Assembled arguments of one upcall.
+pub struct ParArgs {
+    values: Vec<ParValue>,
+}
+
+impl ParArgs {
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn get(&self, index: usize) -> Result<&ParValue, GridCcmError> {
+        self.values.get(index).ok_or_else(|| {
+            GridCcmError::Protocol(format!("argument index {index} out of range"))
+        })
+    }
+
+    /// The assembled local block of a distributed argument.
+    pub fn dist(&self, index: usize) -> Result<&DistSeq, GridCcmError> {
+        match self.get(index)? {
+            ParValue::Dist(d) => Ok(d),
+            other => Err(GridCcmError::Protocol(format!(
+                "argument {index} is not distributed: {other:?}"
+            ))),
+        }
+    }
+
+    pub fn i32(&self, index: usize) -> Result<i32, GridCcmError> {
+        match self.get(index)? {
+            ParValue::I32(v) => Ok(*v),
+            other => Err(GridCcmError::Protocol(format!(
+                "argument {index} is not i32: {other:?}"
+            ))),
+        }
+    }
+
+    pub fn u64(&self, index: usize) -> Result<u64, GridCcmError> {
+        match self.get(index)? {
+            ParValue::U64(v) => Ok(*v),
+            other => Err(GridCcmError::Protocol(format!(
+                "argument {index} is not u64: {other:?}"
+            ))),
+        }
+    }
+
+    pub fn f64(&self, index: usize) -> Result<f64, GridCcmError> {
+        match self.get(index)? {
+            ParValue::F64(v) => Ok(*v),
+            other => Err(GridCcmError::Protocol(format!(
+                "argument {index} is not f64: {other:?}"
+            ))),
+        }
+    }
+
+    pub fn str(&self, index: usize) -> Result<&str, GridCcmError> {
+        match self.get(index)? {
+            ParValue::Str(v) => Ok(v),
+            other => Err(GridCcmError::Protocol(format!(
+                "argument {index} is not a string: {other:?}"
+            ))),
+        }
+    }
+
+    pub fn seq(&self, index: usize) -> Result<&Bytes, GridCcmError> {
+        match self.get(index)? {
+            ParValue::Seq { data, .. } => Ok(data),
+            other => Err(GridCcmError::Protocol(format!(
+                "argument {index} is not a sequence: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// User-implemented SPMD servant.
+pub trait ParallelServant: Send + Sync {
+    /// Repository id of the *source* interface.
+    fn repository_id(&self) -> &str;
+
+    /// One upcall per logical invocation per replica.
+    fn invoke_parallel(
+        &self,
+        op: &str,
+        args: &ParArgs,
+        ctx: &ParCtx,
+    ) -> Result<Option<ParValue>, GridCcmError>;
+}
+
+/// Per-replica configuration, set at `configuration_complete` time.
+struct Configured {
+    rank: usize,
+    size: usize,
+    comm: Option<Communicator>,
+}
+
+enum Outcome {
+    Void,
+    Replicated(ParValue),
+    Dist(DistSeq),
+}
+
+struct InvState {
+    expected: BTreeSet<u32>,
+    arrived: HashMap<u32, Vec<WireArg>>,
+    outcome: Option<Result<Arc<Outcome>, String>>,
+    replies_sent: usize,
+}
+
+struct InvSlot {
+    mu: Mutex<InvState>,
+    cv: Condvar,
+}
+
+/// The derived-interface servant of one replica.
+pub struct ParallelAdapter {
+    user: Arc<dyn ParallelServant>,
+    plan: Arc<InterceptionPlan>,
+    configured: Mutex<Option<Arc<Configured>>>,
+    invocations: Mutex<HashMap<(u64, String), Arc<InvSlot>>>,
+}
+
+impl ParallelAdapter {
+    pub fn new(user: Arc<dyn ParallelServant>, plan: Arc<InterceptionPlan>) -> Arc<Self> {
+        Arc::new(ParallelAdapter {
+            user,
+            plan,
+            configured: Mutex::new(None),
+            invocations: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Bind the adapter to its replica identity. Called by the GridCCM
+    /// component wrapper during `configuration_complete`.
+    pub fn configure(&self, rank: usize, size: usize, comm: Option<Communicator>) {
+        *self.configured.lock() = Some(Arc::new(Configured { rank, size, comm }));
+    }
+
+    pub fn plan(&self) -> &Arc<InterceptionPlan> {
+        &self.plan
+    }
+
+    fn run_invocation(
+        &self,
+        cfg: &Configured,
+        op_plan: &OpPlan,
+        state: &InvState,
+        clock: &SimClock,
+    ) -> Result<Outcome, GridCcmError> {
+        let client_size = state.arrived.len();
+        debug_assert_eq!(client_size, state.expected.len());
+        let arity = op_plan.arg_dists.len();
+        // Assemble the argument list.
+        let mut values = Vec::with_capacity(arity);
+        let lowest_client = *state.expected.iter().next().expect("nonempty") as usize;
+        for index in 0..arity {
+            if op_plan.arg_dists[index].is_some() {
+                // Gather chunks of this argument from every arrived client.
+                let mut all_chunks = Vec::new();
+                let mut meta: Option<(u32, u64, crate::dist::Distribution)> = None;
+                for args in state.arrived.values() {
+                    match &args[index] {
+                        WireArg::DistChunks {
+                            elem_size,
+                            global_elems,
+                            dst_dist,
+                            chunks,
+                            ..
+                        } => {
+                            if let Some((es, ge, dd)) = &meta {
+                                if es != elem_size || ge != global_elems || dd != dst_dist {
+                                    return Err(GridCcmError::Protocol(
+                                        "clients disagree on argument metadata".into(),
+                                    ));
+                                }
+                            } else {
+                                meta = Some((*elem_size, *global_elems, *dst_dist));
+                            }
+                            all_chunks.extend(chunks.iter().cloned());
+                        }
+                        WireArg::Replicated(_) => {
+                            return Err(GridCcmError::Protocol(format!(
+                                "argument {index} should be distributed"
+                            )))
+                        }
+                    }
+                }
+                let (elem_size, global_elems, dst_dist) =
+                    meta.expect("at least one client arrived");
+                let local_elems = dst_dist.local_len(global_elems, cfg.rank, cfg.size);
+                let block = assemble_block(elem_size, local_elems, &all_chunks)?;
+                // The gather physically copied the block together.
+                charge_copy(clock, block.len());
+                values.push(ParValue::Dist(DistSeq::from_local(
+                    elem_size,
+                    global_elems,
+                    dst_dist,
+                    cfg.rank,
+                    cfg.size,
+                    block,
+                )?));
+            } else {
+                // Replicated: all clients sent identical copies; take the
+                // lowest rank's.
+                let args = state
+                    .arrived
+                    .get(&(lowest_client as u32))
+                    .expect("lowest client arrived");
+                match &args[index] {
+                    WireArg::Replicated(v) => values.push(v.clone()),
+                    WireArg::DistChunks { .. } => {
+                        return Err(GridCcmError::Protocol(format!(
+                            "argument {index} should be replicated"
+                        )))
+                    }
+                }
+            }
+        }
+
+        let ctx = ParCtx {
+            rank: cfg.rank,
+            size: cfg.size,
+            comm: cfg.comm.clone(),
+            clock: clock.share(),
+        };
+        let result = self
+            .user
+            .invoke_parallel(&op_plan.name, &ParArgs { values }, &ctx)?;
+
+        match (result, op_plan.result_dist) {
+            (None, None) => Ok(Outcome::Void),
+            (Some(ParValue::Dist(d)), Some(expected_dist)) => {
+                if d.distribution != expected_dist || d.rank != cfg.rank || d.size != cfg.size {
+                    return Err(GridCcmError::Distribution(format!(
+                        "result block metadata mismatch: got {:?} rank {}/{}, plan says {:?} \
+                         rank {}/{}",
+                        d.distribution, d.rank, d.size, expected_dist, cfg.rank, cfg.size
+                    )));
+                }
+                Ok(Outcome::Dist(d))
+            }
+            (Some(ParValue::Dist(_)), None) => Err(GridCcmError::Protocol(
+                "servant returned a distributed result for a replicated operation".into(),
+            )),
+            (Some(v), None) => Ok(Outcome::Replicated(v)),
+            (Some(_), Some(_)) => Err(GridCcmError::Protocol(
+                "servant returned a replicated result for a distributed-result operation".into(),
+            )),
+            (None, Some(_)) => Err(GridCcmError::Protocol(
+                "servant returned void for a distributed-result operation".into(),
+            )),
+        }
+    }
+}
+
+impl Servant for ParallelAdapter {
+    fn repository_id(&self) -> &str {
+        &self.plan.derived_repo_id
+    }
+
+    fn dispatch(
+        &self,
+        operation: &str,
+        args: &mut CdrReader,
+        reply: &mut CdrWriter,
+        ctx: &ServerCtx,
+    ) -> Result<(), OrbError> {
+        let op_name = operation
+            .strip_prefix(DERIVED_OP_PREFIX)
+            .ok_or_else(|| OrbError::BadOperation(operation.into()))?;
+        let cfg = self
+            .configured
+            .lock()
+            .clone()
+            .ok_or_else(|| OrbError::System("parallel component not configured yet".into()))?;
+        let op_plan = self
+            .plan
+            .op(op_name)
+            .map_err(|e| OrbError::BadOperation(e.to_string()))?
+            .clone();
+
+        ctx.clock.advance(GRIDCCM_SERVER_NS);
+        let header = InvHeader::read(args).map_err(to_orb)?;
+        if header.arg_count as usize != op_plan.arg_dists.len() {
+            return Err(OrbError::Marshal(format!(
+                "operation `{op_name}` expects {} arguments, request carries {}",
+                op_plan.arg_dists.len(),
+                header.arg_count
+            )));
+        }
+        let mut wire_args = Vec::with_capacity(header.arg_count as usize);
+        for _ in 0..header.arg_count {
+            wire_args.push(read_arg(args).map_err(to_orb)?);
+        }
+
+        // Routing metadata mirrors the client's computation.
+        let metas: Vec<DistMeta> = wire_args
+            .iter()
+            .filter_map(|a| match a {
+                WireArg::DistChunks {
+                    global_elems,
+                    src_dist,
+                    dst_dist,
+                    ..
+                } => Some(DistMeta {
+                    global_elems: *global_elems,
+                    src_dist: *src_dist,
+                    dst_dist: *dst_dist,
+                }),
+                WireArg::Replicated(_) => None,
+            })
+            .collect();
+        let expected = expected_clients(
+            cfg.rank,
+            header.client_size as usize,
+            cfg.size,
+            op_plan.result_dist.is_some(),
+            &metas,
+        )
+        .map_err(to_orb)?;
+        if !expected.contains(&header.client_rank) {
+            return Err(OrbError::System(format!(
+                "client rank {} is not expected at server rank {}",
+                header.client_rank, cfg.rank
+            )));
+        }
+
+        let key = (header.inv_id, op_name.to_string());
+        let slot = {
+            let mut invocations = self.invocations.lock();
+            Arc::clone(invocations.entry(key.clone()).or_insert_with(|| {
+                Arc::new(InvSlot {
+                    mu: Mutex::new(InvState {
+                        expected: expected.clone(),
+                        arrived: HashMap::new(),
+                        outcome: None,
+                        replies_sent: 0,
+                    }),
+                    cv: Condvar::new(),
+                })
+            }))
+        };
+
+        let outcome = {
+            let mut state = slot.mu.lock();
+            if state.expected != expected {
+                return Err(OrbError::System(
+                    "clients disagree on the expected-sender set".into(),
+                ));
+            }
+            if state.arrived.insert(header.client_rank, wire_args).is_some() {
+                return Err(OrbError::System(format!(
+                    "duplicate request from client rank {}",
+                    header.client_rank
+                )));
+            }
+            if state.arrived.len() == state.expected.len() {
+                // Last chunk in: this thread runs the user operation.
+                let outcome = self
+                    .run_invocation(&cfg, &op_plan, &state, &ctx.clock)
+                    .map(Arc::new)
+                    .map_err(|e| e.to_string());
+                state.outcome = Some(outcome);
+                slot.cv.notify_all();
+            } else {
+                while state.outcome.is_none() {
+                    slot.cv.wait(&mut state);
+                }
+            }
+            let outcome = state.outcome.clone().expect("set above");
+            state.replies_sent += 1;
+            if state.replies_sent == state.expected.len() {
+                self.invocations.lock().remove(&key);
+            }
+            outcome
+        };
+
+        let outcome = outcome.map_err(|msg| OrbError::System(format!("GridCCM: {msg}")))?;
+        match &*outcome {
+            Outcome::Void => {
+                write_reply_void(reply);
+                Ok(())
+            }
+            Outcome::Replicated(v) => write_reply_replicated(reply, v).map_err(to_orb),
+            Outcome::Dist(local) => {
+                // This server's pieces of the result destined to the
+                // requesting client rank (client side reassembles as
+                // Block over its group).
+                let transfers = schedule(
+                    local.global_elems,
+                    local.distribution,
+                    cfg.size,
+                    crate::dist::Distribution::Block,
+                    header.client_size as usize,
+                )
+                .map_err(to_orb)?;
+                let mine: Vec<_> = sends_of(&transfers, cfg.rank)
+                    .into_iter()
+                    .filter(|t| t.dst_rank == header.client_rank as usize)
+                    .collect();
+                write_reply_dist(reply, local, crate::dist::Distribution::Block, &mine)
+                    .map_err(to_orb)
+            }
+        }
+    }
+}
+
+fn to_orb(e: GridCcmError) -> OrbError {
+    OrbError::System(format!("GridCCM: {e}"))
+}
+
+// Integration-level behaviour (gather, upcall-once, result routing) is
+// exercised end-to-end in `client.rs` tests and in the workspace
+// integration suite; unit tests here cover the argument container.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+
+    #[test]
+    fn par_args_typed_accessors() {
+        let d = DistSeq::from_i32_local(3, Distribution::Block, 0, 1, &[1, 2, 3]).unwrap();
+        let args = ParArgs {
+            values: vec![
+                ParValue::I32(-4),
+                ParValue::F64(0.5),
+                ParValue::Str("x".into()),
+                ParValue::Dist(d.clone()),
+                ParValue::Seq {
+                    elem_size: 1,
+                    data: Bytes::from_static(b"ab"),
+                },
+                ParValue::U64(9),
+            ],
+        };
+        assert_eq!(args.len(), 6);
+        assert!(!args.is_empty());
+        assert_eq!(args.i32(0).unwrap(), -4);
+        assert_eq!(args.f64(1).unwrap(), 0.5);
+        assert_eq!(args.str(2).unwrap(), "x");
+        assert_eq!(args.dist(3).unwrap(), &d);
+        assert_eq!(&args.seq(4).unwrap()[..], b"ab");
+        assert_eq!(args.u64(5).unwrap(), 9);
+        // Type mismatches and range errors.
+        assert!(args.i32(1).is_err());
+        assert!(args.dist(0).is_err());
+        assert!(args.get(9).is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! The client-side GridCCM interception layer.
+//!
+//! A [`ParallelRef`] is one client rank's handle to a parallel component:
+//! it plays the role of the generated layer in Figure 4 that intercepts
+//! `o->m(matrix n)` and issues `o1->m(MatrixDis n1); o2->m(MatrixDis n2);
+//! …` — here concurrently, one derived invocation per target server
+//! node. A sequential client is simply the `client_size == 1` case.
+//!
+//! Invocations are **collective** across the client group: every rank
+//! must call [`ParallelRef::invoke`] with the same operation sequence
+//! (the usual SPMD contract), so the layers can derive matching
+//! invocation ids without extra coordination.
+
+use padico_orb::orb::ObjectRef;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::dist::Distribution;
+use crate::error::GridCcmError;
+use crate::paridl::{InterceptionPlan, OpPlan};
+use crate::parallel::routing::{targets_of, DistMeta};
+use crate::parallel::wire::{
+    assemble_block, read_reply, write_dist_chunks, write_replicated, InvHeader, ParValue,
+    WireReply,
+};
+use crate::parallel::GRIDCCM_CLIENT_NS;
+use crate::redistribute::{schedule, sends_of, Transfer};
+use crate::dist::DistSeq;
+
+/// Client-rank handle to a parallel component.
+pub struct ParallelRef {
+    /// Identity of the client group (must be grid-unique; invocation ids
+    /// derive from it).
+    group_name: String,
+    plan: Arc<InterceptionPlan>,
+    /// Derived-interface facet references, one per server rank.
+    replicas: Vec<ObjectRef>,
+    my_rank: usize,
+    group_size: usize,
+    base: u64,
+    seq: AtomicU64,
+}
+
+impl ParallelRef {
+    /// Build a handle for client rank `my_rank` of `group_size`.
+    ///
+    /// `replicas[s]` must be the derived facet of server rank `s`; every
+    /// client rank must pass the same `group_name` and replica order.
+    pub fn new(
+        group_name: impl Into<String>,
+        plan: Arc<InterceptionPlan>,
+        replicas: Vec<ObjectRef>,
+        my_rank: usize,
+        group_size: usize,
+    ) -> Result<ParallelRef, GridCcmError> {
+        if replicas.is_empty() {
+            return Err(GridCcmError::Protocol("no server replicas".into()));
+        }
+        if my_rank >= group_size {
+            return Err(GridCcmError::Protocol(format!(
+                "client rank {my_rank} out of range for group of {group_size}"
+            )));
+        }
+        let group_name = group_name.into();
+        // Stable 64-bit id from the group name.
+        let mut base: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in group_name.as_bytes() {
+            base ^= u64::from(*b);
+            base = base.wrapping_mul(0x1000_0000_01b3);
+        }
+        Ok(ParallelRef {
+            group_name,
+            plan,
+            replicas,
+            my_rank,
+            group_size,
+            base,
+            seq: AtomicU64::new(1),
+        })
+    }
+
+    pub fn server_size(&self) -> usize {
+        self.replicas.len()
+    }
+
+    pub fn client_rank(&self) -> usize {
+        self.my_rank
+    }
+
+    pub fn client_size(&self) -> usize {
+        self.group_size
+    }
+
+    pub fn group_name(&self) -> &str {
+        &self.group_name
+    }
+
+    pub fn plan(&self) -> &Arc<InterceptionPlan> {
+        &self.plan
+    }
+
+    fn validate_args(&self, op: &OpPlan, args: &[ParValue]) -> Result<(), GridCcmError> {
+        if args.len() != op.arg_dists.len() {
+            return Err(GridCcmError::Protocol(format!(
+                "operation `{}` takes {} arguments, got {}",
+                op.name,
+                op.arg_dists.len(),
+                args.len()
+            )));
+        }
+        for (index, (arg, dist)) in args.iter().zip(&op.arg_dists).enumerate() {
+            match (arg, dist) {
+                (ParValue::Dist(d), Some(_)) => {
+                    if d.rank != self.my_rank || d.size != self.group_size {
+                        return Err(GridCcmError::Distribution(format!(
+                            "argument {index}: local block is rank {}/{} but this handle \
+                             is rank {}/{}",
+                            d.rank, d.size, self.my_rank, self.group_size
+                        )));
+                    }
+                }
+                (ParValue::Dist(_), None) => {
+                    return Err(GridCcmError::Protocol(format!(
+                        "argument {index} of `{}` is replicated; pass a plain value",
+                        op.name
+                    )))
+                }
+                (_, Some(_)) => {
+                    return Err(GridCcmError::Protocol(format!(
+                        "argument {index} of `{}` is distributed; pass ParValue::Dist",
+                        op.name
+                    )))
+                }
+                (_, None) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Invoke a (possibly parallel) operation collectively.
+    ///
+    /// Distributed arguments must be this rank's [`DistSeq`] local
+    /// blocks; a distributed result comes back as this rank's local block
+    /// under a block distribution over the client group.
+    pub fn invoke(
+        &self,
+        op_name: &str,
+        args: Vec<ParValue>,
+    ) -> Result<Option<ParValue>, GridCcmError> {
+        let op = self.plan.op(op_name)?.clone();
+        self.validate_args(&op, &args)?;
+        let server_size = self.replicas.len();
+
+        // Schedules and routing metadata for the distributed arguments.
+        let mut schedules: Vec<Option<Vec<Transfer>>> = Vec::with_capacity(args.len());
+        let mut metas = Vec::new();
+        for (arg, dist) in args.iter().zip(&op.arg_dists) {
+            match (arg, dist) {
+                (ParValue::Dist(d), Some(server_dist)) => {
+                    metas.push(DistMeta {
+                        global_elems: d.global_elems,
+                        src_dist: d.distribution,
+                        dst_dist: *server_dist,
+                    });
+                    schedules.push(Some(schedule(
+                        d.global_elems,
+                        d.distribution,
+                        self.group_size,
+                        *server_dist,
+                        server_size,
+                    )?));
+                }
+                _ => schedules.push(None),
+            }
+        }
+        let targets: BTreeSet<usize> = targets_of(
+            self.my_rank,
+            self.group_size,
+            server_size,
+            op.result_dist.is_some(),
+            &metas,
+        )?;
+        let inv_id = self
+            .base
+            .wrapping_add(self.seq.fetch_add(1, Ordering::Relaxed));
+        let derived = InterceptionPlan::derived_op(op_name);
+
+        // One derived invocation per target server, concurrently — every
+        // client node participates in inter-component communication.
+        let mut replies: Vec<(usize, Result<WireReply, GridCcmError>)> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for &s in &targets {
+                    let args = &args;
+                    let op = &op;
+                    let schedules = &schedules;
+                    let derived = &derived;
+                    let target = &self.replicas[s];
+                    handles.push((
+                        s,
+                        scope.spawn(move || self.invoke_one(target, derived, op, args, schedules, s, inv_id)),
+                    ));
+                }
+                handles
+                    .into_iter()
+                    .map(|(s, h)| (s, h.join().expect("invoke thread panicked")))
+                    .collect()
+            });
+        replies.sort_by_key(|(s, _)| *s);
+
+        // Assemble the result.
+        let mut replicated: Option<ParValue> = None;
+        let mut dist_meta: Option<(u32, u64, Distribution)> = None;
+        let mut dist_chunks = Vec::new();
+        for (_s, reply) in replies {
+            match reply? {
+                WireReply::Void => {}
+                WireReply::Replicated(v) => {
+                    if let Some(prev) = &replicated {
+                        if prev != &v {
+                            return Err(GridCcmError::Protocol(
+                                "servers returned diverging replicated results".into(),
+                            ));
+                        }
+                    }
+                    replicated = Some(v);
+                }
+                WireReply::Dist {
+                    elem_size,
+                    global_elems,
+                    dst_dist,
+                    chunks,
+                    ..
+                } => {
+                    if let Some((es, ge, dd)) = &dist_meta {
+                        if *es != elem_size || *ge != global_elems || *dd != dst_dist {
+                            return Err(GridCcmError::Protocol(
+                                "servers disagree on result metadata".into(),
+                            ));
+                        }
+                    } else {
+                        dist_meta = Some((elem_size, global_elems, dst_dist));
+                    }
+                    dist_chunks.extend(chunks);
+                }
+            }
+        }
+        match (op.result_dist, dist_meta, replicated) {
+            (Some(_), Some(_), Some(_)) => Err(GridCcmError::Protocol(
+                "servers returned both replicated and distributed results".into(),
+            )),
+            (Some(_), Some((elem_size, global_elems, dst_dist)), None) => {
+                let local_elems = dst_dist.local_len(global_elems, self.my_rank, self.group_size);
+                let block = assemble_block(elem_size, local_elems, &dist_chunks)?;
+                // Reassembling the result block physically copied it.
+                padico_fabric::model::charge_copy(
+                    self.replicas[0].orb().tm().clock(),
+                    block.len(),
+                );
+                Ok(Some(ParValue::Dist(DistSeq::from_local(
+                    elem_size,
+                    global_elems,
+                    dst_dist,
+                    self.my_rank,
+                    self.group_size,
+                    block,
+                )?)))
+            }
+            (Some(_), None, _) => Err(GridCcmError::Protocol(
+                "no result chunks came back for a distributed-result operation".into(),
+            )),
+            (None, Some(_), _) => Err(GridCcmError::Protocol(
+                "unexpected distributed result".into(),
+            )),
+            (None, None, replicated) => Ok(replicated),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn invoke_one(
+        &self,
+        target: &ObjectRef,
+        derived: &str,
+        op: &OpPlan,
+        args: &[ParValue],
+        schedules: &[Option<Vec<Transfer>>],
+        server_rank: usize,
+        inv_id: u64,
+    ) -> Result<WireReply, GridCcmError> {
+        // The GridCCM layer's own bookkeeping cost per derived request.
+        target.orb().tm().clock().advance(GRIDCCM_CLIENT_NS);
+        let mut request = target.request(derived);
+        let w = request.writer();
+        InvHeader {
+            inv_id,
+            client_rank: self.my_rank as u32,
+            client_size: self.group_size as u32,
+            arg_count: args.len() as u32,
+        }
+        .write(w);
+        for (index, (arg, sched)) in args.iter().zip(schedules).enumerate() {
+            match (arg, sched) {
+                (ParValue::Dist(d), Some(transfers)) => {
+                    let mine: Vec<Transfer> = sends_of(transfers, self.my_rank)
+                        .into_iter()
+                        .filter(|t| t.dst_rank == server_rank)
+                        .collect();
+                    let server_dist = op.arg_dists[index].expect("validated as distributed");
+                    write_dist_chunks(w, d, server_dist, &mine)?;
+                }
+                (v, None) => write_replicated(w, v)?,
+                _ => unreachable!("validated"),
+            }
+        }
+        let mut reply = request.invoke()?;
+        read_reply(&mut reply)
+    }
+}
+
+impl std::fmt::Debug for ParallelRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ParallelRef(`{}` rank {}/{} -> {} server replicas)",
+            self.group_name,
+            self.my_rank,
+            self.group_size,
+            self.replicas.len()
+        )
+    }
+}

@@ -1,0 +1,41 @@
+//! The GridCCM runtime interception layers.
+//!
+//! Figure 4 of the paper: a call to a parallel operation is intercepted
+//! by a layer between the user code and the CORBA stub. On the client
+//! side ([`client::ParallelRef`]) the layer chops distributed arguments
+//! according to the redistribution schedule and issues the chunked
+//! invocations of the *derived* internal interface — concurrently, one
+//! per target server node, so that "all processes of a parallel component
+//! participate to inter-component communications" and no node becomes a
+//! bottleneck (Figure 3). On the server side ([`adapter::ParallelAdapter`])
+//! the layer gathers the chunks of one logical invocation, reassembles
+//! each node's local blocks, upcalls the user servant **once**, and
+//! routes the (possibly distributed) result back inside the pending
+//! replies.
+//!
+//! [`component::GridCcmComponent`] packages a [`ParallelServant`] as a
+//! CCM component whose parallel facets expose the derived interface, and
+//! [`proxy`] provides the proxy objects that make a parallel component
+//! callable from unmodified *sequential* clients.
+
+pub mod adapter;
+pub mod client;
+pub mod component;
+pub mod proxy;
+pub mod routing;
+pub mod wire;
+
+pub use adapter::{ParArgs, ParCtx, ParallelAdapter, ParallelServant};
+pub use client::ParallelRef;
+pub use component::{GridCcmComponent, NodeEnv, ParallelPort};
+pub use wire::ParValue;
+
+use padico_util::simtime::VtDuration;
+
+/// Client-side GridCCM layer cost per outgoing derived invocation
+/// (argument translation, schedule lookup, chunk header building).
+pub const GRIDCCM_CLIENT_NS: VtDuration = 4_000;
+
+/// Server-side GridCCM layer cost per incoming derived invocation
+/// (header parsing, gather-table bookkeeping).
+pub const GRIDCCM_SERVER_NS: VtDuration = 4_000;

@@ -1,0 +1,173 @@
+//! Deterministic request routing between client and server groups.
+//!
+//! Both interception layers must agree — without any extra round trip —
+//! on which server ranks each client rank sends a derived invocation to,
+//! because the server-side gather waits for exactly that set. The rule,
+//! computed identically on both sides from the invocation metadata:
+//!
+//! 1. **data targets** — servers that receive a non-empty chunk of some
+//!    distributed argument from this client (from the redistribution
+//!    schedule);
+//! 2. **result coverage** — if the operation returns a *distributed*
+//!    result, every client contacts every server (the reply channel is
+//!    the only road home for result pieces);
+//! 3. **control coverage** — a block mapping of servers over clients
+//!    guarantees every server receives at least one request (the SPMD
+//!    operation must run on all server nodes) and every client sends at
+//!    least one (it must learn completion, and replicated results ride
+//!    back on it).
+
+use std::collections::BTreeSet;
+
+use crate::dist::Distribution;
+use crate::error::GridCcmError;
+use crate::redistribute::schedule;
+
+/// Metadata of one distributed argument, as carried in chunk headers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistMeta {
+    pub global_elems: u64,
+    pub src_dist: Distribution,
+    pub dst_dist: Distribution,
+}
+
+/// Server ranks client `r` (of `client_size`) must send to.
+pub fn targets_of(
+    r: usize,
+    client_size: usize,
+    server_size: usize,
+    result_distributed: bool,
+    metas: &[DistMeta],
+) -> Result<BTreeSet<usize>, GridCcmError> {
+    assert!(r < client_size);
+    if result_distributed {
+        return Ok((0..server_size).collect());
+    }
+    let mut targets = BTreeSet::new();
+    for meta in metas {
+        let transfers = schedule(
+            meta.global_elems,
+            meta.src_dist,
+            client_size,
+            meta.dst_dist,
+            server_size,
+        )?;
+        for t in transfers {
+            if t.src_rank == r {
+                targets.insert(t.dst_rank);
+            }
+        }
+    }
+    // Control coverage: block-map servers over clients, plus the floor
+    // mapping so clients outnumbering servers still each send one.
+    for (s_start, s_end) in Distribution::Block.owned_ranges(server_size as u64, r, client_size)
+    {
+        for s in s_start..s_end {
+            targets.insert(s as usize);
+        }
+    }
+    targets.insert(((r as u64 * server_size as u64) / client_size as u64) as usize);
+    Ok(targets)
+}
+
+/// Client ranks server `s` (of `server_size`) must wait for — the exact
+/// mirror of [`targets_of`].
+pub fn expected_clients(
+    s: usize,
+    client_size: usize,
+    server_size: usize,
+    result_distributed: bool,
+    metas: &[DistMeta],
+) -> Result<BTreeSet<u32>, GridCcmError> {
+    let mut expected = BTreeSet::new();
+    for r in 0..client_size {
+        if targets_of(r, client_size, server_size, result_distributed, metas)?.contains(&s) {
+            expected.insert(r as u32);
+        }
+    }
+    Ok(expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_block_routing_is_diagonal() {
+        // The Figure 8 shape: N→N, same block distribution, void result —
+        // each client sends exactly one request, to its peer rank.
+        for n in [1usize, 2, 4, 8] {
+            let metas = [DistMeta {
+                global_elems: (n * 1000) as u64,
+                src_dist: Distribution::Block,
+                dst_dist: Distribution::Block,
+            }];
+            for r in 0..n {
+                let t = targets_of(r, n, n, false, &metas).unwrap();
+                assert_eq!(t, BTreeSet::from([r]), "n={n} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_result_means_full_fanout() {
+        let t = targets_of(0, 2, 3, true, &[]).unwrap();
+        assert_eq!(t, BTreeSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn replicated_op_covers_every_server() {
+        // No distributed args: control coverage alone must reach all
+        // servers, for any R/S combination.
+        for client_size in 1..6 {
+            for server_size in 1..6 {
+                let mut covered = BTreeSet::new();
+                for r in 0..client_size {
+                    let t = targets_of(r, client_size, server_size, false, &[]).unwrap();
+                    assert!(!t.is_empty(), "client {r} must send somewhere");
+                    covered.extend(t);
+                }
+                assert_eq!(
+                    covered,
+                    (0..server_size).collect::<BTreeSet<_>>(),
+                    "R={client_size} S={server_size}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// expected_clients is the exact mirror of targets_of, and every
+        /// server always has at least one expected client.
+        #[test]
+        fn routing_is_consistent(
+            client_size in 1usize..7,
+            server_size in 1usize..7,
+            global in 0u64..100,
+            result_distributed: bool,
+        ) {
+            let metas = [DistMeta {
+                global_elems: global,
+                src_dist: Distribution::Block,
+                dst_dist: Distribution::Cyclic,
+            }];
+            for s in 0..server_size {
+                let expected =
+                    expected_clients(s, client_size, server_size, result_distributed, &metas)
+                        .unwrap();
+                prop_assert!(!expected.is_empty(), "server {s} starves");
+                for r in 0..client_size {
+                    let targets =
+                        targets_of(r, client_size, server_size, result_distributed, &metas)
+                            .unwrap();
+                    prop_assert_eq!(
+                        targets.contains(&s),
+                        expected.contains(&(r as u32)),
+                        "mismatch r={} s={}", r, s
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Wire encoding of derived-interface invocations.
+//!
+//! A derived request (`_par_<op>`) carries an invocation header (logical
+//! invocation id, the client's rank and group size) followed by the
+//! argument list. Replicated arguments are sent identically to every
+//! target; distributed arguments travel as *chunk sets* — the pieces of
+//! the redistribution schedule from this client rank to that server rank,
+//! each tagged with its destination-local offset. Chunks of the client's
+//! local block are sliced zero-copy, so an omniORB-profile transport
+//! moves bulk data without any extra copy, exactly as in the paper's
+//! bandwidth argument.
+
+use bytes::Bytes;
+use padico_orb::cdr::{CdrReader, CdrWriter};
+
+use crate::dist::{DistSeq, Distribution};
+use crate::error::GridCcmError;
+use crate::redistribute::Transfer;
+
+/// A runtime argument or result value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParValue {
+    U32(u32),
+    I32(i32),
+    U64(u64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+    /// Replicated sequence: every node receives the whole thing.
+    Seq { elem_size: u32, data: Bytes },
+    /// Distributed sequence: this side's local block.
+    Dist(DistSeq),
+}
+
+impl ParValue {
+    /// Payload bytes this value contributes (for cost accounting).
+    pub fn byte_len(&self) -> usize {
+        match self {
+            ParValue::Seq { data, .. } => data.len(),
+            ParValue::Dist(d) => d.data.len(),
+            ParValue::Str(s) => s.len(),
+            _ => 8,
+        }
+    }
+}
+
+const TAG_U32: u8 = 0;
+const TAG_I32: u8 = 1;
+const TAG_U64: u8 = 2;
+const TAG_F64: u8 = 3;
+const TAG_BOOL: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_SEQ: u8 = 6;
+const TAG_DIST: u8 = 7;
+
+/// Header of one derived invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvHeader {
+    pub inv_id: u64,
+    pub client_rank: u32,
+    pub client_size: u32,
+    pub arg_count: u32,
+}
+
+impl InvHeader {
+    pub fn write(&self, w: &mut CdrWriter) {
+        w.write_u64(self.inv_id);
+        w.write_u32(self.client_rank);
+        w.write_u32(self.client_size);
+        w.write_u32(self.arg_count);
+    }
+
+    pub fn read(r: &mut CdrReader) -> Result<InvHeader, GridCcmError> {
+        Ok(InvHeader {
+            inv_id: r.read_u64()?,
+            client_rank: r.read_u32()?,
+            client_size: r.read_u32()?,
+            arg_count: r.read_u32()?,
+        })
+    }
+}
+
+/// Write a replicated value.
+pub fn write_replicated(w: &mut CdrWriter, v: &ParValue) -> Result<(), GridCcmError> {
+    match v {
+        ParValue::U32(x) => {
+            w.write_u8(TAG_U32);
+            w.write_u32(*x);
+        }
+        ParValue::I32(x) => {
+            w.write_u8(TAG_I32);
+            w.write_i32(*x);
+        }
+        ParValue::U64(x) => {
+            w.write_u8(TAG_U64);
+            w.write_u64(*x);
+        }
+        ParValue::F64(x) => {
+            w.write_u8(TAG_F64);
+            w.write_f64(*x);
+        }
+        ParValue::Bool(x) => {
+            w.write_u8(TAG_BOOL);
+            w.write_bool(*x);
+        }
+        ParValue::Str(x) => {
+            w.write_u8(TAG_STR);
+            w.write_string(x);
+        }
+        ParValue::Seq { elem_size, data } => {
+            w.write_u8(TAG_SEQ);
+            w.write_u32(*elem_size);
+            w.write_octet_seq(data.clone());
+        }
+        ParValue::Dist(_) => {
+            return Err(GridCcmError::Protocol(
+                "distributed value in replicated position".into(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// One chunk of a distributed argument headed to one destination.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Chunk {
+    /// Element offset in the destination's local block.
+    pub dst_offset: u64,
+    pub data: Bytes,
+}
+
+/// Write the chunk set of a distributed argument for one destination.
+///
+/// `transfers` are the schedule entries from `local.rank` to the
+/// destination; pieces are sliced zero-copy out of `local.data`.
+pub fn write_dist_chunks(
+    w: &mut CdrWriter,
+    local: &DistSeq,
+    dst_dist: Distribution,
+    transfers: &[Transfer],
+) -> Result<(), GridCcmError> {
+    w.write_u8(TAG_DIST);
+    w.write_u32(local.elem_size);
+    w.write_u64(local.global_elems);
+    let (stag, sparam) = local.distribution.code();
+    w.write_u8(stag);
+    w.write_u64(sparam);
+    let (tag, param) = dst_dist.code();
+    w.write_u8(tag);
+    w.write_u64(param);
+    w.write_u32(transfers.len() as u32);
+    let es = u64::from(local.elem_size);
+    for t in transfers {
+        debug_assert_eq!(t.src_rank, local.rank);
+        let byte_start = (t.src_offset * es) as usize;
+        let byte_end = byte_start + (t.elems() * es) as usize;
+        if byte_end > local.data.len() {
+            return Err(GridCcmError::Distribution(format!(
+                "transfer overruns local block: bytes {byte_start}..{byte_end} of {}",
+                local.data.len()
+            )));
+        }
+        w.write_u64(t.dst_offset);
+        w.write_u64(t.elems());
+        w.write_octet_seq(local.data.slice(byte_start..byte_end));
+    }
+    Ok(())
+}
+
+/// A parsed incoming argument.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireArg {
+    Replicated(ParValue),
+    /// Pieces of a distributed argument destined to the reading rank.
+    DistChunks {
+        elem_size: u32,
+        global_elems: u64,
+        /// The sender group's distribution.
+        src_dist: Distribution,
+        /// The receiving group's distribution.
+        dst_dist: Distribution,
+        chunks: Vec<Chunk>,
+    },
+}
+
+/// Read one argument (replicated value or distributed chunk set).
+pub fn read_arg(r: &mut CdrReader) -> Result<WireArg, GridCcmError> {
+    let tag = r.read_u8()?;
+    Ok(match tag {
+        TAG_U32 => WireArg::Replicated(ParValue::U32(r.read_u32()?)),
+        TAG_I32 => WireArg::Replicated(ParValue::I32(r.read_i32()?)),
+        TAG_U64 => WireArg::Replicated(ParValue::U64(r.read_u64()?)),
+        TAG_F64 => WireArg::Replicated(ParValue::F64(r.read_f64()?)),
+        TAG_BOOL => WireArg::Replicated(ParValue::Bool(r.read_bool()?)),
+        TAG_STR => WireArg::Replicated(ParValue::Str(r.read_string()?)),
+        TAG_SEQ => {
+            let elem_size = r.read_u32()?;
+            let data = r.read_octet_seq()?;
+            WireArg::Replicated(ParValue::Seq { elem_size, data })
+        }
+        TAG_DIST => {
+            let elem_size = r.read_u32()?;
+            let global_elems = r.read_u64()?;
+            let stag = r.read_u8()?;
+            let sparam = r.read_u64()?;
+            let src_dist = Distribution::from_code(stag, sparam)?;
+            let dtag = r.read_u8()?;
+            let dparam = r.read_u64()?;
+            let dst_dist = Distribution::from_code(dtag, dparam)?;
+            let n = r.read_u32()? as usize;
+            let mut chunks = Vec::with_capacity(n);
+            for _ in 0..n {
+                let dst_offset = r.read_u64()?;
+                let elems = r.read_u64()?;
+                let data = r.read_octet_seq()?;
+                if data.len() as u64 != elems * u64::from(elem_size) {
+                    return Err(GridCcmError::Protocol(format!(
+                        "chunk length {} does not match {elems} × {elem_size}",
+                        data.len()
+                    )));
+                }
+                chunks.push(Chunk { dst_offset, data });
+            }
+            WireArg::DistChunks {
+                elem_size,
+                global_elems,
+                src_dist,
+                dst_dist,
+                chunks,
+            }
+        }
+        other => {
+            return Err(GridCcmError::Protocol(format!(
+                "unknown argument tag {other}"
+            )))
+        }
+    })
+}
+
+/// Reply body tags.
+pub const REPLY_VOID: u8 = 0;
+pub const REPLY_REPLICATED: u8 = 1;
+pub const REPLY_DIST: u8 = 2;
+
+/// Write a reply carrying no result.
+pub fn write_reply_void(w: &mut CdrWriter) {
+    w.write_u8(REPLY_VOID);
+}
+
+/// Write a reply carrying a replicated result.
+pub fn write_reply_replicated(w: &mut CdrWriter, v: &ParValue) -> Result<(), GridCcmError> {
+    w.write_u8(REPLY_REPLICATED);
+    write_replicated(w, v)
+}
+
+/// Write a reply carrying this server rank's pieces of a distributed
+/// result, destined to one client rank.
+pub fn write_reply_dist(
+    w: &mut CdrWriter,
+    local: &DistSeq,
+    client_dist: Distribution,
+    transfers: &[Transfer],
+) -> Result<(), GridCcmError> {
+    w.write_u8(REPLY_DIST);
+    write_dist_chunks(w, local, client_dist, transfers)?;
+    Ok(())
+}
+
+/// A parsed reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireReply {
+    Void,
+    Replicated(ParValue),
+    Dist {
+        elem_size: u32,
+        global_elems: u64,
+        src_dist: Distribution,
+        dst_dist: Distribution,
+        chunks: Vec<Chunk>,
+    },
+}
+
+/// Read a reply body.
+pub fn read_reply(r: &mut CdrReader) -> Result<WireReply, GridCcmError> {
+    match r.read_u8()? {
+        REPLY_VOID => Ok(WireReply::Void),
+        REPLY_REPLICATED => match read_arg(r)? {
+            WireArg::Replicated(v) => Ok(WireReply::Replicated(v)),
+            WireArg::DistChunks { .. } => Err(GridCcmError::Protocol(
+                "distributed chunks under replicated reply tag".into(),
+            )),
+        },
+        REPLY_DIST => match read_arg(r)? {
+            WireArg::DistChunks {
+                elem_size,
+                global_elems,
+                src_dist,
+                dst_dist,
+                chunks,
+            } => Ok(WireReply::Dist {
+                elem_size,
+                global_elems,
+                src_dist,
+                dst_dist,
+                chunks,
+            }),
+            WireArg::Replicated(_) => Err(GridCcmError::Protocol(
+                "replicated value under distributed reply tag".into(),
+            )),
+        },
+        other => Err(GridCcmError::Protocol(format!("unknown reply tag {other}"))),
+    }
+}
+
+/// Assemble a local block from received chunks; validates exact tiling.
+pub fn assemble_block(
+    elem_size: u32,
+    local_elems: u64,
+    chunks: &[Chunk],
+) -> Result<Bytes, GridCcmError> {
+    let es = u64::from(elem_size);
+    let total_bytes = (local_elems * es) as usize;
+    let mut buf = vec![0u8; total_bytes];
+    let mut covered = 0u64;
+    for c in chunks {
+        let start = (c.dst_offset * es) as usize;
+        let end = start + c.data.len();
+        if end > total_bytes {
+            return Err(GridCcmError::Protocol(format!(
+                "chunk at element {} overruns local block of {local_elems} elements",
+                c.dst_offset
+            )));
+        }
+        buf[start..end].copy_from_slice(&c.data);
+        covered += c.data.len() as u64;
+    }
+    if covered != local_elems * es {
+        return Err(GridCcmError::Protocol(format!(
+            "assembled {covered} bytes, local block needs {}",
+            local_elems * es
+        )));
+    }
+    Ok(Bytes::from(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::redistribute::{schedule, sends_of};
+    use padico_orb::profile::MarshalStrategy;
+
+    #[test]
+    fn replicated_values_roundtrip() {
+        let values = vec![
+            ParValue::U32(7),
+            ParValue::I32(-3),
+            ParValue::U64(1 << 40),
+            ParValue::F64(2.5),
+            ParValue::Bool(true),
+            ParValue::Str("chemistry".into()),
+            ParValue::Seq {
+                elem_size: 8,
+                data: Bytes::from(vec![1u8; 32]),
+            },
+        ];
+        let mut w = CdrWriter::new(MarshalStrategy::Copying);
+        let header = InvHeader {
+            inv_id: 99,
+            client_rank: 1,
+            client_size: 4,
+            arg_count: values.len() as u32,
+        };
+        header.write(&mut w);
+        for v in &values {
+            write_replicated(&mut w, v).unwrap();
+        }
+        let payload = w.finish();
+        let mut r = CdrReader::new(&payload);
+        assert_eq!(InvHeader::read(&mut r).unwrap(), header);
+        for v in &values {
+            assert_eq!(read_arg(&mut r).unwrap(), WireArg::Replicated(v.clone()));
+        }
+    }
+
+    #[test]
+    fn replicated_rejects_dist_value() {
+        let d = DistSeq::from_i32_local(2, Distribution::Block, 0, 1, &[1, 2]).unwrap();
+        let mut w = CdrWriter::new(MarshalStrategy::Copying);
+        assert!(write_replicated(&mut w, &ParValue::Dist(d)).is_err());
+    }
+
+    #[test]
+    fn dist_chunks_roundtrip_and_assemble() {
+        // Client: 2 ranks block; server: 3 ranks block; 12 i32 elements.
+        let global: Vec<i32> = (0..12).collect();
+        let transfers = schedule(12, Distribution::Block, 2, Distribution::Block, 3).unwrap();
+        // Simulate both client ranks sending to server rank 1 (owns [4,8)).
+        let mut chunks_at_server = Vec::new();
+        for client_rank in 0..2 {
+            let local_vals: Vec<i32> = Distribution::Block
+                .owned_ranges(12, client_rank, 2)
+                .iter()
+                .flat_map(|&(s, e)| (s..e).map(|i| global[i as usize]))
+                .collect();
+            let local =
+                DistSeq::from_i32_local(12, Distribution::Block, client_rank, 2, &local_vals)
+                    .unwrap();
+            let sends: Vec<_> = sends_of(&transfers, client_rank)
+                .into_iter()
+                .filter(|t| t.dst_rank == 1)
+                .collect();
+            if sends.is_empty() {
+                continue;
+            }
+            let mut w = CdrWriter::new(MarshalStrategy::ZeroCopy);
+            write_dist_chunks(&mut w, &local, Distribution::Block, &sends).unwrap();
+            let payload = w.finish();
+            let mut r = CdrReader::new(&payload);
+            match read_arg(&mut r).unwrap() {
+                WireArg::DistChunks {
+                    elem_size,
+                    global_elems,
+                    src_dist,
+                    dst_dist,
+                    chunks,
+                } => {
+                    assert_eq!(elem_size, 4);
+                    assert_eq!(global_elems, 12);
+                    assert_eq!(src_dist, Distribution::Block);
+                    assert_eq!(dst_dist, Distribution::Block);
+                    chunks_at_server.extend(chunks);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // Server rank 1's local block is elements [4, 8).
+        let block = assemble_block(4, 4, &chunks_at_server).unwrap();
+        let got: Vec<i32> = block
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(got, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn assemble_detects_gaps_and_overruns() {
+        let full = Chunk {
+            dst_offset: 0,
+            data: Bytes::from(vec![0u8; 8]),
+        };
+        assert!(assemble_block(4, 2, std::slice::from_ref(&full)).is_ok());
+        // Gap: only half the block provided.
+        let half = Chunk {
+            dst_offset: 0,
+            data: Bytes::from(vec![0u8; 4]),
+        };
+        assert!(assemble_block(4, 2, &[half]).is_err());
+        // Overrun.
+        let over = Chunk {
+            dst_offset: 1,
+            data: Bytes::from(vec![0u8; 8]),
+        };
+        assert!(assemble_block(4, 2, &[over]).is_err());
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        // Void.
+        let mut w = CdrWriter::new(MarshalStrategy::Copying);
+        write_reply_void(&mut w);
+        let mut r = CdrReader::new(&w.finish());
+        assert_eq!(read_reply(&mut r).unwrap(), WireReply::Void);
+        // Replicated.
+        let mut w = CdrWriter::new(MarshalStrategy::Copying);
+        write_reply_replicated(&mut w, &ParValue::F64(1.25)).unwrap();
+        let mut r = CdrReader::new(&w.finish());
+        assert_eq!(
+            read_reply(&mut r).unwrap(),
+            WireReply::Replicated(ParValue::F64(1.25))
+        );
+        // Distributed.
+        let local = DistSeq::from_i32_local(4, Distribution::Block, 0, 1, &[9, 8, 7, 6]).unwrap();
+        let transfers = schedule(4, Distribution::Block, 1, Distribution::Block, 1).unwrap();
+        let mut w = CdrWriter::new(MarshalStrategy::ZeroCopy);
+        write_reply_dist(&mut w, &local, Distribution::Block, &transfers).unwrap();
+        let mut r = CdrReader::new(&w.finish());
+        match read_reply(&mut r).unwrap() {
+            WireReply::Dist { chunks, .. } => {
+                let block = assemble_block(4, 4, &chunks).unwrap();
+                assert_eq!(block, local.data);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_copy_chunks_share_storage() {
+        // Chunk slices must reference the client's local block, not copy.
+        let local =
+            DistSeq::from_local(1, 4096, Distribution::Block, 0, 1, Bytes::from(vec![5u8; 4096]))
+                .unwrap();
+        let transfers = schedule(4096, Distribution::Block, 1, Distribution::Block, 1).unwrap();
+        let mut w = CdrWriter::new(MarshalStrategy::ZeroCopy);
+        write_dist_chunks(&mut w, &local, Distribution::Block, &transfers).unwrap();
+        let payload = w.finish();
+        // The bulk chunk rides as its own segment (spliced, not copied).
+        assert!(payload.segment_count() > 1);
+    }
+}

@@ -1,0 +1,386 @@
+//! M→N redistribution schedules.
+//!
+//! When a parallel component with M nodes invokes a parallel operation on
+//! a component with N nodes, every distributed argument must move from
+//! the client's distribution to the server's (paper §4.2.2). The
+//! interception layer "can perform a redistribution of the data on the
+//! client side, on the server side or during the communication"; this
+//! module computes the *communication matrix* — which global element
+//! ranges each source rank ships to each destination rank — and the
+//! chooser that picks the redistribution site from feasibility (memory)
+//! and efficiency (relative network speed) considerations.
+
+use crate::dist::Distribution;
+use crate::error::GridCcmError;
+
+/// One contiguous piece of a redistribution schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transfer {
+    pub src_rank: usize,
+    pub dst_rank: usize,
+    /// Global element range `[start, end)` this piece covers.
+    pub global_start: u64,
+    pub global_end: u64,
+    /// Element offset inside the source's local block.
+    pub src_offset: u64,
+    /// Element offset inside the destination's local block.
+    pub dst_offset: u64,
+}
+
+impl Transfer {
+    pub fn elems(&self) -> u64 {
+        self.global_end - self.global_start
+    }
+}
+
+/// Where the redistribution runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RedistributionSite {
+    /// The client reshapes before sending (server blocks arrive ready).
+    ClientSide,
+    /// Pieces travel as computed and the server assembles (the
+    /// "during communication" strategy — the GridCCM default).
+    InFlight,
+    /// The client ships its blocks unchanged to block-mapped servers and
+    /// the servers exchange among themselves.
+    ServerSide,
+}
+
+/// Inputs to the site chooser.
+#[derive(Clone, Copy, Debug)]
+pub struct SiteFactors {
+    /// Free memory per client node, bytes (feasibility).
+    pub client_free_memory: u64,
+    /// Free memory per server node, bytes (feasibility).
+    pub server_free_memory: u64,
+    /// Client-side internal network bandwidth, MB/s (efficiency).
+    pub client_net_mb_s: f64,
+    /// Server-side internal network bandwidth, MB/s (efficiency).
+    pub server_net_mb_s: f64,
+    /// Bytes of the argument per node, roughly.
+    pub bytes_per_node: u64,
+}
+
+/// Pick the redistribution site (paper §4.2.2: "the decision depends on
+/// several constraints like feasibility (mainly memory requirements) and
+/// efficiency (client network performance versus server network
+/// performance)").
+pub fn choose_site(f: &SiteFactors) -> RedistributionSite {
+    // Reshaping on a side needs roughly one extra copy of the argument.
+    let client_feasible = f.client_free_memory >= 2 * f.bytes_per_node;
+    let server_feasible = f.server_free_memory >= 2 * f.bytes_per_node;
+    match (client_feasible, server_feasible) {
+        (false, false) => RedistributionSite::InFlight,
+        (true, false) => RedistributionSite::ClientSide,
+        (false, true) => RedistributionSite::ServerSide,
+        (true, true) => {
+            // Both feasible: reshape where the internal network is faster,
+            // unless neither is clearly faster — then stream in flight.
+            if f.client_net_mb_s > 1.5 * f.server_net_mb_s {
+                RedistributionSite::ClientSide
+            } else if f.server_net_mb_s > 1.5 * f.client_net_mb_s {
+                RedistributionSite::ServerSide
+            } else {
+                RedistributionSite::InFlight
+            }
+        }
+    }
+}
+
+/// The full M→N communication matrix for one distributed argument.
+///
+/// Transfers are emitted in (src_rank, global_start) order; empty pairs
+/// produce no entry.
+pub fn schedule(
+    global: u64,
+    src_dist: Distribution,
+    src_size: usize,
+    dst_dist: Distribution,
+    dst_size: usize,
+) -> Result<Vec<Transfer>, GridCcmError> {
+    if src_size == 0 || dst_size == 0 {
+        return Err(GridCcmError::Distribution(
+            "schedule with an empty rank group".into(),
+        ));
+    }
+    // Index the destination side once: every destination range with its
+    // owner and the destination-local element offset it starts at, sorted
+    // by global start. The source side then sweeps this index, so the
+    // whole schedule costs O((S + D + T) log D) instead of the quadratic
+    // all-pairs intersection (cyclic distributions fragment into one
+    // range per element, which made the naive version explode).
+    struct DstEntry {
+        start: u64,
+        end: u64,
+        rank: usize,
+        local_offset: u64,
+    }
+    let mut dst_index: Vec<DstEntry> = Vec::new();
+    for dst in 0..dst_size {
+        let mut local_offset = 0u64;
+        for (start, end) in dst_dist.owned_ranges(global, dst, dst_size) {
+            dst_index.push(DstEntry {
+                start,
+                end,
+                rank: dst,
+                local_offset,
+            });
+            local_offset += end - start;
+        }
+    }
+    dst_index.sort_by_key(|e| e.start);
+
+    let mut out = Vec::new();
+    for src in 0..src_size {
+        let mut src_offset = 0u64;
+        for (s_start, s_end) in src_dist.owned_ranges(global, src, src_size) {
+            // First destination range that may overlap [s_start, s_end):
+            // ranges are disjoint and sorted, so it is the first with
+            // end > s_start, i.e. the predecessor of the first with
+            // start > s_start (or that one itself).
+            let mut idx = dst_index.partition_point(|e| e.start <= s_start);
+            idx = idx.saturating_sub(1);
+            while idx < dst_index.len() {
+                let entry = &dst_index[idx];
+                if entry.start >= s_end {
+                    break;
+                }
+                let lo = s_start.max(entry.start);
+                let hi = s_end.min(entry.end);
+                if lo < hi {
+                    out.push(Transfer {
+                        src_rank: src,
+                        dst_rank: entry.rank,
+                        global_start: lo,
+                        global_end: hi,
+                        src_offset: src_offset + (lo - s_start),
+                        dst_offset: entry.local_offset + (lo - entry.start),
+                    });
+                }
+                idx += 1;
+            }
+            src_offset += s_end - s_start;
+        }
+    }
+    out.sort_by_key(|t| (t.src_rank, t.global_start));
+    Ok(out)
+}
+
+/// The transfers a given source rank must send (its slice of the matrix).
+pub fn sends_of(transfers: &[Transfer], src_rank: usize) -> Vec<Transfer> {
+    transfers
+        .iter()
+        .copied()
+        .filter(|t| t.src_rank == src_rank)
+        .collect()
+}
+
+/// The transfers a given destination rank will receive.
+pub fn receives_of(transfers: &[Transfer], dst_rank: usize) -> Vec<Transfer> {
+    transfers
+        .iter()
+        .copied()
+        .filter(|t| t.dst_rank == dst_rank)
+        .collect()
+}
+
+/// Source ranks that send anything to `dst_rank` (what the server-side
+/// gather waits for).
+pub fn senders_to(transfers: &[Transfer], dst_rank: usize) -> Vec<usize> {
+    let mut srcs: Vec<usize> = transfers
+        .iter()
+        .filter(|t| t.dst_rank == dst_rank)
+        .map(|t| t.src_rank)
+        .collect();
+    srcs.sort_unstable();
+    srcs.dedup();
+    srcs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_block_schedule_is_diagonal() {
+        // Same distribution, same size: rank i ships exactly its own
+        // block to rank i — the Figure 8 configuration.
+        let t = schedule(64, Distribution::Block, 4, Distribution::Block, 4).unwrap();
+        assert_eq!(t.len(), 4);
+        for (i, tr) in t.iter().enumerate() {
+            assert_eq!(tr.src_rank, i);
+            assert_eq!(tr.dst_rank, i);
+            assert_eq!(tr.elems(), 16);
+            assert_eq!(tr.src_offset, 0);
+            assert_eq!(tr.dst_offset, 0);
+        }
+    }
+
+    #[test]
+    fn one_to_many_scatter() {
+        // Sequential client (1 rank) to parallel server (3 ranks).
+        let t = schedule(10, Distribution::Block, 1, Distribution::Block, 3).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], Transfer { src_rank: 0, dst_rank: 0, global_start: 0, global_end: 4, src_offset: 0, dst_offset: 0 });
+        assert_eq!(t[1], Transfer { src_rank: 0, dst_rank: 1, global_start: 4, global_end: 7, src_offset: 4, dst_offset: 0 });
+        assert_eq!(t[2], Transfer { src_rank: 0, dst_rank: 2, global_start: 7, global_end: 10, src_offset: 7, dst_offset: 0 });
+    }
+
+    #[test]
+    fn many_to_one_gather() {
+        let t = schedule(10, Distribution::Block, 3, Distribution::Block, 1).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(senders_to(&t, 0), vec![0, 1, 2]);
+        // Destination offsets follow the global order.
+        assert_eq!(t[0].dst_offset, 0);
+        assert_eq!(t[1].dst_offset, 4);
+        assert_eq!(t[2].dst_offset, 7);
+    }
+
+    #[test]
+    fn block_to_block_different_sizes() {
+        // 2 → 3 over 12 elements: blocks [0,6),[6,12) → [0,4),[4,8),[8,12).
+        let t = schedule(12, Distribution::Block, 2, Distribution::Block, 3).unwrap();
+        let expect = vec![
+            (0, 0, 0, 4),
+            (0, 1, 4, 6),
+            (1, 1, 6, 8),
+            (1, 2, 8, 12),
+        ];
+        let got: Vec<(usize, usize, u64, u64)> = t
+            .iter()
+            .map(|tr| (tr.src_rank, tr.dst_rank, tr.global_start, tr.global_end))
+            .collect();
+        assert_eq!(got, expect);
+        // Check destination offsets: rank 1 receives [4,6) at offset 0 and
+        // [6,8) at offset 2.
+        assert_eq!(t[1].dst_offset, 0);
+        assert_eq!(t[2].dst_offset, 2);
+    }
+
+    #[test]
+    fn block_to_cyclic_cross_distribution() {
+        let t = schedule(6, Distribution::Block, 2, Distribution::Cyclic, 2).unwrap();
+        // Block rank 0 owns [0,3): elements 0,2 go to cyclic rank 0,
+        // element 1 to cyclic rank 1 — fragmented into single-element
+        // transfers.
+        let to_r0: u64 = receives_of(&t, 0).iter().map(|tr| tr.elems()).sum();
+        let to_r1: u64 = receives_of(&t, 1).iter().map(|tr| tr.elems()).sum();
+        assert_eq!(to_r0, 3);
+        assert_eq!(to_r1, 3);
+    }
+
+    #[test]
+    fn empty_groups_rejected() {
+        assert!(schedule(4, Distribution::Block, 0, Distribution::Block, 1).is_err());
+        assert!(schedule(4, Distribution::Block, 1, Distribution::Block, 0).is_err());
+    }
+
+    #[test]
+    fn site_chooser_honours_feasibility_then_efficiency() {
+        let base = SiteFactors {
+            client_free_memory: 1 << 30,
+            server_free_memory: 1 << 30,
+            client_net_mb_s: 250.0,
+            server_net_mb_s: 250.0,
+            bytes_per_node: 1 << 20,
+        };
+        assert_eq!(choose_site(&base), RedistributionSite::InFlight);
+        assert_eq!(
+            choose_site(&SiteFactors {
+                client_net_mb_s: 1_000.0,
+                ..base
+            }),
+            RedistributionSite::ClientSide
+        );
+        assert_eq!(
+            choose_site(&SiteFactors {
+                server_net_mb_s: 1_000.0,
+                ..base
+            }),
+            RedistributionSite::ServerSide
+        );
+        assert_eq!(
+            choose_site(&SiteFactors {
+                client_free_memory: 0,
+                server_free_memory: 0,
+                ..base
+            }),
+            RedistributionSite::InFlight
+        );
+        assert_eq!(
+            choose_site(&SiteFactors {
+                server_free_memory: 0,
+                client_net_mb_s: 1.0, // slow client net, but only feasible side
+                ..base
+            }),
+            RedistributionSite::ClientSide
+        );
+    }
+
+    proptest! {
+        /// Schedules conserve every element exactly once, for arbitrary
+        /// distribution pairs and group sizes.
+        #[test]
+        fn schedule_is_a_bijection(
+            global in 0u64..150,
+            src_size in 1usize..6,
+            dst_size in 1usize..6,
+            src_kind in 0u8..3,
+            dst_kind in 0u8..3,
+            bc in 1u64..5,
+        ) {
+            let mk = |k: u8| match k {
+                0 => Distribution::Block,
+                1 => Distribution::Cyclic,
+                _ => Distribution::BlockCyclic(bc),
+            };
+            let src = mk(src_kind);
+            let dst = mk(dst_kind);
+            let transfers = schedule(global, src, src_size, dst, dst_size).unwrap();
+            let mut covered = vec![0u32; global as usize];
+            for t in &transfers {
+                prop_assert!(t.global_end <= global);
+                prop_assert!(t.global_start < t.global_end);
+                for i in t.global_start..t.global_end {
+                    covered[i as usize] += 1;
+                }
+                // The source actually owns the range.
+                let owns = src.owned_ranges(global, t.src_rank, src_size);
+                prop_assert!(owns.iter().any(|&(s, e)| s <= t.global_start && t.global_end <= e));
+                // The destination actually owns the range.
+                let owns = dst.owned_ranges(global, t.dst_rank, dst_size);
+                prop_assert!(owns.iter().any(|&(s, e)| s <= t.global_start && t.global_end <= e));
+            }
+            prop_assert!(covered.iter().all(|&c| c == 1), "every element moves exactly once");
+        }
+
+        /// Per-destination receive volumes equal the destination's local
+        /// length, and receives tile the local block without overlap.
+        #[test]
+        fn receives_tile_destination_blocks(
+            global in 1u64..120,
+            src_size in 1usize..5,
+            dst_size in 1usize..5,
+        ) {
+            let transfers = schedule(
+                global,
+                Distribution::Block,
+                src_size,
+                Distribution::Cyclic,
+                dst_size,
+            ).unwrap();
+            for dst in 0..dst_size {
+                let local = Distribution::Cyclic.local_len(global, dst, dst_size);
+                let mut slots = vec![0u32; local as usize];
+                for t in receives_of(&transfers, dst) {
+                    for k in 0..t.elems() {
+                        slots[(t.dst_offset + k) as usize] += 1;
+                    }
+                }
+                prop_assert!(slots.iter().all(|&c| c == 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Fabric error types.
+
+use padico_util::ids::NodeId;
+use std::fmt;
+
+/// Errors raised by fabric drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// The node is not connected to this fabric.
+    NotMember(NodeId),
+    /// Exclusive-access hardware is already held by another client on this
+    /// node (e.g. Myrinet through BIP: one process per NIC).
+    Busy {
+        node: NodeId,
+        holder: String,
+    },
+    /// The requested well-known port is already bound on this node.
+    PortTaken {
+        node: NodeId,
+        port: u16,
+    },
+    /// SCI-style mapping table is full on this node.
+    MappingLimit {
+        node: NodeId,
+        limit: usize,
+    },
+    /// Sending to a remote node that requires an established mapping
+    /// without having mapped it first.
+    NoMapping {
+        from: NodeId,
+        to: NodeId,
+    },
+    /// The destination endpoint does not exist or was dropped.
+    Unreachable {
+        to: NodeId,
+        port: u16,
+    },
+    /// The endpoint (or fabric) has been shut down.
+    Closed,
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::NotMember(n) => write!(f, "{n} is not a member of this fabric"),
+            FabricError::Busy { node, holder } => {
+                write!(f, "exclusive NIC on {node} already held by `{holder}`")
+            }
+            FabricError::PortTaken { node, port } => {
+                write!(f, "port {port} already bound on {node}")
+            }
+            FabricError::MappingLimit { node, limit } => {
+                write!(f, "SCI mapping table full on {node} (limit {limit})")
+            }
+            FabricError::NoMapping { from, to } => {
+                write!(f, "no SCI mapping established from {from} to {to}")
+            }
+            FabricError::Unreachable { to, port } => {
+                write!(f, "no endpoint listening at {to}:{port}")
+            }
+            FabricError::Closed => write!(f, "endpoint closed"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FabricError::Busy {
+            node: NodeId(2),
+            holder: "raw-mpi".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("node2") && s.contains("raw-mpi"), "{s}");
+        assert!(FabricError::Closed.to_string().contains("closed"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Link cost models.
+//!
+//! A [`LinkModel`] captures everything the experiments' virtual-time
+//! accounting needs to know about one network technology. The constants in
+//! the presets (see [`crate::presets`]) are calibrated so that the *measured
+//! mechanisms* of the paper's testbed re-emerge: Myrinet-2000's 250 MB/s
+//! line rate of which MPI/omniORB extract 96 %, Fast-Ethernet TCP's
+//! ~11.2 MB/s, the cost of kernel copies on the socket path, and the
+//! rendezvous round-trip large messages pay on SAN hardware.
+
+use padico_util::simtime::{transfer_time, SimClock, VtDuration};
+
+/// Approximate sustained memcpy bandwidth of the paper's dual-PIII 1 GHz
+/// nodes, in MB/s. Every *extra* full-payload copy a middleware performs
+/// (marshalling copies, kernel crossings) is charged at this rate — this is
+/// the single constant behind the omniORB-vs-Mico bandwidth gap in Fig. 7.
+pub const MEMCPY_MB_S: f64 = 300.0;
+
+/// Charge the virtual cost of copying `bytes` once on the host.
+#[inline]
+pub fn charge_copy(clock: &SimClock, bytes: usize) {
+    if bytes > 0 {
+        clock.advance(copy_cost(bytes));
+    }
+}
+
+/// Virtual cost of copying `bytes` once on the host.
+#[inline]
+pub fn copy_cost(bytes: usize) -> VtDuration {
+    transfer_time(bytes, MEMCPY_MB_S)
+}
+
+/// Cost model of one network technology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkModel {
+    /// Human-readable technology name (used in traces and reports).
+    pub name: &'static str,
+    /// Sustained line rate in MB/s (decimal, as the paper reports).
+    pub line_rate_mb_s: f64,
+    /// One-way propagation + switch latency, ns.
+    pub latency_ns: VtDuration,
+    /// Per-message host send overhead (driver call, doorbell / syscall), ns.
+    pub send_overhead_ns: VtDuration,
+    /// Per-message host receive overhead (interrupt / upcall), ns.
+    pub recv_overhead_ns: VtDuration,
+    /// Maximum transmission unit; messages are segmented into packets of
+    /// this size, each paying `per_packet_ns`.
+    pub mtu: usize,
+    /// Per-packet protocol overhead, ns.
+    pub per_packet_ns: VtDuration,
+    /// Payloads cross the kernel on this technology (socket path): one
+    /// physical copy on send and one on receive, charged at [`MEMCPY_MB_S`].
+    pub kernel_copy: bool,
+    /// SAN rendezvous threshold: messages of at least this size pay one
+    /// extra round-trip (RTS/CTS) before the data transfer, as BIP/GM do.
+    pub rendezvous_threshold: Option<usize>,
+}
+
+impl LinkModel {
+    /// Number of packets a message of `len` bytes occupies (at least 1 — a
+    /// zero-byte message still sends a header packet).
+    pub fn packets(&self, len: usize) -> usize {
+        if len == 0 {
+            1
+        } else {
+            len.div_ceil(self.mtu)
+        }
+    }
+
+    /// Time the wire (and NIC DMA engines) are busy transmitting `len`
+    /// bytes: serialization at line rate plus per-packet overheads.
+    pub fn wire_time(&self, len: usize) -> VtDuration {
+        let packets = self.packets(len) as u64;
+        packets * self.per_packet_ns + transfer_time(len, self.line_rate_mb_s)
+    }
+
+    /// Extra sender-side cost paid before the wire transfer begins:
+    /// rendezvous round-trip for large SAN messages, kernel copy on socket
+    /// paths.
+    pub fn pre_wire_sender_cost(&self, len: usize) -> VtDuration {
+        let mut cost = self.send_overhead_ns;
+        if let Some(thresh) = self.rendezvous_threshold {
+            if len >= thresh {
+                cost += 2 * self.latency_ns; // RTS/CTS round trip
+            }
+        }
+        if self.kernel_copy {
+            cost += copy_cost(len);
+        }
+        cost
+    }
+
+    /// Receiver-side cost paid when the message is consumed.
+    pub fn recv_cost(&self, len: usize) -> VtDuration {
+        let mut cost = self.recv_overhead_ns;
+        if self.kernel_copy {
+            cost += copy_cost(len);
+        }
+        cost
+    }
+
+    /// Back-of-envelope one-way time for a message of `len` bytes on an
+    /// otherwise idle link (used by the automatic fabric selector to rank
+    /// candidates — not by the experiments themselves, which measure).
+    pub fn estimate_one_way(&self, len: usize) -> VtDuration {
+        self.pre_wire_sender_cost(len) + self.wire_time(len) + self.latency_ns + self.recv_cost(len)
+    }
+
+    /// Asymptotic bandwidth in MB/s for very large messages (ignores fixed
+    /// costs; includes per-packet and kernel-copy per-byte costs).
+    pub fn asymptotic_bandwidth(&self) -> f64 {
+        let len = 64 << 20; // 64 MiB probe
+        let mut ns = self.wire_time(len) as f64;
+        if self.kernel_copy {
+            ns += 2.0 * copy_cost(len) as f64;
+        }
+        len as f64 * 1_000.0 / ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn packets_rounds_up_and_header_packet_for_empty() {
+        let m = presets::myrinet2000().model().clone();
+        assert_eq!(m.packets(0), 1);
+        assert_eq!(m.packets(1), 1);
+        assert_eq!(m.packets(m.mtu), 1);
+        assert_eq!(m.packets(m.mtu + 1), 2);
+    }
+
+    #[test]
+    fn myrinet_asymptotic_bandwidth_near_240() {
+        let m = presets::myrinet2000().model().clone();
+        let bw = m.asymptotic_bandwidth();
+        assert!(
+            (230.0..250.0).contains(&bw),
+            "Myrinet asymptotic bandwidth {bw} should be ≈240 MB/s"
+        );
+    }
+
+    #[test]
+    fn ethernet_asymptotic_bandwidth_near_11() {
+        let m = presets::ethernet100().model().clone();
+        let bw = m.asymptotic_bandwidth();
+        assert!(
+            (10.0..12.5).contains(&bw),
+            "Fast-Ethernet TCP asymptotic bandwidth {bw} should be ≈11 MB/s"
+        );
+    }
+
+    #[test]
+    fn rendezvous_only_charged_above_threshold() {
+        let m = presets::myrinet2000().model().clone();
+        let thresh = m.rendezvous_threshold.unwrap();
+        let below = m.pre_wire_sender_cost(thresh - 1);
+        let above = m.pre_wire_sender_cost(thresh);
+        assert_eq!(above - below, 2 * m.latency_ns);
+    }
+
+    #[test]
+    fn kernel_copy_charged_on_socket_path_only() {
+        let eth = presets::ethernet100().model().clone();
+        let myri = presets::myrinet2000().model().clone();
+        let len = 1 << 20;
+        assert!(eth.recv_cost(len) > eth.recv_cost(0) + copy_cost(len) / 2);
+        assert_eq!(myri.recv_cost(len), myri.recv_cost(0));
+    }
+
+    #[test]
+    fn copy_cost_is_linear() {
+        assert_eq!(copy_cost(0), 0);
+        let c1 = copy_cost(1 << 20);
+        let c2 = copy_cost(2 << 20);
+        assert!((c2 as f64 / c1 as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn charge_copy_advances_clock() {
+        let c = SimClock::new();
+        charge_copy(&c, 3 << 20);
+        assert_eq!(c.now(), copy_cost(3 << 20));
+        charge_copy(&c, 0);
+        assert_eq!(c.now(), copy_cost(3 << 20), "zero bytes is free");
+    }
+}

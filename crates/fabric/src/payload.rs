@@ -1,0 +1,267 @@
+//! Segmented message payloads.
+//!
+//! A [`Payload`] is a gather-list of [`Bytes`] segments, mirroring the iovec
+//! style of Madeleine's `pack`/`unpack` interface. Passing a `Payload`
+//! through the stack hands segments off by reference counting — the
+//! zero-copy path used by omniORB-style marshalling. Copying middleware
+//! (Mico/ORBacus-style) instead calls [`Payload::to_contiguous`] /
+//! [`Payload::copy_from`], which really move the bytes *and* can be charged
+//! to a virtual clock by the caller.
+
+use bytes::{Bytes, BytesMut};
+use std::fmt;
+
+/// A message body as a list of byte segments.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Payload {
+    segments: Vec<Bytes>,
+    len: usize,
+}
+
+impl Payload {
+    /// Empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Payload with one segment taken from a `Vec<u8>` (no copy).
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        Self::from_bytes(Bytes::from(v))
+    }
+
+    /// Payload with one segment (no copy).
+    pub fn from_bytes(b: Bytes) -> Self {
+        let len = b.len();
+        let segments = if len == 0 { Vec::new() } else { vec![b] };
+        Payload { segments, len }
+    }
+
+    /// Payload copied from a slice (one copy, as the caller requests).
+    pub fn copy_from(slice: &[u8]) -> Self {
+        Self::from_bytes(Bytes::copy_from_slice(slice))
+    }
+
+    /// Append a segment by reference (no copy).
+    pub fn push_segment(&mut self, b: Bytes) {
+        if b.is_empty() {
+            return;
+        }
+        self.len += b.len();
+        self.segments.push(b);
+    }
+
+    /// Append another payload's segments by reference (no copy).
+    pub fn append(&mut self, other: Payload) {
+        for seg in other.segments {
+            self.push_segment(seg);
+        }
+    }
+
+    /// Total byte length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the payload carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of segments (1 for a freshly built contiguous payload).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Iterate over the segments.
+    pub fn segments(&self) -> impl Iterator<Item = &Bytes> {
+        self.segments.iter()
+    }
+
+    /// A contiguous view. If the payload is already a single segment this
+    /// is free (refcount bump); otherwise the segments are **physically
+    /// copied** into one buffer — callers on a metered path must charge the
+    /// copy to their clock (see [`crate::model::charge_copy`]).
+    pub fn to_contiguous(&self) -> Bytes {
+        match self.segments.len() {
+            0 => Bytes::new(),
+            1 => self.segments[0].clone(),
+            _ => {
+                let mut buf = BytesMut::with_capacity(self.len);
+                for seg in &self.segments {
+                    buf.extend_from_slice(seg);
+                }
+                buf.freeze()
+            }
+        }
+    }
+
+    /// Whether [`Payload::to_contiguous`] would physically copy.
+    pub fn needs_copy_for_contiguous(&self) -> bool {
+        self.segments.len() > 1
+    }
+
+    /// Copy out into a fresh `Vec<u8>` (always a physical copy).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.len);
+        for seg in &self.segments {
+            v.extend_from_slice(seg);
+        }
+        v
+    }
+
+    /// Split the payload into `parts` nearly-equal contiguous chunks (block
+    /// distribution helper). Chunks reference the original storage — no
+    /// copies. The first `len % parts` chunks are one byte longer.
+    pub fn split_blocks(&self, parts: usize) -> Vec<Payload> {
+        assert!(parts > 0, "parts must be positive");
+        let base = self.len / parts;
+        let extra = self.len % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut seg_idx = 0usize;
+        let mut seg_off = 0usize;
+        for i in 0..parts {
+            let want = base + usize::from(i < extra);
+            let mut chunk = Payload::new();
+            let mut remaining = want;
+            while remaining > 0 {
+                let seg = &self.segments[seg_idx];
+                let avail = seg.len() - seg_off;
+                let take = avail.min(remaining);
+                chunk.push_segment(seg.slice(seg_off..seg_off + take));
+                seg_off += take;
+                remaining -= take;
+                if seg_off == seg.len() {
+                    seg_idx += 1;
+                    seg_off = 0;
+                }
+            }
+            out.push(chunk);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Payload({} bytes in {} segments)",
+            self.len,
+            self.segments.len()
+        )
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload::from_vec(v)
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(b: Bytes) -> Self {
+        Payload::from_bytes(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_payload() {
+        let p = Payload::new();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.segment_count(), 0);
+        assert_eq!(p.to_contiguous().len(), 0);
+        assert!(p.to_vec().is_empty());
+    }
+
+    #[test]
+    fn single_segment_contiguous_is_free() {
+        let p = Payload::from_vec(vec![1, 2, 3]);
+        assert!(!p.needs_copy_for_contiguous());
+        let c = p.to_contiguous();
+        assert_eq!(&c[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn multi_segment_roundtrip() {
+        let mut p = Payload::new();
+        p.push_segment(Bytes::from_static(b"hello "));
+        p.push_segment(Bytes::from_static(b"grid "));
+        p.push_segment(Bytes::from_static(b"world"));
+        assert_eq!(p.len(), 16);
+        assert_eq!(p.segment_count(), 3);
+        assert!(p.needs_copy_for_contiguous());
+        assert_eq!(&p.to_contiguous()[..], b"hello grid world");
+        assert_eq!(p.to_vec(), b"hello grid world");
+    }
+
+    #[test]
+    fn empty_segments_are_dropped() {
+        let mut p = Payload::new();
+        p.push_segment(Bytes::new());
+        p.push_segment(Bytes::from_static(b"x"));
+        assert_eq!(p.segment_count(), 1);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = Payload::from_vec(vec![1, 2]);
+        a.append(Payload::from_vec(vec![3]));
+        assert_eq!(a.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn split_blocks_covers_all_bytes_without_copying() {
+        let data: Vec<u8> = (0..=99).collect();
+        let p = Payload::from_vec(data.clone());
+        let blocks = p.split_blocks(3);
+        assert_eq!(blocks.len(), 3);
+        // 100 = 34 + 33 + 33
+        assert_eq!(blocks[0].len(), 34);
+        assert_eq!(blocks[1].len(), 33);
+        assert_eq!(blocks[2].len(), 33);
+        let mut rejoined = Vec::new();
+        for b in &blocks {
+            rejoined.extend_from_slice(&b.to_vec());
+        }
+        assert_eq!(rejoined, data);
+    }
+
+    #[test]
+    fn split_blocks_across_segment_boundaries() {
+        let mut p = Payload::new();
+        p.push_segment(Bytes::from((0u8..7).collect::<Vec<u8>>()));
+        p.push_segment(Bytes::from((7u8..10).collect::<Vec<u8>>()));
+        let blocks = p.split_blocks(4);
+        let total: usize = blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 10);
+        let mut rejoined = Vec::new();
+        for b in &blocks {
+            rejoined.extend_from_slice(&b.to_vec());
+        }
+        assert_eq!(rejoined, (0u8..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn split_single_part_is_identity() {
+        let p = Payload::from_vec(vec![5; 17]);
+        let blocks = p.split_blocks(1);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].to_vec(), vec![5; 17]);
+    }
+
+    #[test]
+    fn split_more_parts_than_bytes_yields_empty_tails() {
+        let p = Payload::from_vec(vec![1, 2]);
+        let blocks = p.split_blocks(5);
+        assert_eq!(blocks.len(), 5);
+        assert_eq!(blocks[0].len(), 1);
+        assert_eq!(blocks[1].len(), 1);
+        assert!(blocks[2..].iter().all(|b| b.is_empty()));
+    }
+}

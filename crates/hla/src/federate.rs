@@ -1,0 +1,370 @@
+//! Federates: the client side of the HLA federation.
+//!
+//! A [`Federate`] wraps the RTIG reference plus a local *federate
+//! ambassador* servant receiving the RTIG's callbacks; callbacks surface
+//! as [`HlaEvent`]s on a channel, the shape simulation loops poll.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use padico_orb::cdr::{CdrReader, CdrWriter};
+use padico_orb::orb::{ObjectRef, Orb};
+use padico_orb::poa::{Servant, ServerCtx};
+use padico_orb::{Ior, OrbError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::rti::{read_attrs, write_attrs, AttrSet};
+
+/// Callback events a federate receives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HlaEvent {
+    /// A subscribed-class object appeared.
+    Discover {
+        object: u64,
+        class: String,
+        name: String,
+    },
+    /// A subscribed-class object's attributes were updated.
+    Reflect {
+        object: u64,
+        attrs: AttrSet,
+        time: f64,
+    },
+    /// A pending time-advance request was granted.
+    TimeGranted(f64),
+}
+
+struct Ambassador {
+    events: Sender<HlaEvent>,
+}
+
+impl Servant for Ambassador {
+    fn repository_id(&self) -> &str {
+        "IDL:PadicoHLA/FederateAmbassador:1.0"
+    }
+
+    fn dispatch(
+        &self,
+        operation: &str,
+        args: &mut CdrReader,
+        _reply: &mut CdrWriter,
+        _ctx: &ServerCtx,
+    ) -> Result<(), OrbError> {
+        let event = match operation {
+            "discover_object" => HlaEvent::Discover {
+                object: args.read_u64()?,
+                class: args.read_string()?,
+                name: args.read_string()?,
+            },
+            "reflect_attributes" => HlaEvent::Reflect {
+                object: args.read_u64()?,
+                attrs: read_attrs(args)?,
+                time: args.read_f64()?,
+            },
+            "time_granted" => HlaEvent::TimeGranted(args.read_f64()?),
+            other => return Err(OrbError::BadOperation(other.into())),
+        };
+        let _ = self.events.send(event);
+        Ok(())
+    }
+}
+
+/// A joined federate.
+pub struct Federate {
+    rtig: ObjectRef,
+    federation: String,
+    id: u64,
+    events: Receiver<HlaEvent>,
+    ambassador_ior: Ior,
+    orb: Arc<Orb>,
+}
+
+impl Federate {
+    /// Create a federation (idempotent use: ignore "already exists").
+    pub fn create_federation(rtig: &ObjectRef, name: &str) -> Result<(), OrbError> {
+        match rtig.request("create_federation").arg_string(name).invoke() {
+            Ok(_) => Ok(()),
+            Err(OrbError::User(id)) if id.contains("FederationExists") => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Join a federation with the given lookahead.
+    pub fn join(
+        orb: &Arc<Orb>,
+        rtig: ObjectRef,
+        federation: &str,
+        name: &str,
+        lookahead: f64,
+    ) -> Result<Federate, OrbError> {
+        let (tx, rx) = unbounded();
+        let ambassador_ior = orb.activate(Arc::new(Ambassador { events: tx }));
+        let mut reply = rtig
+            .request("join")
+            .arg_string(federation)
+            .arg_string(name)
+            .arg_f64(lookahead)
+            .arg_string(&ambassador_ior.stringify())
+            .invoke()?;
+        let id = reply.read_u64()?;
+        Ok(Federate {
+            rtig,
+            federation: federation.to_string(),
+            id,
+            events: rx,
+            ambassador_ior,
+            orb: Arc::clone(orb),
+        })
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Subscribe to an object class.
+    pub fn subscribe(&self, class: &str) -> Result<(), OrbError> {
+        self.rtig
+            .request("subscribe")
+            .arg_string(&self.federation)
+            .arg_u64(self.id)
+            .arg_string(class)
+            .invoke()
+            .map(|_| ())
+    }
+
+    /// Declare publication of an object class.
+    pub fn publish(&self, class: &str) -> Result<(), OrbError> {
+        self.rtig
+            .request("publish")
+            .arg_string(&self.federation)
+            .arg_u64(self.id)
+            .arg_string(class)
+            .invoke()
+            .map(|_| ())
+    }
+
+    /// Register an object instance; subscribers are notified.
+    pub fn register_object(&self, class: &str, name: &str) -> Result<u64, OrbError> {
+        let mut reply = self
+            .rtig
+            .request("register_object")
+            .arg_string(&self.federation)
+            .arg_u64(self.id)
+            .arg_string(class)
+            .arg_string(name)
+            .invoke()?;
+        reply.read_u64()
+    }
+
+    /// Send a timestamped attribute update for an owned object.
+    pub fn update_attributes(
+        &self,
+        object: u64,
+        attrs: &AttrSet,
+        time: f64,
+    ) -> Result<(), OrbError> {
+        let mut req = self
+            .rtig
+            .request("update_attributes")
+            .arg_string(&self.federation)
+            .arg_u64(self.id)
+            .arg_u64(object);
+        write_attrs(req.writer(), attrs);
+        req.arg_f64(time).invoke().map(|_| ())
+    }
+
+    /// Request a time advance; the grant arrives as
+    /// [`HlaEvent::TimeGranted`].
+    pub fn time_advance_request(&self, t: f64) -> Result<(), OrbError> {
+        self.rtig
+            .request("time_advance_request")
+            .arg_string(&self.federation)
+            .arg_u64(self.id)
+            .arg_f64(t)
+            .invoke()
+            .map(|_| ())
+    }
+
+    /// Next callback event, waiting up to `timeout` (wall clock).
+    pub fn poll_event(&self, timeout: Duration) -> Option<HlaEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Block for the time grant, consuming (and returning) any events
+    /// that arrive before it.
+    pub fn wait_time_grant(&self, timeout: Duration) -> (Option<f64>, Vec<HlaEvent>) {
+        let mut buffered = Vec::new();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.poll_event(remaining) {
+                Some(HlaEvent::TimeGranted(t)) => return (Some(t), buffered),
+                Some(other) => buffered.push(other),
+                None => return (None, buffered),
+            }
+        }
+    }
+
+    /// Leave the federation (also deactivates the ambassador).
+    pub fn resign(self) -> Result<(), OrbError> {
+        self.rtig
+            .request("resign")
+            .arg_string(&self.federation)
+            .arg_u64(self.id)
+            .invoke()?;
+        self.orb.deactivate(&self.ambassador_ior)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rti::start_rtig;
+    use padico_fabric::topology::single_cluster;
+    use padico_orb::profile::OrbProfile;
+    use padico_tm::runtime::PadicoTM;
+    use padico_tm::selector::FabricChoice;
+
+    struct Rig {
+        orbs: Vec<Arc<Orb>>,
+        rtig_ior: Ior,
+    }
+
+    fn rig(nodes: usize) -> Rig {
+        let (topo, _ids) = single_cluster(nodes);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let orbs: Vec<Arc<Orb>> = tms
+            .iter()
+            .map(|tm| {
+                Orb::start(
+                    Arc::clone(tm),
+                    "hla",
+                    OrbProfile::omniorb3(),
+                    FabricChoice::Auto,
+                )
+                .unwrap()
+            })
+            .collect();
+        let rtig_ior = start_rtig(&orbs[0]);
+        std::mem::forget(tms);
+        Rig { orbs, rtig_ior }
+    }
+
+    impl Rig {
+        fn join(&self, node: usize, federation: &str, name: &str, lookahead: f64) -> Federate {
+            let rtig = self.orbs[node].object_ref(self.rtig_ior.clone());
+            Federate::create_federation(&rtig, federation).unwrap();
+            Federate::join(&self.orbs[node], rtig, federation, name, lookahead).unwrap()
+        }
+    }
+
+    const TICK: Duration = Duration::from_millis(500);
+
+    #[test]
+    fn publish_subscribe_reflect() {
+        let rig = rig(3);
+        let producer = rig.join(1, "sim", "producer", 0.1);
+        let consumer = rig.join(2, "sim", "consumer", 0.1);
+        let bystander = rig.join(0, "sim", "bystander", 0.1);
+        consumer.subscribe("Aircraft").unwrap();
+        producer.publish("Aircraft").unwrap();
+
+        let object = producer.register_object("Aircraft", "AF447").unwrap();
+        match consumer.poll_event(TICK) {
+            Some(HlaEvent::Discover {
+                object: got,
+                class,
+                name,
+            }) => {
+                assert_eq!(got, object);
+                assert_eq!(class, "Aircraft");
+                assert_eq!(name, "AF447");
+            }
+            other => panic!("expected discover, got {other:?}"),
+        }
+
+        let attrs: AttrSet = vec![("position".into(), vec![1, 2, 3])];
+        producer.update_attributes(object, &attrs, 0.5).unwrap();
+        match consumer.poll_event(TICK) {
+            Some(HlaEvent::Reflect {
+                object: got,
+                attrs: got_attrs,
+                time,
+            }) => {
+                assert_eq!(got, object);
+                assert_eq!(got_attrs, attrs);
+                assert_eq!(time, 0.5);
+            }
+            other => panic!("expected reflect, got {other:?}"),
+        }
+        // Non-subscribers see nothing.
+        assert!(bystander.poll_event(Duration::from_millis(50)).is_none());
+    }
+
+    #[test]
+    fn ownership_and_timestamp_rules() {
+        let rig = rig(2);
+        let a = rig.join(0, "rules", "a", 1.0);
+        let b = rig.join(1, "rules", "b", 1.0);
+        let object = a.register_object("Tank", "t1").unwrap();
+        a.publish("Tank").unwrap();
+        // b does not own the object.
+        let err = b
+            .update_attributes(object, &vec![("x".into(), vec![1])], 2.0)
+            .unwrap_err();
+        assert!(matches!(err, OrbError::User(id) if id.contains("NotOwner")));
+        // An update below time + lookahead is refused.
+        let err = a
+            .update_attributes(object, &vec![("x".into(), vec![1])], 0.5)
+            .unwrap_err();
+        assert!(matches!(err, OrbError::User(id) if id.contains("InvalidTimestamp")));
+        // At or above the bound it is accepted.
+        a.update_attributes(object, &vec![("x".into(), vec![1])], 1.0)
+            .unwrap();
+    }
+
+    #[test]
+    fn conservative_time_advancement() {
+        let rig = rig(2);
+        let a = rig.join(0, "time", "a", 1.0);
+        let b = rig.join(1, "time", "b", 1.0);
+
+        // a asks for t=5; b sits at 0 with lookahead 1 → not grantable yet.
+        a.time_advance_request(5.0).unwrap();
+        assert!(
+            a.poll_event(Duration::from_millis(100)).is_none(),
+            "grant must wait for b"
+        );
+        // b asks for t=5 too: guarantees become 6 on both sides → both
+        // grants fire.
+        b.time_advance_request(5.0).unwrap();
+        let (granted_a, _) = a.wait_time_grant(TICK);
+        assert_eq!(granted_a, Some(5.0));
+        let (granted_b, _) = b.wait_time_grant(TICK);
+        assert_eq!(granted_b, Some(5.0));
+        // Regression is refused.
+        let err = a.time_advance_request(1.0).unwrap_err();
+        assert!(matches!(err, OrbError::User(id) if id.contains("TimeRegression")));
+    }
+
+    #[test]
+    fn resign_unblocks_peers() {
+        let rig = rig(2);
+        let a = rig.join(0, "quit", "a", 0.5);
+        let b = rig.join(1, "quit", "b", 0.5);
+        a.time_advance_request(10.0).unwrap();
+        assert!(a.poll_event(Duration::from_millis(50)).is_none());
+        b.resign().unwrap();
+        let (granted, _) = a.wait_time_grant(TICK);
+        assert_eq!(granted, Some(10.0), "sole federate advances freely");
+    }
+
+    #[test]
+    fn lone_federate_advances_immediately() {
+        let rig = rig(1);
+        let solo = rig.join(0, "solo", "only", 0.1);
+        solo.time_advance_request(3.25).unwrap();
+        let (granted, _) = solo.wait_time_grant(TICK);
+        assert_eq!(granted, Some(3.25));
+    }
+}

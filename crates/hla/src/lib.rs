@@ -1,0 +1,25 @@
+//! # padico-hla
+//!
+//! A Certi-style HLA run-time infrastructure on PadicoTM — the paper's
+//! §4.3.4 reports porting "Certi 3.0 (HLA implementation)" as one of the
+//! middleware systems coexisting on the runtime. The subset here is what
+//! distributed simulation federations need:
+//!
+//! * a central **RTIG** (RTI gateway, [`rti`]) exposed as a CORBA object:
+//!   federation creation, join/resign, class publication/subscription,
+//!   object registration, timestamped attribute updates;
+//! * **federates** ([`federate`]) with a callback ambassador receiving
+//!   `discover`/`reflect`/`time-granted` events;
+//! * **conservative time management**: a federate's advance to `t` is
+//!   granted once every other federate guarantees (current or requested
+//!   time plus lookahead) not to produce events earlier than `t`.
+//!
+//! Like every middleware on PadicoTM, the whole stack is transport-blind:
+//! RTIG traffic is CORBA over VLink over whichever fabric the selector
+//! picks.
+
+pub mod federate;
+pub mod rti;
+
+pub use federate::{Federate, HlaEvent};
+pub use rti::{start_rtig, HlaModule};

@@ -1,0 +1,59 @@
+//! # padico-mpi
+//!
+//! An MPI subset running on PadicoTM's [`padico_tm::circuit::Circuit`]
+//! abstraction — the reproduction's stand-in for MPICH/Madeleine, which
+//! the paper ports onto PadicoTM "with very few changes" (§4.3.4) and
+//! reports to add "no significant overhead" over native MPICH/Madeleine.
+//!
+//! Scope (what the paper's experiments and GridCCM need):
+//!
+//! * communicators: `WORLD`, [`Communicator::dup`], [`Communicator::split`];
+//! * tagged point-to-point: [`Communicator::send`] / [`Communicator::recv`]
+//!   with `ANY_SOURCE` / `ANY_TAG` wildcards, typed or zero-copy payloads;
+//! * non-blocking operations ([`request::Request`]) — completion is driven
+//!   synchronously at `wait`/`test` time (a deliberate simplification: the
+//!   progress engine runs inside MPI calls, as in single-threaded MPICH);
+//! * collectives: barrier, bcast, reduce, allreduce, gather(-v),
+//!   scatter(-v), allgather, alltoall — binomial-tree / dissemination
+//!   algorithms so latency scales as `O(log n)`.
+//!
+//! Like any PadicoTM middleware, the MPI module never names a network: the
+//! circuit it is built on may ride Myrinet, SCI, Ethernet or shared memory.
+
+pub mod collective;
+pub mod comm;
+pub mod datatype;
+pub mod error;
+pub mod request;
+
+pub use comm::{Communicator, RecvStatus, ANY_SOURCE, ANY_TAG};
+pub use datatype::{MpiDatatype, ReduceOp};
+pub use error::MpiError;
+
+use padico_tm::circuit::CircuitSpec;
+use padico_tm::runtime::PadicoTM;
+use padico_tm::selector::FabricChoice;
+use padico_util::ids::NodeId;
+use std::sync::Arc;
+
+/// Per-message protocol cost of the MPI layer (matching, header handling),
+/// calibrated so that small-message one-way latency over Myrinet lands at
+/// the paper's 11 µs (the fabric contributes ≈8.5 µs).
+pub const MPI_PROTOCOL_NS: u64 = 2_000;
+
+/// Build the `WORLD` communicator for one rank of an MPI job.
+///
+/// Every participating node must call this with the same `job` name and
+/// `group` (one entry per rank). The fabric is selected automatically
+/// unless pinned.
+pub fn init_world(
+    tm: &Arc<PadicoTM>,
+    job: &str,
+    group: Vec<NodeId>,
+    choice: FabricChoice,
+) -> Result<Communicator, MpiError> {
+    let circuit = tm
+        .circuit(CircuitSpec::new(format!("mpi:{job}"), group).with_choice(choice))
+        .map_err(MpiError::from)?;
+    Ok(Communicator::world(Arc::new(circuit)))
+}

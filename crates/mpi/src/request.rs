@@ -1,0 +1,191 @@
+//! Non-blocking operations.
+//!
+//! [`Communicator::isend`] is eager: the payload is handed to the
+//! transport immediately (legal buffered-send semantics) and the returned
+//! request is already complete. [`Communicator::irecv`] registers a match
+//! specification; progress happens inside [`RecvRequest::test`] and
+//! [`RecvRequest::wait`] — the synchronous progress-engine model of
+//! single-threaded MPICH, which is all the paper's workloads need.
+
+use padico_fabric::Payload;
+
+use crate::comm::{Communicator, RecvStatus};
+use crate::datatype::{decode, MpiDatatype};
+use crate::error::MpiError;
+
+/// A completed (eager) send request.
+#[derive(Debug)]
+pub struct SendRequest {
+    len: usize,
+}
+
+impl SendRequest {
+    /// Block until the send completes (already has).
+    pub fn wait(self) -> usize {
+        self.len
+    }
+
+    /// Whether the operation is complete (always, for eager sends).
+    pub fn test(&self) -> bool {
+        true
+    }
+}
+
+/// An outstanding receive request.
+#[derive(Debug)]
+pub struct RecvRequest {
+    comm: Communicator,
+    src: i32,
+    tag: i32,
+    done: Option<(RecvStatus, Payload)>,
+}
+
+impl RecvRequest {
+    /// Poll for completion; returns `true` once a matching message has
+    /// been captured (it is then held until `wait`).
+    pub fn test(&mut self) -> Result<bool, MpiError> {
+        if self.done.is_some() {
+            return Ok(true);
+        }
+        if let Some(found) = self.comm.try_recv_bytes(self.src, self.tag)? {
+            self.done = Some(found);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Block until the matching message arrives and return it raw.
+    pub fn wait_bytes(mut self) -> Result<(RecvStatus, Payload), MpiError> {
+        if let Some(found) = self.done.take() {
+            return Ok(found);
+        }
+        self.comm.recv_bytes(self.src, self.tag)
+    }
+
+    /// Block and decode as `T`.
+    pub fn wait<T: MpiDatatype>(self) -> Result<(RecvStatus, Vec<T>), MpiError> {
+        let (status, payload) = self.wait_bytes()?;
+        Ok((status, decode(&payload.to_vec())?))
+    }
+}
+
+impl Communicator {
+    /// Non-blocking (eager) typed send.
+    pub fn isend<T: MpiDatatype>(
+        &self,
+        dst: i32,
+        tag: u32,
+        buf: &[T],
+    ) -> Result<SendRequest, MpiError> {
+        self.send(dst, tag, buf)?;
+        Ok(SendRequest {
+            len: buf.len() * T::SIZE,
+        })
+    }
+
+    /// Non-blocking (eager) zero-copy send.
+    pub fn isend_bytes(
+        &self,
+        dst: i32,
+        tag: u32,
+        payload: Payload,
+    ) -> Result<SendRequest, MpiError> {
+        let len = payload.len();
+        self.send_bytes(dst, tag, payload)?;
+        Ok(SendRequest { len })
+    }
+
+    /// Post a non-blocking receive.
+    pub fn irecv(&self, src: i32, tag: i32) -> RecvRequest {
+        RecvRequest {
+            comm: self.clone(),
+            src,
+            tag,
+            done: None,
+        }
+    }
+}
+
+/// Wait for all requests in a vector (like `MPI_Waitall` for receives).
+pub fn wait_all(requests: Vec<RecvRequest>) -> Result<Vec<(RecvStatus, Payload)>, MpiError> {
+    requests.into_iter().map(RecvRequest::wait_bytes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::tests::world;
+    use crate::comm::{ANY_SOURCE, ANY_TAG};
+
+    #[test]
+    fn isend_completes_immediately() {
+        let comms = world(2);
+        let req = comms[0].isend(1, 1, &[1i32, 2]).unwrap();
+        assert!(req.test());
+        assert_eq!(req.wait(), 8);
+        let (_, data) = comms[1].recv::<i32>(0, 1).unwrap();
+        assert_eq!(data, vec![1, 2]);
+    }
+
+    #[test]
+    fn irecv_test_then_wait() {
+        let comms = world(2);
+        let mut req = comms[1].irecv(0, 3);
+        assert!(!req.test().unwrap(), "nothing sent yet");
+        comms[0].send(1, 3, &[9u8]).unwrap();
+        // Spin until test observes the message.
+        let mut seen = false;
+        for _ in 0..200 {
+            if req.test().unwrap() {
+                seen = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(seen);
+        let (status, data) = req.wait::<u8>().unwrap();
+        assert_eq!(status.source, 0);
+        assert_eq!(data, vec![9]);
+    }
+
+    #[test]
+    fn wait_without_test_blocks_until_arrival() {
+        let comms = world(2);
+        let req = comms[1].irecv(ANY_SOURCE, ANY_TAG);
+        let sender = {
+            let c0 = comms[0].clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                c0.send(1, 2, &[5i32]).unwrap();
+            })
+        };
+        let (status, data) = req.wait::<i32>().unwrap();
+        assert_eq!(status.tag, 2);
+        assert_eq!(data, vec![5]);
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn wait_all_collects_in_request_order() {
+        let comms = world(3);
+        let reqs = vec![comms[0].irecv(1, 1), comms[0].irecv(2, 2)];
+        comms[2].send(0, 2, &[22u8]).unwrap();
+        comms[1].send(0, 1, &[11u8]).unwrap();
+        let results = wait_all(reqs).unwrap();
+        assert_eq!(results[0].1.to_vec(), vec![11]);
+        assert_eq!(results[1].1.to_vec(), vec![22]);
+    }
+
+    #[test]
+    fn overlapping_communication_pattern() {
+        // Post the receive first, then send — the classic overlap shape.
+        let comms = world(2);
+        let req = comms[0].irecv(1, 0);
+        comms[0].send(1, 0, &[1i32]).unwrap();
+        let (_, from_zero) = comms[1].recv::<i32>(0, 0).unwrap();
+        assert_eq!(from_zero, vec![1]);
+        comms[1].send(0, 0, &[2i32]).unwrap();
+        let (_, data) = req.wait::<i32>().unwrap();
+        assert_eq!(data, vec![2]);
+    }
+}

@@ -1,0 +1,589 @@
+//! CDR (Common Data Representation) marshalling.
+//!
+//! CDR aligns every primitive to its natural size *relative to the start
+//! of the encapsulation*. The writer tracks a global offset so alignment
+//! stays correct even when large octet sequences are spliced in as
+//! zero-copy segments.
+//!
+//! Two strategies (selected by the ORB profile):
+//!
+//! * [`MarshalStrategy::Copying`] — everything, including bulk octet
+//!   sequences, is copied into one contiguous buffer. This is what Mico
+//!   and ORBacus do ("always copy data for marshalling and
+//!   unmarshalling", §4.4) and what caps them at 55–63 MB/s in Figure 7.
+//! * [`MarshalStrategy::ZeroCopy`] — octet sequences at or above
+//!   [`ZERO_COPY_THRESHOLD`] are appended as reference-counted segments;
+//!   only the small header parts are serialized. omniORB's approach.
+//!
+//! This implementation always encodes little-endian and records that in
+//! the encapsulation flag; readers reject the big-endian flag (a
+//! documented simplification — both ends of this grid are the same
+//! library).
+
+use bytes::Bytes;
+use padico_fabric::Payload;
+
+use crate::error::OrbError;
+pub use crate::profile::MarshalStrategy;
+
+/// Octet sequences at least this long are spliced zero-copy (omniORB
+/// applies the same idea through its `giopStream` buffer management).
+pub const ZERO_COPY_THRESHOLD: usize = 1 << 10;
+
+/// CDR encoder.
+pub struct CdrWriter {
+    strategy: MarshalStrategy,
+    /// Completed segments (zero-copy splices and flushed buffers).
+    out: Payload,
+    /// Current append buffer.
+    buf: Vec<u8>,
+    /// Global offset = bytes already in `out` + `buf`.
+    offset: usize,
+}
+
+impl CdrWriter {
+    pub fn new(strategy: MarshalStrategy) -> Self {
+        CdrWriter {
+            strategy,
+            out: Payload::new(),
+            buf: Vec::new(),
+            offset: 0,
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.offset
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.offset == 0
+    }
+
+    fn align(&mut self, to: usize) {
+        let pad = (to - (self.offset % to)) % to;
+        for _ in 0..pad {
+            self.buf.push(0);
+        }
+        self.offset += pad;
+    }
+
+    fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+        self.offset += bytes.len();
+    }
+
+    pub fn write_u8(&mut self, v: u8) {
+        self.push(&[v]);
+    }
+
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    pub fn write_u16(&mut self, v: u16) {
+        self.align(2);
+        self.push(&v.to_le_bytes());
+    }
+
+    pub fn write_u32(&mut self, v: u32) {
+        self.align(4);
+        self.push(&v.to_le_bytes());
+    }
+
+    pub fn write_i32(&mut self, v: i32) {
+        self.align(4);
+        self.push(&v.to_le_bytes());
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.align(8);
+        self.push(&v.to_le_bytes());
+    }
+
+    pub fn write_i64(&mut self, v: i64) {
+        self.align(8);
+        self.push(&v.to_le_bytes());
+    }
+
+    pub fn write_f32(&mut self, v: f32) {
+        self.align(4);
+        self.push(&v.to_le_bytes());
+    }
+
+    pub fn write_f64(&mut self, v: f64) {
+        self.align(8);
+        self.push(&v.to_le_bytes());
+    }
+
+    /// CORBA string: u32 length including NUL, bytes, NUL.
+    pub fn write_string(&mut self, s: &str) {
+        self.write_u32(s.len() as u32 + 1);
+        self.push(s.as_bytes());
+        self.push(&[0]);
+    }
+
+    /// `sequence<octet>`: u32 length then raw bytes. Bulk payloads take
+    /// the strategy's fast path.
+    pub fn write_octet_seq(&mut self, data: Bytes) {
+        self.write_u32(data.len() as u32);
+        match self.strategy {
+            MarshalStrategy::ZeroCopy if data.len() >= ZERO_COPY_THRESHOLD => {
+                // Splice: flush the scratch buffer, then hand the bytes
+                // off by reference.
+                if !self.buf.is_empty() {
+                    let flushed = std::mem::take(&mut self.buf);
+                    self.out.push_segment(Bytes::from(flushed));
+                }
+                self.offset += data.len();
+                self.out.push_segment(data);
+            }
+            _ => {
+                self.push(&data);
+            }
+        }
+    }
+
+    /// `sequence<octet>` from a borrowed slice (always copies once).
+    pub fn write_octet_slice(&mut self, data: &[u8]) {
+        self.write_u32(data.len() as u32);
+        self.push(data);
+    }
+
+    /// `sequence<long>` (i32 elements).
+    pub fn write_i32_seq(&mut self, data: &[i32]) {
+        self.write_u32(data.len() as u32);
+        self.align(4);
+        for v in data {
+            self.push(&v.to_le_bytes());
+        }
+    }
+
+    /// `sequence<double>`.
+    pub fn write_f64_seq(&mut self, data: &[f64]) {
+        self.write_u32(data.len() as u32);
+        if !data.is_empty() {
+            self.align(8);
+            for v in data {
+                self.push(&v.to_le_bytes());
+            }
+        }
+    }
+
+    /// Finish and return the encoded payload.
+    pub fn finish(mut self) -> Payload {
+        if !self.buf.is_empty() {
+            let flushed = std::mem::take(&mut self.buf);
+            self.out.push_segment(Bytes::from(flushed));
+        }
+        self.out
+    }
+}
+
+/// CDR decoder over one contiguous buffer.
+pub struct CdrReader {
+    data: Bytes,
+    pos: usize,
+}
+
+impl CdrReader {
+    /// Build a reader over a payload.
+    ///
+    /// If the payload is multi-segment this performs the physical
+    /// gather-copy; metered paths account for it via the ORB profile's
+    /// unmarshalling charge.
+    pub fn new(payload: &Payload) -> Self {
+        CdrReader {
+            data: payload.to_contiguous(),
+            pos: 0,
+        }
+    }
+
+    pub fn from_bytes(data: Bytes) -> Self {
+        CdrReader { data, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn align(&mut self, to: usize) {
+        let pad = (to - (self.pos % to)) % to;
+        self.pos += pad;
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], OrbError> {
+        if self.pos + n > self.data.len() {
+            return Err(OrbError::Marshal(format!(
+                "short read: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.data.len() - self.pos.min(self.data.len())
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn read_u8(&mut self) -> Result<u8, OrbError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn read_bool(&mut self) -> Result<bool, OrbError> {
+        Ok(self.read_u8()? != 0)
+    }
+
+    pub fn read_u16(&mut self) -> Result<u16, OrbError> {
+        self.align(2);
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    pub fn read_u32(&mut self) -> Result<u32, OrbError> {
+        self.align(4);
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    pub fn read_i32(&mut self) -> Result<i32, OrbError> {
+        self.align(4);
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    pub fn read_u64(&mut self) -> Result<u64, OrbError> {
+        self.align(8);
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    pub fn read_i64(&mut self) -> Result<i64, OrbError> {
+        self.align(8);
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    pub fn read_f32(&mut self) -> Result<f32, OrbError> {
+        self.align(4);
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    pub fn read_f64(&mut self) -> Result<f64, OrbError> {
+        self.align(8);
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    pub fn read_string(&mut self) -> Result<String, OrbError> {
+        let len = self.read_u32()? as usize;
+        if len == 0 {
+            return Err(OrbError::Marshal("string with zero length".into()));
+        }
+        let bytes = self.take(len)?;
+        let (content, nul) = bytes.split_at(len - 1);
+        if nul != [0] {
+            return Err(OrbError::Marshal("string not NUL-terminated".into()));
+        }
+        String::from_utf8(content.to_vec())
+            .map_err(|_| OrbError::Marshal("string is not UTF-8".into()))
+    }
+
+    /// `sequence<octet>` without copying: slices the underlying buffer.
+    pub fn read_octet_seq(&mut self) -> Result<Bytes, OrbError> {
+        let len = self.read_u32()? as usize;
+        if self.pos + len > self.data.len() {
+            return Err(OrbError::Marshal(format!(
+                "octet sequence of {len} bytes overruns buffer"
+            )));
+        }
+        let s = self.data.slice(self.pos..self.pos + len);
+        self.pos += len;
+        Ok(s)
+    }
+
+    pub fn read_i32_seq(&mut self) -> Result<Vec<i32>, OrbError> {
+        let len = self.read_u32()? as usize;
+        if len != 0 {
+            self.align(4);
+        }
+        let bytes = self.take(len * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().expect("4")))
+            .collect())
+    }
+
+    pub fn read_f64_seq(&mut self) -> Result<Vec<f64>, OrbError> {
+        let len = self.read_u32()? as usize;
+        if len != 0 {
+            self.align(8);
+        }
+        let bytes = self.take(len * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8")))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(strategy: MarshalStrategy) {
+        let mut w = CdrWriter::new(strategy);
+        w.write_u8(7);
+        w.write_u32(0xdead_beef); // forces 3 bytes of padding
+        w.write_string("density");
+        w.write_f64(-2.5);
+        w.write_bool(true);
+        w.write_u64(u64::MAX - 1);
+        w.write_i32_seq(&[1, -2, 3]);
+        let payload = w.finish();
+
+        let mut r = CdrReader::new(&payload);
+        assert_eq!(r.read_u8().unwrap(), 7);
+        assert_eq!(r.read_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.read_string().unwrap(), "density");
+        assert_eq!(r.read_f64().unwrap(), -2.5);
+        assert!(r.read_bool().unwrap());
+        assert_eq!(r.read_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.read_i32_seq().unwrap(), vec![1, -2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_copying() {
+        roundtrip(MarshalStrategy::Copying);
+    }
+
+    #[test]
+    fn roundtrip_zero_copy() {
+        roundtrip(MarshalStrategy::ZeroCopy);
+    }
+
+    #[test]
+    fn alignment_is_relative_to_message_start() {
+        let mut w = CdrWriter::new(MarshalStrategy::Copying);
+        w.write_u8(1); // offset 1
+        w.write_u32(2); // pads to 4
+        assert_eq!(w.len(), 8);
+        w.write_u8(3); // offset 9
+        w.write_f64(4.0); // pads to 16
+        assert_eq!(w.len(), 24);
+    }
+
+    #[test]
+    fn zero_copy_splices_large_octet_sequences() {
+        let big = Bytes::from(vec![9u8; ZERO_COPY_THRESHOLD]);
+        let mut w = CdrWriter::new(MarshalStrategy::ZeroCopy);
+        w.write_u32(1);
+        w.write_octet_seq(big.clone());
+        w.write_u32(2);
+        let payload = w.finish();
+        assert!(
+            payload.segment_count() >= 3,
+            "header, spliced body, trailer: got {}",
+            payload.segment_count()
+        );
+        let mut r = CdrReader::new(&payload);
+        assert_eq!(r.read_u32().unwrap(), 1);
+        assert_eq!(r.read_octet_seq().unwrap(), big);
+        assert_eq!(r.read_u32().unwrap(), 2);
+    }
+
+    #[test]
+    fn copying_strategy_never_splices() {
+        let big = Bytes::from(vec![9u8; 1 << 16]);
+        let mut w = CdrWriter::new(MarshalStrategy::Copying);
+        w.write_octet_seq(big);
+        let payload = w.finish();
+        assert_eq!(payload.segment_count(), 1);
+    }
+
+    #[test]
+    fn small_octet_seq_is_inlined_even_zero_copy() {
+        let small = Bytes::from_static(b"tiny");
+        let mut w = CdrWriter::new(MarshalStrategy::ZeroCopy);
+        w.write_octet_seq(small.clone());
+        let payload = w.finish();
+        assert_eq!(payload.segment_count(), 1);
+        let mut r = CdrReader::new(&payload);
+        assert_eq!(r.read_octet_seq().unwrap(), small);
+    }
+
+    #[test]
+    fn alignment_continues_after_splice() {
+        // After a spliced odd-length sequence the global offset is odd;
+        // the next u32 must pad relative to the message start.
+        let odd = Bytes::from(vec![1u8; ZERO_COPY_THRESHOLD + 3]);
+        let mut w = CdrWriter::new(MarshalStrategy::ZeroCopy);
+        w.write_octet_seq(odd.clone());
+        w.write_u32(0xffff_0000);
+        let payload = w.finish();
+        let mut r = CdrReader::new(&payload);
+        assert_eq!(r.read_octet_seq().unwrap(), odd);
+        assert_eq!(r.read_u32().unwrap(), 0xffff_0000);
+    }
+
+    #[test]
+    fn short_reads_are_marshal_errors() {
+        let mut w = CdrWriter::new(MarshalStrategy::Copying);
+        w.write_u32(100); // claims a 100-element sequence
+        let payload = w.finish();
+        let mut r = CdrReader::new(&payload);
+        assert!(matches!(r.read_octet_seq(), Err(OrbError::Marshal(_))));
+
+        let mut r2 = CdrReader::from_bytes(Bytes::from_static(&[1, 2]));
+        assert!(matches!(r2.read_u64(), Err(OrbError::Marshal(_))));
+    }
+
+    #[test]
+    fn string_validation() {
+        // Missing NUL terminator.
+        let mut bad = CdrWriter::new(MarshalStrategy::Copying);
+        bad.write_u32(3);
+        bad.write_u8(b'h');
+        bad.write_u8(b'i');
+        bad.write_u8(b'!');
+        let mut r = CdrReader::new(&bad.finish());
+        assert!(matches!(r.read_string(), Err(OrbError::Marshal(_))));
+    }
+
+    #[test]
+    fn f64_seq_roundtrip_with_offset() {
+        let mut w = CdrWriter::new(MarshalStrategy::Copying);
+        w.write_u8(1); // knock alignment off
+        w.write_f64_seq(&[1.0, -2.0, 3.5]);
+        w.write_f64_seq(&[]);
+        let mut r = CdrReader::new(&w.finish());
+        assert_eq!(r.read_u8().unwrap(), 1);
+        assert_eq!(r.read_f64_seq().unwrap(), vec![1.0, -2.0, 3.5]);
+        assert_eq!(r.read_f64_seq().unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn read_octet_seq_is_zero_copy_slice() {
+        let mut w = CdrWriter::new(MarshalStrategy::Copying);
+        w.write_octet_slice(&[5u8; 64]);
+        let payload = w.finish();
+        let backing = payload.to_contiguous();
+        let mut r = CdrReader::from_bytes(backing.clone());
+        let seq = r.read_octet_seq().unwrap();
+        // A Bytes slice of the same buffer shares the allocation.
+        assert_eq!(seq.as_ptr(), backing[4..].as_ptr());
+    }
+}
+
+impl std::fmt::Debug for CdrReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CdrReader(pos {} of {} bytes)",
+            self.pos,
+            self.data.len()
+        )
+    }
+}
+
+impl std::fmt::Debug for CdrWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CdrWriter({} bytes, {:?})", self.offset, self.strategy)
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// An arbitrary CDR write sequence, mirrored as typed expectations.
+    #[derive(Debug, Clone)]
+    enum Item {
+        U8(u8),
+        U16(u16),
+        U32(u32),
+        I32(i32),
+        U64(u64),
+        I64(i64),
+        F64(f64),
+        Bool(bool),
+        Str(String),
+        Octets(Vec<u8>),
+        I32Seq(Vec<i32>),
+        F64Seq(Vec<f64>),
+    }
+
+    fn item_strategy() -> impl Strategy<Value = Item> {
+        prop_oneof![
+            any::<u8>().prop_map(Item::U8),
+            any::<u16>().prop_map(Item::U16),
+            any::<u32>().prop_map(Item::U32),
+            any::<i32>().prop_map(Item::I32),
+            any::<u64>().prop_map(Item::U64),
+            any::<i64>().prop_map(Item::I64),
+            any::<f64>()
+                .prop_filter("finite", |v| v.is_finite())
+                .prop_map(Item::F64),
+            any::<bool>().prop_map(Item::Bool),
+            "[a-zA-Z0-9 _-]{0,24}".prop_map(Item::Str),
+            proptest::collection::vec(any::<u8>(), 0..2048).prop_map(Item::Octets),
+            proptest::collection::vec(any::<i32>(), 0..32).prop_map(Item::I32Seq),
+            proptest::collection::vec(
+                any::<f64>().prop_filter("finite", |v| v.is_finite()),
+                0..32
+            )
+            .prop_map(Item::F64Seq),
+        ]
+    }
+
+    proptest! {
+        /// Any write sequence decodes back identically under both
+        /// marshalling strategies — the interoperability guarantee the
+        /// mixed-ORB grid depends on.
+        #[test]
+        fn any_sequence_roundtrips(
+            items in proptest::collection::vec(item_strategy(), 0..24),
+            zero_copy: bool,
+        ) {
+            let strategy = if zero_copy {
+                MarshalStrategy::ZeroCopy
+            } else {
+                MarshalStrategy::Copying
+            };
+            let mut w = CdrWriter::new(strategy);
+            for item in &items {
+                match item {
+                    Item::U8(v) => w.write_u8(*v),
+                    Item::U16(v) => w.write_u16(*v),
+                    Item::U32(v) => w.write_u32(*v),
+                    Item::I32(v) => w.write_i32(*v),
+                    Item::U64(v) => w.write_u64(*v),
+                    Item::I64(v) => w.write_i64(*v),
+                    Item::F64(v) => w.write_f64(*v),
+                    Item::Bool(v) => w.write_bool(*v),
+                    Item::Str(v) => w.write_string(v),
+                    Item::Octets(v) => w.write_octet_seq(Bytes::from(v.clone())),
+                    Item::I32Seq(v) => w.write_i32_seq(v),
+                    Item::F64Seq(v) => w.write_f64_seq(v),
+                }
+            }
+            let payload = w.finish();
+            let mut r = CdrReader::new(&payload);
+            for item in &items {
+                match item {
+                    Item::U8(v) => prop_assert_eq!(r.read_u8().unwrap(), *v),
+                    Item::U16(v) => prop_assert_eq!(r.read_u16().unwrap(), *v),
+                    Item::U32(v) => prop_assert_eq!(r.read_u32().unwrap(), *v),
+                    Item::I32(v) => prop_assert_eq!(r.read_i32().unwrap(), *v),
+                    Item::U64(v) => prop_assert_eq!(r.read_u64().unwrap(), *v),
+                    Item::I64(v) => prop_assert_eq!(r.read_i64().unwrap(), *v),
+                    Item::F64(v) => prop_assert_eq!(r.read_f64().unwrap(), *v),
+                    Item::Bool(v) => prop_assert_eq!(r.read_bool().unwrap(), *v),
+                    Item::Str(v) => prop_assert_eq!(&r.read_string().unwrap(), v),
+                    Item::Octets(v) => {
+                        prop_assert_eq!(r.read_octet_seq().unwrap(), Bytes::from(v.clone()))
+                    }
+                    Item::I32Seq(v) => prop_assert_eq!(&r.read_i32_seq().unwrap(), v),
+                    Item::F64Seq(v) => prop_assert_eq!(&r.read_f64_seq().unwrap(), v),
+                }
+            }
+            prop_assert_eq!(r.remaining(), 0);
+        }
+    }
+}

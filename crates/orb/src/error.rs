@@ -1,0 +1,71 @@
+//! ORB error types, loosely mirroring CORBA system exceptions.
+
+use padico_tm::TmError;
+use std::fmt;
+
+/// Errors raised by the ORB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrbError {
+    /// Transport failure (CORBA `COMM_FAILURE`).
+    CommFailure(TmError),
+    /// Marshalling/demarshalling failure (CORBA `MARSHAL`).
+    Marshal(String),
+    /// No servant for the object key (CORBA `OBJECT_NOT_EXIST`).
+    ObjectNotExist(String),
+    /// The servant does not implement the operation (CORBA `BAD_OPERATION`).
+    BadOperation(String),
+    /// Server-side failure surfaced to the client (CORBA system exception).
+    System(String),
+    /// Application-level exception raised by a servant (CORBA user
+    /// exception); carries the exception repository id.
+    User(String),
+    /// Malformed IOR string.
+    BadIor(String),
+}
+
+impl fmt::Display for OrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrbError::CommFailure(e) => write!(f, "COMM_FAILURE: {e}"),
+            OrbError::Marshal(what) => write!(f, "MARSHAL: {what}"),
+            OrbError::ObjectNotExist(what) => write!(f, "OBJECT_NOT_EXIST: {what}"),
+            OrbError::BadOperation(what) => write!(f, "BAD_OPERATION: {what}"),
+            OrbError::System(what) => write!(f, "system exception: {what}"),
+            OrbError::User(id) => write!(f, "user exception: {id}"),
+            OrbError::BadIor(what) => write!(f, "bad IOR: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OrbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OrbError::CommFailure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TmError> for OrbError {
+    fn from(e: TmError) -> Self {
+        OrbError::CommFailure(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_corba_exception_kinds() {
+        assert!(OrbError::Marshal("short read".into())
+            .to_string()
+            .starts_with("MARSHAL"));
+        assert!(OrbError::from(TmError::Closed)
+            .to_string()
+            .starts_with("COMM_FAILURE"));
+        assert!(OrbError::User("IDL:App/Overflow:1.0".into())
+            .to_string()
+            .contains("Overflow"));
+    }
+}

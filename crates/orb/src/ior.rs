@@ -1,0 +1,141 @@
+//! Interoperable Object References.
+//!
+//! An [`Ior`] names a CORBA object: the repository id of its interface
+//! plus a profile saying where it lives — grid node, ORB endpoint service
+//! name, and the object key the POA assigned. The stringified `IOR:<hex>`
+//! form is what deployment descriptors and naming exchanges carry, exactly
+//! as real CORBA tooling passes object references around as opaque
+//! strings.
+
+use bytes::Bytes;
+use padico_util::ids::NodeId;
+use std::fmt;
+
+use crate::cdr::{CdrReader, CdrWriter};
+use crate::error::OrbError;
+use crate::profile::MarshalStrategy;
+
+/// Key identifying one activated object within its POA.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ObjectKey(pub u64);
+
+impl fmt::Display for ObjectKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key{}", self.0)
+    }
+}
+
+/// An object reference.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ior {
+    /// Interface repository id, e.g. `"IDL:Coupling/Density:1.0"`.
+    pub type_id: String,
+    /// Grid node hosting the object.
+    pub node: NodeId,
+    /// VLink service name of the hosting ORB's endpoint.
+    pub endpoint: String,
+    /// POA object key.
+    pub key: ObjectKey,
+}
+
+impl Ior {
+    /// Encode to the stringified `IOR:<hex>` form.
+    pub fn stringify(&self) -> String {
+        let mut w = CdrWriter::new(MarshalStrategy::Copying);
+        w.write_string(&self.type_id);
+        w.write_u32(self.node.0);
+        w.write_string(&self.endpoint);
+        w.write_u64(self.key.0);
+        let bytes = w.finish().to_vec();
+        let mut s = String::with_capacity(4 + bytes.len() * 2);
+        s.push_str("IOR:");
+        for b in bytes {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Decode from the stringified form.
+    pub fn destringify(s: &str) -> Result<Ior, OrbError> {
+        let hex = s
+            .strip_prefix("IOR:")
+            .ok_or_else(|| OrbError::BadIor("missing IOR: prefix".into()))?;
+        if hex.len() % 2 != 0 {
+            return Err(OrbError::BadIor("odd hex length".into()));
+        }
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        for i in (0..hex.len()).step_by(2) {
+            let byte = u8::from_str_radix(&hex[i..i + 2], 16)
+                .map_err(|_| OrbError::BadIor(format!("bad hex at {i}")))?;
+            bytes.push(byte);
+        }
+        let mut r = CdrReader::from_bytes(Bytes::from(bytes));
+        let type_id = r.read_string()?;
+        let node = NodeId(r.read_u32()?);
+        let endpoint = r.read_string()?;
+        let key = ObjectKey(r.read_u64()?);
+        Ok(Ior {
+            type_id,
+            node,
+            endpoint,
+            key,
+        })
+    }
+}
+
+impl fmt::Display for Ior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @{}:{} ({})",
+            self.type_id, self.node, self.endpoint, self.key
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ior {
+        Ior {
+            type_id: "IDL:Coupling/Density:1.0".into(),
+            node: NodeId(3),
+            endpoint: "giop:orb0".into(),
+            key: ObjectKey(0xdead_beef_0001),
+        }
+    }
+
+    #[test]
+    fn stringify_roundtrip() {
+        let ior = sample();
+        let s = ior.stringify();
+        assert!(s.starts_with("IOR:"));
+        assert!(s[4..].chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(Ior::destringify(&s).unwrap(), ior);
+    }
+
+    #[test]
+    fn destringify_rejects_garbage() {
+        assert!(matches!(
+            Ior::destringify("not-an-ior"),
+            Err(OrbError::BadIor(_))
+        ));
+        assert!(matches!(
+            Ior::destringify("IOR:zz"),
+            Err(OrbError::BadIor(_))
+        ));
+        assert!(matches!(
+            Ior::destringify("IOR:abc"),
+            Err(OrbError::BadIor(_))
+        ));
+        // Valid hex but truncated CDR.
+        assert!(Ior::destringify("IOR:0102").is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let text = sample().to_string();
+        assert!(text.contains("Density") && text.contains("node3"), "{text}");
+    }
+}

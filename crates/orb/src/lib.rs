@@ -1,0 +1,43 @@
+//! # padico-orb
+//!
+//! A miniature CORBA ORB built from scratch — the reproduction's stand-in
+//! for the omniORB / Mico / ORBacus implementations the paper runs on top
+//! of PadicoTM. There is no CORBA ecosystem in Rust, so this crate
+//! reimplements the pieces Padico needs:
+//!
+//! * [`cdr`] — Common Data Representation marshalling (alignment rules,
+//!   primitives, strings, sequences) with **two strategies**: a copying
+//!   encoder (Mico/ORBacus always copy for marshalling and unmarshalling —
+//!   the paper's stated cause of their 4× bandwidth gap in Figure 7) and a
+//!   zero-copy encoder that hands large octet sequences off by reference
+//!   (omniORB's trick);
+//! * [`giop`] — the GIOP-style wire protocol: Request / Reply /
+//!   LocateRequest / LocateReply / CancelRequest / CloseConnection /
+//!   MessageError messages over a VLink stream (which may transparently
+//!   ride Myrinet — that is PadicoTM's contribution);
+//! * [`ior`] — interoperable object references naming (node, ORB
+//!   endpoint, object key), with a stringified `IOR:` form;
+//! * [`poa`] — a portable-object-adapter-style servant registry and
+//!   dispatcher;
+//! * [`profile`] — calibrated per-implementation cost profiles
+//!   (`OmniOrb3`, `OmniOrb4`, `Mico`, `Orbacus`, `JavaLike`) whose copy
+//!   counts and per-request overheads regenerate the paper's measured
+//!   curves;
+//! * [`orb`] — the ORB core: server loop, connection cache, request
+//!   builder (a dynamic-invocation interface that GridCCM's generated
+//!   proxies drive).
+
+pub mod cdr;
+pub mod error;
+pub mod esiop;
+pub mod giop;
+pub mod ior;
+pub mod orb;
+pub mod poa;
+pub mod profile;
+
+pub use error::OrbError;
+pub use ior::{Ior, ObjectKey};
+pub use orb::{ObjectRef, Orb, RequestBuilder};
+pub use poa::{Poa, Servant, ServerCtx};
+pub use profile::{MarshalStrategy, OrbProfile};

@@ -1,0 +1,278 @@
+//! SOAP envelopes: `<Envelope><Body><method>…</method></Body></Envelope>`.
+//!
+//! Values are encoded as `<param name="…" type="…">text</param>`
+//! children; binary payloads use a base64-like hex encoding (`type="hex"`)
+//! — self-describing and round-trippable through the minimal XML engine.
+
+use padico_util::xml::{self, Element};
+use std::fmt;
+
+/// A typed SOAP parameter or result value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SoapValue {
+    Str(String),
+    Int(i64),
+    Double(f64),
+    Bool(bool),
+    /// Binary payload (hex-encoded on the wire).
+    Bytes(Vec<u8>),
+}
+
+impl SoapValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            SoapValue::Str(_) => "string",
+            SoapValue::Int(_) => "int",
+            SoapValue::Double(_) => "double",
+            SoapValue::Bool(_) => "boolean",
+            SoapValue::Bytes(_) => "hex",
+        }
+    }
+
+    fn text(&self) -> String {
+        match self {
+            SoapValue::Str(s) => s.clone(),
+            SoapValue::Int(v) => v.to_string(),
+            SoapValue::Double(v) => {
+                // Round-trippable float formatting.
+                format!("{v:?}")
+            }
+            SoapValue::Bool(v) => v.to_string(),
+            SoapValue::Bytes(b) => {
+                let mut s = String::with_capacity(b.len() * 2);
+                for byte in b {
+                    s.push_str(&format!("{byte:02x}"));
+                }
+                s
+            }
+        }
+    }
+
+    fn parse(type_name: &str, text: &str) -> Result<SoapValue, Fault> {
+        let bad = || Fault::client(format!("bad {type_name} literal `{text}`"));
+        Ok(match type_name {
+            "string" => SoapValue::Str(text.to_string()),
+            "int" => SoapValue::Int(text.parse().map_err(|_| bad())?),
+            "double" => SoapValue::Double(text.parse().map_err(|_| bad())?),
+            "boolean" => SoapValue::Bool(text.parse().map_err(|_| bad())?),
+            "hex" => {
+                if !text.len().is_multiple_of(2) {
+                    return Err(bad());
+                }
+                let mut out = Vec::with_capacity(text.len() / 2);
+                for i in (0..text.len()).step_by(2) {
+                    out.push(u8::from_str_radix(&text[i..i + 2], 16).map_err(|_| bad())?);
+                }
+                SoapValue::Bytes(out)
+            }
+            other => return Err(Fault::client(format!("unknown type `{other}`"))),
+        })
+    }
+}
+
+/// A SOAP fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// `"Client"` or `"Server"` fault code.
+    pub code: String,
+    pub string: String,
+}
+
+impl Fault {
+    pub fn client(string: impl Into<String>) -> Fault {
+        Fault {
+            code: "Client".into(),
+            string: string.into(),
+        }
+    }
+
+    pub fn server(string: impl Into<String>) -> Fault {
+        Fault {
+            code: "Server".into(),
+            string: string.into(),
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SOAP fault ({}): {}", self.code, self.string)
+    }
+}
+
+impl std::error::Error for Fault {}
+
+fn params_element(tag: &str, params: &[(String, SoapValue)]) -> Element {
+    let mut el = Element::new(tag);
+    for (name, value) in params {
+        el = el.child(
+            Element::new("param")
+                .attr("name", name.clone())
+                .attr("type", value.type_name())
+                .with_text(value.text()),
+        );
+    }
+    el
+}
+
+fn parse_params(el: &Element) -> Result<Vec<(String, SoapValue)>, Fault> {
+    el.find_all("param")
+        .map(|p| {
+            let name = p
+                .get_attr("name")
+                .ok_or_else(|| Fault::client("param without name"))?
+                .to_string();
+            let type_name = p.get_attr("type").unwrap_or("string");
+            Ok((name, SoapValue::parse(type_name, &p.text)?))
+        })
+        .collect()
+}
+
+/// Encode a request envelope.
+pub fn encode_request(method: &str, params: &[(String, SoapValue)]) -> String {
+    Element::new("Envelope")
+        .child(Element::new("Body").child(params_element(method, params)))
+        .to_xml()
+}
+
+/// Encode a successful response envelope.
+pub fn encode_response(method: &str, results: &[(String, SoapValue)]) -> String {
+    Element::new("Envelope")
+        .child(Element::new("Body").child(params_element(&format!("{method}Response"), results)))
+        .to_xml()
+}
+
+/// Encode a fault envelope.
+pub fn encode_fault(fault: &Fault) -> String {
+    Element::new("Envelope")
+        .child(
+            Element::new("Body").child(
+                Element::new("Fault")
+                    .child(Element::new("faultcode").with_text(fault.code.clone()))
+                    .child(Element::new("faultstring").with_text(fault.string.clone())),
+            ),
+        )
+        .to_xml()
+}
+
+/// A decoded envelope body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decoded {
+    /// `(method, params)` — a request, or a response when the method name
+    /// ends with `Response`.
+    Call(String, Vec<(String, SoapValue)>),
+    Fault(Fault),
+}
+
+/// Decode any envelope.
+pub fn decode(text: &str) -> Result<Decoded, Fault> {
+    let root = xml::parse(text).map_err(|e| Fault::client(format!("bad XML: {e}")))?;
+    if root.name != "Envelope" {
+        return Err(Fault::client(format!("expected Envelope, got {}", root.name)));
+    }
+    let body = root
+        .find("Body")
+        .ok_or_else(|| Fault::client("Envelope without Body"))?;
+    if let Some(fault) = body.find("Fault") {
+        return Ok(Decoded::Fault(Fault {
+            code: fault.child_text("faultcode").unwrap_or("Server").to_string(),
+            string: fault
+                .child_text("faultstring")
+                .unwrap_or("unspecified")
+                .to_string(),
+        }));
+    }
+    let call = body
+        .children
+        .first()
+        .ok_or_else(|| Fault::client("empty Body"))?;
+    Ok(Decoded::Call(call.name.clone(), parse_params(call)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let params = vec![
+            ("x".to_string(), SoapValue::Int(-7)),
+            ("name".to_string(), SoapValue::Str("grid & co".into())),
+            ("rate".to_string(), SoapValue::Double(2.5)),
+            ("flag".to_string(), SoapValue::Bool(true)),
+            ("blob".to_string(), SoapValue::Bytes(vec![0, 255, 16])),
+        ];
+        let text = encode_request("simulate", &params);
+        match decode(&text).unwrap() {
+            Decoded::Call(method, got) => {
+                assert_eq!(method, "simulate");
+                assert_eq!(got, params);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_and_fault_roundtrip() {
+        let text = encode_response("simulate", &[("result".into(), SoapValue::Double(0.5))]);
+        match decode(&text).unwrap() {
+            Decoded::Call(method, results) => {
+                assert_eq!(method, "simulateResponse");
+                assert_eq!(results[0].1, SoapValue::Double(0.5));
+            }
+            other => panic!("{other:?}"),
+        }
+        let fault = Fault::server("solver exploded");
+        match decode(&encode_fault(&fault)).unwrap() {
+            Decoded::Fault(got) => assert_eq!(got, fault),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_envelopes_are_faults() {
+        assert!(decode("not xml").is_err());
+        assert!(decode("<Envelope/>").is_err());
+        assert!(decode("<Envelope><Body/></Envelope>").is_err());
+        assert!(decode("<Other><Body/></Other>").is_err());
+        // Bad literal.
+        let bad = r#"<Envelope><Body><m><param name="x" type="int">zap</param></m></Body></Envelope>"#;
+        assert!(decode(bad).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn values_roundtrip(i in any::<i64>(), d in any::<f64>().prop_filter("finite", |v| v.is_finite()), b in any::<bool>(), blob in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let params = vec![
+                ("i".to_string(), SoapValue::Int(i)),
+                ("d".to_string(), SoapValue::Double(d)),
+                ("b".to_string(), SoapValue::Bool(b)),
+                ("x".to_string(), SoapValue::Bytes(blob)),
+            ];
+            let text = encode_request("op", &params);
+            match decode(&text).unwrap() {
+                Decoded::Call(_, got) => prop_assert_eq!(got, params),
+                other => prop_assert!(false, "{:?}", other),
+            }
+        }
+
+        #[test]
+        fn strings_roundtrip(s in "[ -~]{0,64}") {
+            // Printable ASCII, including XML-special characters.
+            let params = vec![("s".to_string(), SoapValue::Str(s.clone()))];
+            let text = encode_request("op", &params);
+            match decode(&text).unwrap() {
+                Decoded::Call(_, got) => {
+                    // The XML layer trims surrounding whitespace of text
+                    // content, which SOAP tolerates.
+                    match &got[0].1 {
+                        SoapValue::Str(got_s) => prop_assert_eq!(got_s.trim(), s.trim()),
+                        other => prop_assert!(false, "{:?}", other),
+                    }
+                }
+                other => prop_assert!(false, "{:?}", other),
+            }
+        }
+    }
+}

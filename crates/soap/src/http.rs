@@ -1,0 +1,203 @@
+//! Minimal HTTP/1.0-style framing over a VLink byte stream.
+//!
+//! gSOAP speaks HTTP POST; this module reproduces the subset it needs:
+//! a request line, `Content-Length` and `SOAPAction` headers, a blank
+//! line, and the body. Responses carry a status line. Connections are
+//! keep-alive (one VLink, many request/response cycles), as gSOAP uses
+//! them on fast transports.
+
+use padico_tm::vlink::VLinkStream;
+use padico_tm::TmError;
+
+/// One parsed HTTP message (request or response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpMessage {
+    /// Request line or status line, e.g. `POST /solver HTTP/1.0`.
+    pub start_line: String,
+    /// `(name, value)` headers in arrival order (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpMessage {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(self.start_line.as_bytes());
+        out.extend_from_slice(b"\r\n");
+        for (name, value) in &self.headers {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(format!("content-length: {}\r\n\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Build a SOAP POST request.
+pub fn post(path: &str, action: &str, body: Vec<u8>) -> HttpMessage {
+    HttpMessage {
+        start_line: format!("POST {path} HTTP/1.0"),
+        headers: vec![
+            ("content-type".into(), "text/xml; charset=utf-8".into()),
+            ("soapaction".into(), format!("\"{action}\"")),
+        ],
+        body,
+    }
+}
+
+/// Build a `200 OK` response.
+pub fn ok(body: Vec<u8>) -> HttpMessage {
+    HttpMessage {
+        start_line: "HTTP/1.0 200 OK".into(),
+        headers: vec![("content-type".into(), "text/xml; charset=utf-8".into())],
+        body,
+    }
+}
+
+/// Build a `500` response (SOAP faults travel with status 500).
+pub fn server_error(body: Vec<u8>) -> HttpMessage {
+    HttpMessage {
+        start_line: "HTTP/1.0 500 Internal Server Error".into(),
+        headers: vec![("content-type".into(), "text/xml; charset=utf-8".into())],
+        body,
+    }
+}
+
+/// Write one message to the stream.
+pub fn write_message(stream: &VLinkStream, msg: &HttpMessage) -> Result<(), TmError> {
+    stream.write_all(&msg.serialize())
+}
+
+/// Read one message from the stream; `Ok(None)` at end-of-stream.
+pub fn read_message(stream: &VLinkStream) -> Result<Option<HttpMessage>, TmError> {
+    // Read the head byte-by-byte until the blank line (the head is tiny;
+    // the body is read in one exact chunk).
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            if head.is_empty() {
+                return Ok(None);
+            }
+            return Err(TmError::Protocol("stream closed inside HTTP head".into()));
+        }
+        head.push(byte[0]);
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > 16 << 10 {
+            return Err(TmError::Protocol("HTTP head too large".into()));
+        }
+    }
+    let head_text = String::from_utf8(head)
+        .map_err(|_| TmError::Protocol("HTTP head is not UTF-8".into()))?;
+    let mut lines = head_text.split("\r\n");
+    let start_line = lines
+        .next()
+        .filter(|l| !l.is_empty())
+        .ok_or_else(|| TmError::Protocol("empty HTTP head".into()))?
+        .to_string();
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| TmError::Protocol(format!("bad header line `{line}`")))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| TmError::Protocol("bad content-length".into()))?;
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Some(HttpMessage {
+        start_line,
+        headers,
+        body,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use padico_fabric::topology::single_cluster;
+    use padico_tm::runtime::PadicoTM;
+    use padico_tm::selector::FabricChoice;
+    use std::sync::Arc;
+
+    fn stream_pair() -> (VLinkStream, VLinkStream) {
+        let (topo, _ids) = single_cluster(2);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let listener = tms[1].vlink_listen("http").unwrap();
+        let t = std::thread::spawn(move || listener.accept().unwrap());
+        let client = tms[0]
+            .vlink_connect(tms[1].node(), "http", FabricChoice::Auto)
+            .unwrap();
+        let server = t.join().unwrap();
+        // Keep the runtimes alive with the streams.
+        std::mem::forget(tms);
+        (client, server)
+    }
+
+    #[test]
+    fn post_roundtrip_over_vlink() {
+        let (client, server) = stream_pair();
+        let msg = post("/solver", "simulate", b"<Envelope/>".to_vec());
+        write_message(&client, &msg).unwrap();
+        let got = read_message(&server).unwrap().unwrap();
+        assert_eq!(got.start_line, "POST /solver HTTP/1.0");
+        assert_eq!(got.header("soapaction"), Some("\"simulate\""));
+        assert_eq!(got.header("content-length"), Some("11"));
+        assert_eq!(got.body, b"<Envelope/>");
+        // Response direction.
+        write_message(&server, &ok(b"<Envelope/>".to_vec())).unwrap();
+        let reply = read_message(&client).unwrap().unwrap();
+        assert!(reply.start_line.contains("200 OK"));
+    }
+
+    #[test]
+    fn keepalive_many_cycles() {
+        let (client, server) = stream_pair();
+        for i in 0..5u8 {
+            write_message(&client, &post("/s", "op", vec![i; i as usize])).unwrap();
+            let got = read_message(&server).unwrap().unwrap();
+            assert_eq!(got.body.len(), i as usize);
+            write_message(&server, &ok(vec![i])).unwrap();
+            assert_eq!(read_message(&client).unwrap().unwrap().body, vec![i]);
+        }
+    }
+
+    #[test]
+    fn eof_yields_none() {
+        let (client, server) = stream_pair();
+        client.close().unwrap();
+        assert_eq!(read_message(&server).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_body_allowed() {
+        let (client, server) = stream_pair();
+        write_message(&client, &post("/s", "ping", vec![])).unwrap();
+        let got = read_message(&server).unwrap().unwrap();
+        assert!(got.body.is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! # padico-soap
+//!
+//! A gSOAP-style SOAP/HTTP middleware running on PadicoTM — the paper's
+//! §4.3.4 reports that "the SOAP implementation gSOAP has also been
+//! seamlessly used on top of PadicoTM". Like the original, this stack
+//! drives a plain byte-stream socket API; here that is the VLink
+//! abstraction, so SOAP traffic transparently rides whatever fabric the
+//! selector picks (including, cross-paradigm, the Myrinet SAN).
+//!
+//! * [`envelope`] — SOAP-envelope encoding/decoding over the minimal XML
+//!   engine (typed params, faults);
+//! * [`http`] — HTTP/1.0-style POST framing over a VLink byte stream
+//!   (request line, `Content-Length`, `SOAPAction`);
+//! * [`rpc`] — the server ([`rpc::SoapServer`]) and client
+//!   ([`rpc::SoapClient`]), plus the loadable [`rpc::SoapModule`].
+
+pub mod envelope;
+pub mod http;
+pub mod rpc;
+
+pub use envelope::{Fault, SoapValue};
+pub use rpc::{SoapClient, SoapModule, SoapServer};

@@ -1,0 +1,522 @@
+//! The arbitration layer — PadicoTM's single, multiplexed entry point to
+//! the network hardware of one node.
+//!
+//! In the paper (§4.3.1), access to high-performance networks is the most
+//! conflict-prone part of multi-middleware processes: exclusive-access
+//! hardware (Myrinet through BIP), limited physical resources (SCI
+//! mappings), incompatible polling loops and thread policies. The
+//! arbitration layer fixes this by being **the only client** of the
+//! low-level drivers: it attaches exactly once per node to every fabric,
+//! multiplexes an arbitrary number of *logical channels* over each
+//! attachment, and runs a **single cooperative I/O loop** per node that
+//! interleaves progress for all paradigms instead of letting middleware
+//! systems spin competing polling threads.
+//!
+//! Middleware (and the abstraction layer) interact with [`NetAccess`]:
+//!
+//! * [`NetAccess::subscribe`] — claim a logical channel and get a
+//!   [`ChannelRx`] from which to receive messages targeted at it;
+//! * [`NetAccess::send`] — transmit on a chosen fabric to a peer node's
+//!   arbitration layer, tagged with a channel id.
+//!
+//! Messages that arrive before their channel is subscribed are parked, so
+//! higher layers need no rendezvous dance at startup.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Select, Sender};
+use padico_fabric::{EndpointAddr, FabricEndpoint, Message, Payload, SimFabric, Topology};
+use padico_util::ids::{ChannelId, FabricId, IdGen, NodeId};
+use padico_util::simtime::SimClock;
+use padico_util::{trace_info, trace_warn};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::error::TmError;
+
+/// Well-known fabric service port where every node's arbitration layer
+/// listens. Raw fabric clients use other ports (or fail to attach at all on
+/// exclusive hardware — that is the conflict PadicoTM exists to solve).
+pub const TM_SERVICE_PORT: u16 = 1;
+
+/// Process-wide generator for logical channel ids. The whole simulated
+/// grid lives in one OS process, so these are grid-unique.
+static CHANNEL_IDS: IdGen = IdGen::new();
+
+/// Allocate a fresh, grid-unique logical channel id.
+pub fn fresh_channel() -> ChannelId {
+    ChannelId(CHANNEL_IDS.next())
+}
+
+/// Derive a well-known channel id from a service name (both sides of a
+/// rendezvous can compute it independently). Uses FNV-1a in a private
+/// high range so it cannot collide with [`fresh_channel`] allocations.
+pub fn named_channel(name: &str) -> ChannelId {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    ChannelId(h | (1 << 63))
+}
+
+enum ChannelEntry {
+    /// A subscriber is listening.
+    Live(Sender<Message>),
+    /// No subscriber yet; messages are parked.
+    Parked(Vec<Message>),
+}
+
+#[derive(Default)]
+struct ChannelTable {
+    entries: HashMap<ChannelId, ChannelEntry>,
+}
+
+impl ChannelTable {
+    fn dispatch(&mut self, channel: ChannelId, msg: Message) {
+        match self.entries.get(&channel) {
+            Some(ChannelEntry::Live(tx)) => {
+                if tx.send(msg).is_err() {
+                    // Subscriber dropped without unsubscribing; repark.
+                    self.entries.insert(channel, ChannelEntry::Parked(vec![]));
+                }
+            }
+            Some(ChannelEntry::Parked(_)) => {
+                if let Some(ChannelEntry::Parked(v)) = self.entries.get_mut(&channel) {
+                    v.push(msg);
+                }
+            }
+            None => {
+                self.entries.insert(channel, ChannelEntry::Parked(vec![msg]));
+            }
+        }
+    }
+}
+
+/// Receiving side of a subscribed logical channel.
+pub struct ChannelRx {
+    channel: ChannelId,
+    rx: Receiver<Message>,
+    table: Arc<Mutex<ChannelTable>>,
+}
+
+impl ChannelRx {
+    pub fn channel(&self) -> ChannelId {
+        self.channel
+    }
+
+    /// Blocking receive; merges `clock` to the message arrival time and
+    /// charges the receive cost.
+    pub fn recv(&self, clock: &SimClock) -> Result<Message, TmError> {
+        let msg = self.rx.recv().map_err(|_| TmError::Closed)?;
+        msg.deliver(clock);
+        Ok(msg)
+    }
+
+    /// Blocking receive with a wall-clock timeout (used for handshakes so a
+    /// missing peer cannot hang the process).
+    pub fn recv_timeout(&self, clock: &SimClock, timeout: Duration) -> Result<Message, TmError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(msg) => {
+                msg.deliver(clock);
+                Ok(msg)
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                Err(TmError::Timeout(format!("recv on {}", self.channel)))
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(TmError::Closed),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self, clock: &SimClock) -> Result<Option<Message>, TmError> {
+        match self.rx.try_recv() {
+            Ok(msg) => {
+                msg.deliver(clock);
+                Ok(Some(msg))
+            }
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(TmError::Closed),
+        }
+    }
+
+    /// Receive without charging any clock (forwarding layers).
+    pub fn recv_raw(&self) -> Result<Message, TmError> {
+        self.rx.recv().map_err(|_| TmError::Closed)
+    }
+}
+
+impl Drop for ChannelRx {
+    fn drop(&mut self) {
+        let mut table = self.table.lock();
+        table.entries.remove(&self.channel);
+    }
+}
+
+struct Attachment {
+    fabric: Arc<SimFabric>,
+    endpoint: Arc<FabricEndpoint>,
+}
+
+/// The arbitration layer of one node.
+pub struct NetAccess {
+    node: NodeId,
+    clock: SimClock,
+    attachments: Vec<Attachment>,
+    table: Arc<Mutex<ChannelTable>>,
+    shutdown_tx: Sender<()>,
+    io_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl NetAccess {
+    /// Attach to every fabric `node` is wired to and start the node's
+    /// cooperative I/O loop.
+    ///
+    /// Fails with [`TmError::Fabric`] if some exclusive NIC is already held
+    /// by a raw client — the very conflict the paper describes.
+    pub fn bring_up(
+        topology: &Topology,
+        node: NodeId,
+        clock: SimClock,
+    ) -> Result<Arc<NetAccess>, TmError> {
+        let mut attachments = Vec::new();
+        for fabric in topology.fabrics_of(node) {
+            let endpoint = fabric.attach_service(node, TM_SERVICE_PORT, "PadicoTM")?;
+            // On mapping-table hardware, the arbitration layer owns the
+            // table and maps the whole member set up front (it is the
+            // single client, so the table is not fragmented by competing
+            // middleware).
+            if fabric.requires_mapping() {
+                for &peer in fabric.members() {
+                    if peer != node {
+                        // Best effort: a table smaller than the member set
+                        // degrades to on-demand mapping at send time.
+                        if fabric.map_remote(node, peer).is_err() {
+                            trace_warn!(
+                                "tm.arbitration",
+                                "{node}: SCI mapping table too small for all peers"
+                            );
+                            break;
+                        }
+                    }
+                }
+            }
+            trace_info!(
+                "tm.arbitration",
+                "{node}: attached {} ({})",
+                fabric.id(),
+                fabric.model().name
+            );
+            attachments.push(Attachment {
+                fabric,
+                endpoint: Arc::new(endpoint),
+            });
+        }
+        let table = Arc::new(Mutex::new(ChannelTable::default()));
+        let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
+
+        // The single cooperative I/O loop: one thread selects over every
+        // fabric inbox of this node and demultiplexes by channel id.
+        let inboxes: Vec<Receiver<Message>> = attachments
+            .iter()
+            .map(|a| a.endpoint.inbox_handle())
+            .collect();
+        let table_for_io = Arc::clone(&table);
+        let io_thread = std::thread::Builder::new()
+            .name(format!("padico-io-{node}"))
+            .spawn(move || {
+                io_loop(inboxes, shutdown_rx, table_for_io);
+            })
+            .expect("spawn io thread");
+
+        Ok(Arc::new(NetAccess {
+            node,
+            clock,
+            attachments,
+            table,
+            shutdown_tx,
+            io_thread: Mutex::new(Some(io_thread)),
+        }))
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Fabrics this node's arbitration layer is attached to.
+    pub fn fabrics(&self) -> Vec<Arc<SimFabric>> {
+        self.attachments
+            .iter()
+            .map(|a| Arc::clone(&a.fabric))
+            .collect()
+    }
+
+    /// Subscribe a logical channel; parked messages (if any) are replayed
+    /// into the returned receiver in arrival order.
+    pub fn subscribe(&self, channel: ChannelId) -> Result<ChannelRx, TmError> {
+        let (tx, rx) = unbounded();
+        let mut table = self.table.lock();
+        match table.entries.get_mut(&channel) {
+            Some(ChannelEntry::Live(_)) => {
+                return Err(TmError::Protocol(format!(
+                    "channel {channel} already subscribed on {}",
+                    self.node
+                )))
+            }
+            Some(ChannelEntry::Parked(parked)) => {
+                for msg in parked.drain(..) {
+                    let _ = tx.send(msg);
+                }
+            }
+            None => {}
+        }
+        table.entries.insert(channel, ChannelEntry::Live(tx));
+        Ok(ChannelRx {
+            channel,
+            rx,
+            table: Arc::clone(&self.table),
+        })
+    }
+
+    /// Send `payload` on logical `channel` to the arbitration layer of
+    /// `dst` over the given fabric, charging this node's clock.
+    pub fn send(
+        &self,
+        fabric: FabricId,
+        dst: NodeId,
+        channel: ChannelId,
+        payload: Payload,
+    ) -> Result<(), TmError> {
+        let att = self
+            .attachments
+            .iter()
+            .find(|a| a.fabric.id() == fabric)
+            .ok_or_else(|| TmError::NoUsableFabric(format!("{fabric} not attached")))?;
+        att.endpoint
+            .send(
+                &self.clock,
+                EndpointAddr {
+                    node: dst,
+                    port: TM_SERVICE_PORT,
+                },
+                channel,
+                payload,
+            )
+            .map_err(TmError::from)
+    }
+
+    /// Loopback optimization: a message to the local node skips the wire
+    /// and is dispatched directly (charged a small constant by the caller
+    /// if desired).
+    pub fn send_local(&self, channel: ChannelId, payload: Payload) {
+        let msg = Message {
+            src: EndpointAddr {
+                node: self.node,
+                port: TM_SERVICE_PORT,
+            },
+            channel,
+            arrival: self.clock.now(),
+            recv_cost: 0,
+            payload,
+        };
+        self.table.lock().dispatch(channel, msg);
+    }
+
+    /// Tear down the I/O loop and release all NICs. Idempotent; also runs
+    /// on drop.
+    pub fn shutdown(&self) {
+        let _ = self.shutdown_tx.send(());
+        if let Some(handle) = self.io_thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetAccess {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn io_loop(
+    inboxes: Vec<Receiver<Message>>,
+    shutdown: Receiver<()>,
+    table: Arc<Mutex<ChannelTable>>,
+) {
+    let mut select = Select::new();
+    for rx in &inboxes {
+        select.recv(rx);
+    }
+    let shutdown_idx = select.recv(&shutdown);
+    loop {
+        let op = select.select();
+        let idx = op.index();
+        if idx == shutdown_idx {
+            let _ = op.recv(&shutdown);
+            return;
+        }
+        match op.recv(&inboxes[idx]) {
+            Ok(msg) => {
+                let channel = msg.channel;
+                table.lock().dispatch(channel, msg);
+            }
+            Err(_) => {
+                // The endpoint vanished (process teardown); without a
+                // rebuildable select list the simplest correct behaviour
+                // is to stop serving this node.
+                return;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for NetAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "NetAccess({} over {} fabrics)",
+            self.node,
+            self.attachments.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use padico_fabric::topology::single_cluster;
+    use padico_fabric::FabricKind;
+
+    fn myrinet_id(net: &NetAccess) -> FabricId {
+        net.fabrics()
+            .iter()
+            .find(|f| f.kind() == FabricKind::Myrinet)
+            .unwrap()
+            .id()
+    }
+
+    #[test]
+    fn bring_up_attaches_all_fabrics() {
+        let (topo, ids) = single_cluster(2);
+        let net = NetAccess::bring_up(&topo, ids[0], SimClock::new()).unwrap();
+        assert_eq!(net.fabrics().len(), 3);
+        assert_eq!(net.node(), ids[0]);
+    }
+
+    #[test]
+    fn messages_are_demultiplexed_by_channel() {
+        let (topo, ids) = single_cluster(2);
+        let a = NetAccess::bring_up(&topo, ids[0], SimClock::new()).unwrap();
+        let b = NetAccess::bring_up(&topo, ids[1], SimClock::new()).unwrap();
+        let ch1 = fresh_channel();
+        let ch2 = fresh_channel();
+        let rx1 = b.subscribe(ch1).unwrap();
+        let rx2 = b.subscribe(ch2).unwrap();
+        let fid = myrinet_id(&a);
+        a.send(fid, ids[1], ch2, Payload::from_vec(vec![2])).unwrap();
+        a.send(fid, ids[1], ch1, Payload::from_vec(vec![1])).unwrap();
+        let clock = b.clock().clone();
+        assert_eq!(rx1.recv(&clock).unwrap().payload.to_vec(), vec![1]);
+        assert_eq!(rx2.recv(&clock).unwrap().payload.to_vec(), vec![2]);
+    }
+
+    #[test]
+    fn early_messages_are_parked_until_subscription() {
+        let (topo, ids) = single_cluster(2);
+        let a = NetAccess::bring_up(&topo, ids[0], SimClock::new()).unwrap();
+        let b = NetAccess::bring_up(&topo, ids[1], SimClock::new()).unwrap();
+        let ch = fresh_channel();
+        let fid = myrinet_id(&a);
+        a.send(fid, ids[1], ch, Payload::from_vec(vec![42])).unwrap();
+        // Give the I/O loop a moment to park it.
+        std::thread::sleep(Duration::from_millis(20));
+        let rx = b.subscribe(ch).unwrap();
+        let msg = rx.recv(b.clock()).unwrap();
+        assert_eq!(msg.payload.to_vec(), vec![42]);
+    }
+
+    #[test]
+    fn double_subscribe_is_rejected() {
+        let (topo, ids) = single_cluster(1);
+        let net = NetAccess::bring_up(&topo, ids[0], SimClock::new()).unwrap();
+        let ch = fresh_channel();
+        let _rx = net.subscribe(ch).unwrap();
+        assert!(matches!(net.subscribe(ch), Err(TmError::Protocol(_))));
+    }
+
+    #[test]
+    fn unsubscribe_on_drop_allows_resubscription() {
+        let (topo, ids) = single_cluster(1);
+        let net = NetAccess::bring_up(&topo, ids[0], SimClock::new()).unwrap();
+        let ch = fresh_channel();
+        drop(net.subscribe(ch).unwrap());
+        assert!(net.subscribe(ch).is_ok());
+    }
+
+    #[test]
+    fn send_local_skips_the_wire() {
+        let (topo, ids) = single_cluster(1);
+        let net = NetAccess::bring_up(&topo, ids[0], SimClock::new()).unwrap();
+        let ch = fresh_channel();
+        let rx = net.subscribe(ch).unwrap();
+        let before = net.clock().now();
+        net.send_local(ch, Payload::from_vec(vec![9, 9]));
+        let msg = rx.recv(net.clock()).unwrap();
+        assert_eq!(msg.payload.to_vec(), vec![9, 9]);
+        assert_eq!(net.clock().now(), before, "local dispatch is free");
+    }
+
+    #[test]
+    fn raw_client_conflicts_with_tm_on_exclusive_nic() {
+        let (topo, ids) = single_cluster(2);
+        let myrinet = topo
+            .fabrics()
+            .iter()
+            .find(|f| f.kind() == FabricKind::Myrinet)
+            .unwrap()
+            .clone();
+        // A raw middleware grabs the NIC first...
+        let raw = myrinet.attach(ids[0], "raw-mpi").unwrap();
+        // ...so PadicoTM cannot bring the node up.
+        let err = NetAccess::bring_up(&topo, ids[0], SimClock::new()).unwrap_err();
+        assert!(matches!(err, TmError::Fabric(_)), "{err}");
+        drop(raw);
+        // Once the raw client releases the NIC, PadicoTM owns it and any
+        // *second* raw client is refused while TM multiplexes fine.
+        let _net = NetAccess::bring_up(&topo, ids[0], SimClock::new()).unwrap();
+        assert!(myrinet.attach(ids[0], "raw-corba").is_err());
+    }
+
+    #[test]
+    fn recv_timeout_reports_timeout() {
+        let (topo, ids) = single_cluster(1);
+        let net = NetAccess::bring_up(&topo, ids[0], SimClock::new()).unwrap();
+        let rx = net.subscribe(fresh_channel()).unwrap();
+        let err = rx
+            .recv_timeout(net.clock(), Duration::from_millis(10))
+            .unwrap_err();
+        assert!(matches!(err, TmError::Timeout(_)));
+    }
+
+    #[test]
+    fn named_channels_are_stable_and_distinct() {
+        assert_eq!(named_channel("orb"), named_channel("orb"));
+        assert_ne!(named_channel("orb"), named_channel("mpi"));
+        // Named channels live in the high range, fresh ones in the low.
+        assert!(named_channel("x").0 >= (1 << 63));
+        assert!(fresh_channel().0 < (1 << 63));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let (topo, ids) = single_cluster(1);
+        let net = NetAccess::bring_up(&topo, ids[0], SimClock::new()).unwrap();
+        net.shutdown();
+        net.shutdown();
+    }
+}

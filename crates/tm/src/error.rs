@@ -1,0 +1,75 @@
+//! PadicoTM error types.
+
+use padico_fabric::FabricError;
+use padico_util::ids::NodeId;
+use std::fmt;
+
+/// Errors raised by the PadicoTM runtime layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TmError {
+    /// Underlying fabric refused the operation.
+    Fabric(FabricError),
+    /// No fabric connects this pair of nodes (routing failure).
+    NoRoute { from: NodeId, to: NodeId },
+    /// No fabric satisfies the requested constraint (e.g. an explicit
+    /// fabric kind that does not connect the group).
+    NoUsableFabric(String),
+    /// Timed out waiting for a peer (connect, handshake, recv with
+    /// deadline).
+    Timeout(String),
+    /// The channel/stream/endpoint has been closed.
+    Closed,
+    /// Module management error (missing dependency, duplicate load, …).
+    Module(String),
+    /// Protocol violation detected while parsing a runtime header.
+    Protocol(String),
+}
+
+impl fmt::Display for TmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmError::Fabric(e) => write!(f, "fabric error: {e}"),
+            TmError::NoRoute { from, to } => write!(f, "no fabric connects {from} to {to}"),
+            TmError::NoUsableFabric(what) => write!(f, "no usable fabric: {what}"),
+            TmError::Timeout(what) => write!(f, "timed out: {what}"),
+            TmError::Closed => write!(f, "closed"),
+            TmError::Module(what) => write!(f, "module error: {what}"),
+            TmError::Protocol(what) => write!(f, "protocol error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TmError::Fabric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FabricError> for TmError {
+    fn from(e: FabricError) -> Self {
+        TmError::Fabric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = TmError::from(FabricError::Closed);
+        assert!(e.to_string().contains("fabric error"));
+        assert!(e.source().is_some());
+        assert!(TmError::NoRoute {
+            from: NodeId(0),
+            to: NodeId(3)
+        }
+        .to_string()
+        .contains("node3"));
+        assert!(TmError::Timeout("connect".into()).source().is_none());
+    }
+}

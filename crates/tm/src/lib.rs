@@ -1,0 +1,45 @@
+//! # padico-tm — the PadicoTM communication runtime
+//!
+//! PadicoTM is the paper's answer to running several middleware systems
+//! (CORBA, MPI, SOAP, …) *in the same process* over heterogeneous grid
+//! networks without conflicts. It is a three-level runtime
+//! (paper §4.3, Figure 6):
+//!
+//! 1. **Arbitration layer** ([`arbitration`]) — the *only* client of the
+//!    low-level network resources. It attaches once per node to every
+//!    fabric, multiplexes logical channels over each attachment, and runs a
+//!    single coherent I/O loop per node so that concurrent middleware
+//!    polling loops cooperate instead of competing.
+//! 2. **Abstraction layer** ([`circuit`], [`vlink`], [`selector`]) — two
+//!    paradigm-true interfaces offered on top of *every* arbitrated
+//!    driver: [`circuit::Circuit`] (parallel-oriented: static group,
+//!    logical ranks, messages) and [`vlink::VLinkStream`]
+//!    (distributed-oriented: dynamic streams). Mappings can be *straight*
+//!    (Circuit on Myrinet) or *cross-paradigm* (VLink on Myrinet, Circuit
+//!    on sockets); the [`selector`] picks the best fabric automatically
+//!    and transparently.
+//! 3. **Personality layer** ([`personality`]) — thin syntax adapters that
+//!    make Circuit look like Madeleine or FastMessages and VLink look like
+//!    BSD sockets or POSIX AIO, so legacy middleware ports run unchanged.
+//!
+//! Middleware systems themselves are dynamically loadable [`module`]s.
+//!
+//! Entry point: [`runtime::PadicoTM`], one instance per grid node.
+
+pub mod arbitration;
+pub mod circuit;
+pub mod error;
+pub mod module;
+pub mod personality;
+pub mod runtime;
+pub mod security;
+pub mod selector;
+pub mod vlink;
+
+pub use arbitration::{ChannelRx, NetAccess, TM_SERVICE_PORT};
+pub use circuit::{Circuit, CircuitSpec};
+pub use error::TmError;
+pub use module::{ModuleManager, PadicoModule};
+pub use runtime::PadicoTM;
+pub use selector::{FabricChoice, Route};
+pub use vlink::{VLinkListener, VLinkStream};

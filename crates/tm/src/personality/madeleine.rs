@@ -1,0 +1,214 @@
+//! Madeleine personality: iovec-style message building over Circuit.
+//!
+//! Madeleine's API builds a message from several `pack` calls, each with a
+//! send mode, then flushes it as one network message; the receiver mirrors
+//! the sequence with `unpack` calls. The two modes that matter for
+//! performance are kept:
+//!
+//! * [`SendMode::CheaperSide`] (Madeleine's `send_CHEAPER`) — the segment
+//!   is handed off by reference, zero-copy;
+//! * [`SendMode::SaferSide`] (`send_SAFER`) — the segment is copied at
+//!   pack time so the caller may reuse its buffer immediately; the copy is
+//!   charged to the node clock.
+
+use bytes::Bytes;
+use padico_fabric::model::charge_copy;
+use padico_fabric::Payload;
+
+use crate::circuit::Circuit;
+use crate::error::TmError;
+
+/// Madeleine send modes (subset).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SendMode {
+    /// Zero-copy hand-off; caller must not mutate the buffer afterwards.
+    CheaperSide,
+    /// Copy at pack time; caller may immediately reuse the buffer.
+    SaferSide,
+}
+
+/// An in-progress outgoing Madeleine message.
+pub struct PackingConnection<'a> {
+    circuit: &'a Circuit,
+    dst_rank: usize,
+    payload: Payload,
+}
+
+impl<'a> PackingConnection<'a> {
+    /// Append one segment.
+    pub fn pack(&mut self, data: &[u8], mode: SendMode) {
+        match mode {
+            SendMode::SaferSide => {
+                charge_copy(self.circuit.clock(), data.len());
+                self.payload.push_segment(Bytes::copy_from_slice(data));
+            }
+            SendMode::CheaperSide => {
+                // `&[u8]` cannot be handed off without a copy across
+                // threads; callers with owned buffers should use
+                // `pack_bytes`. The copy is still charged honestly.
+                charge_copy(self.circuit.clock(), data.len());
+                self.payload.push_segment(Bytes::copy_from_slice(data));
+            }
+        }
+    }
+
+    /// Append an owned segment zero-copy (the idiomatic CHEAPER path).
+    pub fn pack_bytes(&mut self, data: Bytes) {
+        self.payload.push_segment(data);
+    }
+
+    /// Flush the accumulated segments as one circuit message.
+    pub fn end_packing(self) -> Result<(), TmError> {
+        self.circuit.send(self.dst_rank, 0, self.payload)
+    }
+}
+
+/// An in-progress incoming Madeleine message.
+pub struct UnpackingConnection {
+    src_rank: u32,
+    remaining: Vec<u8>,
+    cursor: usize,
+}
+
+impl UnpackingConnection {
+    /// Rank the message came from.
+    pub fn src_rank(&self) -> u32 {
+        self.src_rank
+    }
+
+    /// Extract the next `buf.len()` bytes of the message.
+    pub fn unpack(&mut self, buf: &mut [u8]) -> Result<(), TmError> {
+        let end = self.cursor + buf.len();
+        if end > self.remaining.len() {
+            return Err(TmError::Protocol(format!(
+                "unpack of {} bytes overruns message ({} left)",
+                buf.len(),
+                self.remaining.len() - self.cursor
+            )));
+        }
+        buf.copy_from_slice(&self.remaining[self.cursor..end]);
+        self.cursor = end;
+        Ok(())
+    }
+
+    /// Bytes not yet unpacked.
+    pub fn remaining_len(&self) -> usize {
+        self.remaining.len() - self.cursor
+    }
+
+    /// Finish; fails if the unpack sequence did not mirror the pack
+    /// sequence exactly (Madeleine requires symmetry).
+    pub fn end_unpacking(self) -> Result<(), TmError> {
+        if self.cursor != self.remaining.len() {
+            return Err(TmError::Protocol(format!(
+                "end_unpacking with {} bytes left",
+                self.remaining.len() - self.cursor
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The Madeleine personality over one circuit.
+pub struct MadChannel<'a> {
+    circuit: &'a Circuit,
+}
+
+impl<'a> MadChannel<'a> {
+    pub fn new(circuit: &'a Circuit) -> Self {
+        MadChannel { circuit }
+    }
+
+    /// Start building a message towards `dst_rank`.
+    pub fn begin_packing(&self, dst_rank: usize) -> PackingConnection<'a> {
+        PackingConnection {
+            circuit: self.circuit,
+            dst_rank,
+            payload: Payload::new(),
+        }
+    }
+
+    /// Receive the next message and start unpacking it.
+    pub fn begin_unpacking(&self) -> Result<UnpackingConnection, TmError> {
+        let (src, _header, payload) = self.circuit.recv()?;
+        Ok(UnpackingConnection {
+            src_rank: src,
+            remaining: payload.to_vec(),
+            cursor: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitSpec;
+    use crate::runtime::PadicoTM;
+    use padico_fabric::topology::single_cluster;
+    use std::sync::Arc;
+
+    fn circuits() -> Vec<Circuit> {
+        let (topo, ids) = single_cluster(2);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        tms.iter()
+            .map(|tm| tm.circuit(CircuitSpec::new("mad", ids.clone())).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn pack_unpack_mirror() {
+        let cs = circuits();
+        let tx = MadChannel::new(&cs[0]);
+        let rx = MadChannel::new(&cs[1]);
+        let mut conn = tx.begin_packing(1);
+        conn.pack(&[1, 2, 3], SendMode::SaferSide);
+        conn.pack_bytes(Bytes::from_static(b"grid"));
+        conn.pack(&[9], SendMode::CheaperSide);
+        conn.end_packing().unwrap();
+
+        let mut inc = rx.begin_unpacking().unwrap();
+        assert_eq!(inc.src_rank(), 0);
+        assert_eq!(inc.remaining_len(), 8);
+        let mut a = [0u8; 3];
+        inc.unpack(&mut a).unwrap();
+        assert_eq!(a, [1, 2, 3]);
+        let mut b = [0u8; 4];
+        inc.unpack(&mut b).unwrap();
+        assert_eq!(&b, b"grid");
+        let mut c = [0u8; 1];
+        inc.unpack(&mut c).unwrap();
+        assert_eq!(c, [9]);
+        inc.end_unpacking().unwrap();
+    }
+
+    #[test]
+    fn asymmetric_unpack_is_detected() {
+        let cs = circuits();
+        let tx = MadChannel::new(&cs[0]);
+        let rx = MadChannel::new(&cs[1]);
+        let mut conn = tx.begin_packing(1);
+        conn.pack(&[1, 2], SendMode::SaferSide);
+        conn.end_packing().unwrap();
+
+        let mut inc = rx.begin_unpacking().unwrap();
+        let mut too_big = [0u8; 5];
+        assert!(inc.unpack(&mut too_big).is_err());
+        // Leftover bytes at end are also an error.
+        assert!(inc.end_unpacking().is_err());
+    }
+
+    #[test]
+    fn safer_pack_charges_copy_cheaper_bytes_does_not() {
+        let cs = circuits();
+        let tx = MadChannel::new(&cs[0]);
+        let data = vec![0u8; 1 << 20];
+        let before = cs[0].clock().now();
+        let mut conn = tx.begin_packing(1);
+        conn.pack_bytes(Bytes::from(data.clone()));
+        let after_cheaper = cs[0].clock().now();
+        assert_eq!(before, after_cheaper, "zero-copy pack is free");
+        conn.pack(&data, SendMode::SaferSide);
+        assert!(cs[0].clock().now() > after_cheaper, "SAFER pack copies");
+        conn.end_packing().unwrap();
+    }
+}

@@ -1,0 +1,21 @@
+//! The personality layer — thin syntax adapters over the abstract
+//! interfaces (paper §4.3.3).
+//!
+//! Personalities "do not do protocol adaptation nor paradigm translation;
+//! they only adapt the syntax" so that legacy middleware can be relinked
+//! against PadicoTM without source changes. The four personalities the
+//! paper reports are implemented here:
+//!
+//! * [`madeleine`] — Madeleine's `begin_packing`/`pack`/`end_packing`
+//!   message-building API over [`crate::circuit::Circuit`];
+//! * [`fastmsg`] — a FastMessages-style active-message API (send to a
+//!   handler id, poll to dispatch) over Circuit;
+//! * [`bsd_socket`] — a BSD-socket-style fd API over
+//!   [`crate::vlink::VLinkStream`];
+//! * [`aio`] — a POSIX.2 AIO-style asynchronous read/write API over
+//!   VLink streams.
+
+pub mod aio;
+pub mod bsd_socket;
+pub mod fastmsg;
+pub mod madeleine;

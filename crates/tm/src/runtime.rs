@@ -1,0 +1,164 @@
+//! The per-node PadicoTM runtime façade.
+//!
+//! One [`PadicoTM`] instance is the "process" running on one grid node: it
+//! bundles the node's virtual clock, its arbitration layer
+//! ([`crate::arbitration::NetAccess`]), its module registry, and the
+//! abstraction-layer constructors ([`PadicoTM::circuit`],
+//! [`PadicoTM::vlink_listen`], [`PadicoTM::vlink_connect`]).
+
+use padico_fabric::{Paradigm, Topology};
+use padico_util::ids::NodeId;
+use padico_util::simtime::SimClock;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::arbitration::NetAccess;
+use crate::circuit::{Circuit, CircuitSpec};
+use crate::error::TmError;
+use crate::module::ModuleManager;
+use crate::selector::{self, FabricChoice, Route};
+use crate::vlink::{VLinkListener, VLinkStream};
+
+/// The PadicoTM runtime of one grid node.
+pub struct PadicoTM {
+    topology: Arc<Topology>,
+    node: NodeId,
+    clock: SimClock,
+    net: Arc<NetAccess>,
+    modules: ModuleManager,
+}
+
+impl PadicoTM {
+    /// Boot the runtime on one node of `topology`.
+    pub fn boot(topology: Arc<Topology>, node: NodeId) -> Result<Arc<PadicoTM>, TmError> {
+        let clock = SimClock::new();
+        let net = NetAccess::bring_up(&topology, node, clock.share())?;
+        Ok(Arc::new(PadicoTM {
+            topology,
+            node,
+            clock,
+            net,
+            modules: ModuleManager::new(),
+        }))
+    }
+
+    /// Boot a runtime on every node of `topology`; index `i` of the result
+    /// is the runtime of `NodeId(i)`.
+    pub fn boot_all(topology: Arc<Topology>) -> Result<Vec<Arc<PadicoTM>>, TmError> {
+        topology
+            .nodes()
+            .iter()
+            .map(|n| n.id)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|id| PadicoTM::boot(Arc::clone(&topology), id))
+            .collect()
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
+    }
+
+    /// The node's virtual clock. All middleware on the node shares it.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The node's arbitration layer.
+    pub fn net(&self) -> &Arc<NetAccess> {
+        &self.net
+    }
+
+    /// The node's module registry.
+    pub fn modules(&self) -> &ModuleManager {
+        &self.modules
+    }
+
+    /// Select a route from this node towards `peers` (see
+    /// [`crate::selector::select`]).
+    pub fn select(
+        &self,
+        peers: &[NodeId],
+        paradigm: Paradigm,
+        choice: FabricChoice,
+    ) -> Result<Route, TmError> {
+        selector::select(&self.topology, peers, paradigm, choice)
+    }
+
+    /// Build this node's member of a [`Circuit`] — the parallel-oriented
+    /// abstract interface. Every node in `spec.group` must call this with
+    /// an identical spec.
+    pub fn circuit(self: &Arc<Self>, spec: CircuitSpec) -> Result<Circuit, TmError> {
+        Circuit::build(Arc::clone(self), spec)
+    }
+
+    /// Bind a VLink listener — the distributed-oriented abstract
+    /// interface's passive side.
+    pub fn vlink_listen(self: &Arc<Self>, service: &str) -> Result<VLinkListener, TmError> {
+        VLinkListener::bind(Arc::clone(self), service)
+    }
+
+    /// Connect a VLink stream to `service` on `dst`.
+    pub fn vlink_connect(
+        self: &Arc<Self>,
+        dst: NodeId,
+        service: &str,
+        choice: FabricChoice,
+    ) -> Result<VLinkStream, TmError> {
+        VLinkStream::connect(Arc::clone(self), dst, service, choice, Duration::from_secs(5))
+    }
+}
+
+impl std::fmt::Debug for PadicoTM {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PadicoTM({})", self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use padico_fabric::topology::single_cluster;
+    use padico_fabric::FabricKind;
+
+    #[test]
+    fn boot_all_indexes_by_node_id() {
+        let (topo, ids) = single_cluster(3);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        assert_eq!(tms.len(), 3);
+        for (i, tm) in tms.iter().enumerate() {
+            assert_eq!(tm.node(), ids[i]);
+        }
+    }
+
+    #[test]
+    fn each_node_has_its_own_clock() {
+        let (topo, _ids) = single_cluster(2);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        tms[0].clock().advance(100);
+        assert_eq!(tms[1].clock().now(), 0);
+    }
+
+    #[test]
+    fn select_exposes_selector() {
+        let (topo, ids) = single_cluster(2);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let r = tms[0]
+            .select(&[ids[0], ids[1]], Paradigm::Parallel, FabricChoice::Auto)
+            .unwrap();
+        assert_eq!(r.fabric.kind(), FabricKind::Shmem);
+    }
+
+    #[test]
+    fn two_runtimes_on_one_topology_coexist() {
+        // PadicoTM attaches per node; booting all nodes of a cluster
+        // exercises one exclusive Myrinet attach per node.
+        let (topo, _ids) = single_cluster(4);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        assert_eq!(tms.len(), 4);
+    }
+}

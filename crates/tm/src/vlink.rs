@@ -1,0 +1,600 @@
+//! VLink — the distributed-oriented abstract interface.
+//!
+//! A VLink (paper §4.3.2) is a dynamic, connection-oriented byte stream:
+//! the shape distributed middleware (an ORB's GIOP transport, a SOAP
+//! stack) expects. Like Circuit, it is provided on top of *every*
+//! arbitrated driver: straight on sockets, cross-paradigm over Myrinet —
+//! which is precisely how CORBA reaches 240 MB/s in Figure 7: omniORB
+//! talks to a socket-looking VLink that actually rides the SAN.
+//!
+//! ## Protocol
+//!
+//! * A listener binds a well-known channel derived from
+//!   `"vlink:<service>@<node>"`.
+//! * `connect` allocates two fresh channels (client→server and
+//!   server→client), subscribes its receiving one, and sends `SYN` with
+//!   both ids; the listener's `accept` subscribes the other and replies
+//!   `ACK`. Either side then exchanges `DATA` frames and closes with
+//!   `FIN`.
+//! * On untrusted routes every `DATA` frame is encrypted with a session
+//!   key derived from the channel pair (toy cipher — see
+//!   [`crate::security`]).
+
+use padico_fabric::{Paradigm, Payload};
+use padico_util::ids::{ChannelId, NodeId};
+use padico_util::trace_debug;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::arbitration::{fresh_channel, named_channel, ChannelRx};
+use crate::error::TmError;
+use crate::runtime::PadicoTM;
+use crate::security::SessionKey;
+use crate::selector::{FabricChoice, Route};
+
+const KIND_SYN: u8 = 1;
+const KIND_ACK: u8 = 2;
+const KIND_DATA: u8 = 3;
+const KIND_FIN: u8 = 4;
+
+fn listener_channel(service: &str, node: NodeId) -> ChannelId {
+    named_channel(&format!("vlink:{service}@{node}"))
+}
+
+fn encode_choice(choice: FabricChoice) -> u8 {
+    use padico_fabric::FabricKind::*;
+    match choice {
+        FabricChoice::Auto => 0,
+        FabricChoice::Kind(Myrinet) => 1,
+        FabricChoice::Kind(Sci) => 2,
+        FabricChoice::Kind(Ethernet) => 3,
+        FabricChoice::Kind(Wan) => 4,
+        FabricChoice::Kind(Shmem) => 5,
+    }
+}
+
+fn decode_choice(byte: u8) -> Result<FabricChoice, TmError> {
+    use padico_fabric::FabricKind::*;
+    Ok(match byte {
+        0 => FabricChoice::Auto,
+        1 => FabricChoice::Kind(Myrinet),
+        2 => FabricChoice::Kind(Sci),
+        3 => FabricChoice::Kind(Ethernet),
+        4 => FabricChoice::Kind(Wan),
+        5 => FabricChoice::Kind(Shmem),
+        other => return Err(TmError::Protocol(format!("bad fabric choice byte {other}"))),
+    })
+}
+
+/// Passive side of the VLink abstraction.
+pub struct VLinkListener {
+    tm: Arc<PadicoTM>,
+    service: String,
+    rx: ChannelRx,
+}
+
+impl VLinkListener {
+    pub(crate) fn bind(tm: Arc<PadicoTM>, service: &str) -> Result<VLinkListener, TmError> {
+        let rx = tm.net().subscribe(listener_channel(service, tm.node()))?;
+        Ok(VLinkListener {
+            tm,
+            service: service.to_string(),
+            rx,
+        })
+    }
+
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+
+    /// Accept one incoming connection (blocking).
+    pub fn accept(&self) -> Result<VLinkStream, TmError> {
+        self.accept_inner(None)
+    }
+
+    /// Accept with a wall-clock timeout.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<VLinkStream, TmError> {
+        self.accept_inner(Some(timeout))
+    }
+
+    fn accept_inner(&self, timeout: Option<Duration>) -> Result<VLinkStream, TmError> {
+        let msg = match timeout {
+            Some(t) => self.rx.recv_timeout(self.tm.clock(), t)?,
+            None => self.rx.recv(self.tm.clock())?,
+        };
+        let syn = msg.payload.to_vec();
+        if syn.len() != 1 + 8 + 8 + 4 + 1 || syn[0] != KIND_SYN {
+            return Err(TmError::Protocol("malformed SYN".into()));
+        }
+        let c2s = ChannelId(u64::from_le_bytes(syn[1..9].try_into().expect("8")));
+        let s2c = ChannelId(u64::from_le_bytes(syn[9..17].try_into().expect("8")));
+        let peer = NodeId(u32::from_le_bytes(syn[17..21].try_into().expect("4")));
+        let choice = decode_choice(syn[21])?;
+        let route = self
+            .tm
+            .select(&[self.tm.node(), peer], Paradigm::Distributed, choice)?;
+        let rx = self.tm.net().subscribe(c2s)?;
+        let stream = VLinkStream::assemble(
+            Arc::clone(&self.tm),
+            peer,
+            route,
+            s2c, // we transmit on server→client
+            rx,
+            SessionKey::derive(c2s.0, s2c.0),
+        );
+        // ACK back on the server→client channel.
+        stream.send_frame(KIND_ACK, Payload::new())?;
+        trace_debug!(
+            "tm.vlink",
+            "accepted {} -> {} for `{}`",
+            peer,
+            stream.tm.node(),
+            self.service
+        );
+        Ok(stream)
+    }
+}
+
+/// One end of an established VLink byte stream.
+pub struct VLinkStream {
+    tm: Arc<PadicoTM>,
+    peer: NodeId,
+    route: Route,
+    tx_channel: ChannelId,
+    rx: Mutex<ChannelRx>,
+    key: SessionKey,
+    /// Bytes received but not yet read, plus EOF flag.
+    buffer: Mutex<StreamBuffer>,
+    /// Running keystream offsets per direction (encrypt / decrypt).
+    tx_offset: Mutex<u64>,
+    rx_offset: Mutex<u64>,
+}
+
+#[derive(Default)]
+struct StreamBuffer {
+    bytes: VecDeque<u8>,
+    eof: bool,
+}
+
+impl VLinkStream {
+    fn assemble(
+        tm: Arc<PadicoTM>,
+        peer: NodeId,
+        route: Route,
+        tx_channel: ChannelId,
+        rx: ChannelRx,
+        key: SessionKey,
+    ) -> VLinkStream {
+        VLinkStream {
+            tm,
+            peer,
+            route,
+            tx_channel,
+            rx: Mutex::new(rx),
+            key,
+            buffer: Mutex::new(StreamBuffer::default()),
+            tx_offset: Mutex::new(0),
+            rx_offset: Mutex::new(0),
+        }
+    }
+
+    pub(crate) fn connect(
+        tm: Arc<PadicoTM>,
+        dst: NodeId,
+        service: &str,
+        choice: FabricChoice,
+        timeout: Duration,
+    ) -> Result<VLinkStream, TmError> {
+        let route = tm.select(&[tm.node(), dst], Paradigm::Distributed, choice)?;
+        let c2s = fresh_channel();
+        let s2c = fresh_channel();
+        let rx = tm.net().subscribe(s2c)?;
+        let mut syn = Vec::with_capacity(22);
+        syn.push(KIND_SYN);
+        syn.extend_from_slice(&c2s.0.to_le_bytes());
+        syn.extend_from_slice(&s2c.0.to_le_bytes());
+        syn.extend_from_slice(&tm.node().0.to_le_bytes());
+        syn.push(encode_choice(choice));
+        let listener = listener_channel(service, dst);
+        if dst == tm.node() {
+            tm.net().send_local(listener, Payload::from_vec(syn));
+        } else {
+            tm.net()
+                .send(route.fabric.id(), dst, listener, Payload::from_vec(syn))?;
+        }
+        let stream = VLinkStream::assemble(
+            Arc::clone(&tm),
+            dst,
+            route,
+            c2s,
+            rx,
+            SessionKey::derive(c2s.0, s2c.0),
+        );
+        // Wait for ACK.
+        let ack = stream
+            .rx
+            .lock()
+            .recv_timeout(stream.tm.clock(), timeout)?;
+        let ack_bytes = ack.payload.to_vec();
+        if ack_bytes.first() != Some(&KIND_ACK) {
+            return Err(TmError::Protocol("expected ACK".into()));
+        }
+        Ok(stream)
+    }
+
+    pub fn peer(&self) -> NodeId {
+        self.peer
+    }
+
+    /// The route the selector picked (exposed for tests and traces).
+    pub fn route(&self) -> &Route {
+        &self.route
+    }
+
+    fn send_frame(&self, kind: u8, body: Payload) -> Result<(), TmError> {
+        let mut wire = Payload::new();
+        wire.push_segment(bytes::Bytes::copy_from_slice(&[kind]));
+        wire.append(body);
+        if self.peer == self.tm.node() {
+            self.tm.net().send_local(self.tx_channel, wire);
+            Ok(())
+        } else {
+            self.tm
+                .net()
+                .send(self.route.fabric.id(), self.peer, self.tx_channel, wire)
+        }
+    }
+
+    /// Write all of `data` to the stream (one DATA frame).
+    pub fn write_all(&self, data: &[u8]) -> Result<(), TmError> {
+        self.write_payload(Payload::copy_from(data))
+    }
+
+    /// Write a payload to the stream without copying it (zero-copy path
+    /// for single-segment payloads on trusted routes).
+    pub fn write_payload(&self, body: Payload) -> Result<(), TmError> {
+        let body = if self.route.encrypt {
+            let mut offset = self.tx_offset.lock();
+            let mut buf = body.to_vec();
+            self.key.apply(&mut buf, *offset);
+            *offset += buf.len() as u64;
+            self.tm
+                .clock()
+                .advance(padico_util::simtime::transfer_time(
+                    buf.len(),
+                    crate::security::CIPHER_MB_S,
+                ));
+            Payload::from_vec(buf)
+        } else {
+            body
+        };
+        self.send_frame(KIND_DATA, body)
+    }
+
+    /// Read up to `buf.len()` bytes; returns 0 at end-of-stream.
+    pub fn read(&self, buf: &mut [u8]) -> Result<usize, TmError> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        loop {
+            {
+                let mut b = self.buffer.lock();
+                if !b.bytes.is_empty() {
+                    let n = buf.len().min(b.bytes.len());
+                    for slot in buf.iter_mut().take(n) {
+                        *slot = b.bytes.pop_front().expect("non-empty");
+                    }
+                    return Ok(n);
+                }
+                if b.eof {
+                    return Ok(0);
+                }
+            }
+            self.fill_buffer(None)?;
+        }
+    }
+
+    /// Read exactly `buf.len()` bytes or fail.
+    pub fn read_exact(&self, buf: &mut [u8]) -> Result<(), TmError> {
+        let mut done = 0;
+        while done < buf.len() {
+            let n = self.read(&mut buf[done..])?;
+            if n == 0 {
+                return Err(TmError::Closed);
+            }
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Receive one whole DATA frame as a payload (message-ish fast path
+    /// used by the ORB: GIOP messages map 1:1 onto frames).
+    pub fn read_frame(&self) -> Result<Option<Payload>, TmError> {
+        // Drain any buffered bytes first to preserve stream semantics.
+        {
+            let mut b = self.buffer.lock();
+            if !b.bytes.is_empty() {
+                let drained: Vec<u8> = b.bytes.drain(..).collect();
+                return Ok(Some(Payload::from_vec(drained)));
+            }
+            if b.eof {
+                return Ok(None);
+            }
+        }
+        self.fill_buffer_frame()
+    }
+
+    fn fill_buffer(&self, timeout: Option<Duration>) -> Result<(), TmError> {
+        let msg = {
+            let rx = self.rx.lock();
+            match timeout {
+                Some(t) => rx.recv_timeout(self.tm.clock(), t)?,
+                None => rx.recv(self.tm.clock())?,
+            }
+        };
+        self.ingest(msg, |bytes, buffer| {
+            buffer.bytes.extend(bytes.iter().copied());
+        })?;
+        Ok(())
+    }
+
+    /// Like `fill_buffer` but hands the frame out whole.
+    fn fill_buffer_frame(&self) -> Result<Option<Payload>, TmError> {
+        let msg = {
+            let rx = self.rx.lock();
+            rx.recv(self.tm.clock())?
+        };
+        let mut out = None;
+        self.ingest(msg, |bytes, _buffer| {
+            out = Some(Payload::from_vec(bytes.to_vec()));
+        })?;
+        if out.is_none() {
+            // FIN arrived.
+            return Ok(None);
+        }
+        Ok(out)
+    }
+
+    fn ingest(
+        &self,
+        msg: padico_fabric::Message,
+        mut sink: impl FnMut(&[u8], &mut StreamBuffer),
+    ) -> Result<(), TmError> {
+        let raw = msg.payload.to_vec();
+        let (kind, body) = raw
+            .split_first()
+            .ok_or_else(|| TmError::Protocol("empty frame".into()))?;
+        match *kind {
+            KIND_DATA => {
+                let mut decoded;
+                let bytes: &[u8] = if self.route.encrypt {
+                    let mut offset = self.rx_offset.lock();
+                    decoded = body.to_vec();
+                    self.key.apply(&mut decoded, *offset);
+                    *offset += decoded.len() as u64;
+                    self.tm
+                        .clock()
+                        .advance(padico_util::simtime::transfer_time(
+                            decoded.len(),
+                            crate::security::CIPHER_MB_S,
+                        ));
+                    &decoded
+                } else {
+                    body
+                };
+                let mut b = self.buffer.lock();
+                sink(bytes, &mut b);
+                Ok(())
+            }
+            KIND_FIN => {
+                self.buffer.lock().eof = true;
+                Ok(())
+            }
+            other => Err(TmError::Protocol(format!("unexpected frame kind {other}"))),
+        }
+    }
+
+    /// Close the sending direction (peer reads return EOF after draining).
+    pub fn close(&self) -> Result<(), TmError> {
+        self.send_frame(KIND_FIN, Payload::new())
+    }
+}
+
+impl Drop for VLinkStream {
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
+}
+
+impl std::fmt::Debug for VLinkStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "VLinkStream({} <-> {} on {})",
+            self.tm.node(),
+            self.peer,
+            self.route.fabric.model().name
+        )
+    }
+}
+
+impl std::fmt::Debug for VLinkListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VLinkListener(`{}` on {})", self.service, self.tm.node())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use padico_fabric::topology::{single_cluster, two_clusters_wan};
+    use padico_fabric::FabricKind;
+
+    fn pair() -> (Arc<PadicoTM>, Arc<PadicoTM>) {
+        let (topo, _ids) = single_cluster(2);
+        let mut tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let b = tms.pop().unwrap();
+        let a = tms.pop().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn connect_accept_and_exchange() {
+        let (a, b) = pair();
+        let listener = b.vlink_listen("echo").unwrap();
+        let bt = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                let s = listener.accept().unwrap();
+                let mut buf = [0u8; 5];
+                s.read_exact(&mut buf).unwrap();
+                s.write_all(&buf.map(|x| x + 1)).unwrap();
+                let _ = b; // keep runtime alive during service
+            })
+        };
+        let s = a
+            .vlink_connect(b.node(), "echo", FabricChoice::Auto)
+            .unwrap();
+        s.write_all(&[1, 2, 3, 4, 5]).unwrap();
+        let mut reply = [0u8; 5];
+        s.read_exact(&mut reply).unwrap();
+        assert_eq!(reply, [2, 3, 4, 5, 6]);
+        bt.join().unwrap();
+    }
+
+    #[test]
+    fn cross_paradigm_stream_over_myrinet() {
+        // The Figure 7 mechanism: a socket-shaped stream riding the SAN.
+        let (a, b) = pair();
+        let listener = b.vlink_listen("giop").unwrap();
+        let bt = std::thread::spawn(move || listener.accept().unwrap());
+        let s = a
+            .vlink_connect(b.node(), "giop", FabricChoice::Kind(FabricKind::Myrinet))
+            .unwrap();
+        let server = bt.join().unwrap();
+        assert_eq!(s.route().fabric.kind(), FabricKind::Myrinet);
+        assert!(!s.route().straight, "stream on SAN is cross-paradigm");
+        let data = padico_util::rng::payload(9, "vlink", 100_000);
+        s.write_all(&data).unwrap();
+        let mut got = vec![0u8; data.len()];
+        server.read_exact(&mut got).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn read_smaller_than_frame_buffers_rest() {
+        let (a, b) = pair();
+        let listener = b.vlink_listen("svc").unwrap();
+        let bt = std::thread::spawn(move || listener.accept().unwrap());
+        let s = a.vlink_connect(b.node(), "svc", FabricChoice::Auto).unwrap();
+        let server = bt.join().unwrap();
+        s.write_all(b"abcdef").unwrap();
+        let mut part = [0u8; 2];
+        server.read_exact(&mut part).unwrap();
+        assert_eq!(&part, b"ab");
+        let mut rest = [0u8; 4];
+        server.read_exact(&mut rest).unwrap();
+        assert_eq!(&rest, b"cdef");
+    }
+
+    #[test]
+    fn fin_yields_eof_after_drain() {
+        let (a, b) = pair();
+        let listener = b.vlink_listen("svc2").unwrap();
+        let bt = std::thread::spawn(move || listener.accept().unwrap());
+        let s = a.vlink_connect(b.node(), "svc2", FabricChoice::Auto).unwrap();
+        let server = bt.join().unwrap();
+        s.write_all(b"xy").unwrap();
+        s.close().unwrap();
+        let mut buf = [0u8; 8];
+        let n = server.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"xy");
+        assert_eq!(server.read(&mut buf).unwrap(), 0, "EOF after FIN");
+        assert_eq!(server.read(&mut buf).unwrap(), 0, "EOF is sticky");
+    }
+
+    #[test]
+    fn wan_stream_is_encrypted_but_transparent() {
+        let (topo, a_ids, b_ids) = two_clusters_wan(1);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let a = Arc::clone(&tms[a_ids[0].0 as usize]);
+        let b = Arc::clone(&tms[b_ids[0].0 as usize]);
+        let listener = b.vlink_listen("secure").unwrap();
+        let bt = std::thread::spawn(move || listener.accept().unwrap());
+        let s = a
+            .vlink_connect(b.node(), "secure", FabricChoice::Auto)
+            .unwrap();
+        let server = bt.join().unwrap();
+        assert!(s.route().encrypt);
+        let clock_before = a.clock().now();
+        let data = padico_util::rng::payload(11, "secure", 10_000);
+        s.write_all(&data).unwrap();
+        assert!(
+            a.clock().now() > clock_before,
+            "cipher + wire time charged"
+        );
+        let mut got = vec![0u8; data.len()];
+        server.read_exact(&mut got).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn trusted_route_skips_cipher_cost() {
+        // Same payload, trusted SAN vs WAN: the trusted path must charge
+        // strictly less sender time per byte (no cipher), which is the §6
+        // optimization Padico anticipates.
+        let len = 1 << 20;
+
+        let (topo, _ids) = single_cluster(2);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let listener = tms[1].vlink_listen("x").unwrap();
+        let t = std::thread::spawn(move || listener.accept().unwrap());
+        let s = tms[0]
+            .vlink_connect(tms[1].node(), "x", FabricChoice::Kind(FabricKind::Myrinet))
+            .unwrap();
+        let _server = t.join().unwrap();
+        let before = tms[0].clock().now();
+        s.write_all(&vec![0u8; len]).unwrap();
+        let trusted_cost = tms[0].clock().now() - before;
+
+        let cipher_cost =
+            padico_util::simtime::transfer_time(len, crate::security::CIPHER_MB_S);
+        assert!(
+            trusted_cost < cipher_cost,
+            "trusted send ({trusted_cost} ns) must beat even just the cipher ({cipher_cost} ns)"
+        );
+    }
+
+    #[test]
+    fn connect_to_missing_service_times_out() {
+        let (a, b) = pair();
+        let err = VLinkStream::connect(
+            Arc::clone(&a),
+            b.node(),
+            "nobody-home",
+            FabricChoice::Auto,
+            Duration::from_millis(30),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TmError::Timeout(_)));
+    }
+
+    #[test]
+    fn local_loopback_connection() {
+        let (a, _b) = pair();
+        let listener = a.vlink_listen("self").unwrap();
+        let a2 = Arc::clone(&a);
+        let t = std::thread::spawn(move || {
+            let s = listener.accept().unwrap();
+            let mut b = [0u8; 3];
+            s.read_exact(&mut b).unwrap();
+            let _ = a2;
+            b
+        });
+        let s = a.vlink_connect(a.node(), "self", FabricChoice::Auto).unwrap();
+        s.write_all(&[7, 8, 9]).unwrap();
+        assert_eq!(t.join().unwrap(), [7, 8, 9]);
+    }
+}

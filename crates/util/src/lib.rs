@@ -1,0 +1,26 @@
+//! # padico-util
+//!
+//! Foundation utilities shared by every Padico crate:
+//!
+//! * [`simtime`] — the deterministic virtual-time substrate. All experiment
+//!   figures in the paper are reproduced in virtual time so that the *shape*
+//!   of the results (who wins, by what factor, where crossovers fall) is a
+//!   function of the modelled mechanisms, not of the host machine.
+//! * [`trace`] — a lightweight, lock-cheap event tracer used by the runtime
+//!   layers (arbitration decisions, module loads, fabric selection).
+//! * [`stats`] — small statistics helpers for the benchmark harness
+//!   (mean, percentiles, throughput conversion).
+//! * [`xml`] — a minimal XML parser/writer. CCM deployment descriptors are
+//!   XML documents (OSD/CAD vocabularies); no XML crate is on the allowed
+//!   dependency list, so we implement the subset we need.
+//! * [`rng`] — seeded deterministic RNG plumbing for workload generators.
+//! * [`ids`] — small typed identifier helpers used across the workspace.
+
+pub mod ids;
+pub mod rng;
+pub mod simtime;
+pub mod stats;
+pub mod trace;
+pub mod xml;
+
+pub use simtime::{SimClock, Vt, VtDuration};

@@ -1,0 +1,204 @@
+//! Lightweight event tracing.
+//!
+//! The PadicoTM layers log arbitration decisions (which fabric was selected,
+//! which module was loaded, when a conflict was refused) so that tests and
+//! the experiment harness can assert on *why* something happened, not only
+//! on the outcome. A global ring buffer keeps the last N events; recording
+//! is a few atomic ops plus one short critical section.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
+
+/// Severity / verbosity of a trace event.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Level {
+    /// Fine-grained events (every message).
+    Debug = 0,
+    /// Normal operational events (module loaded, circuit built).
+    Info = 1,
+    /// Suspicious but recoverable situations.
+    Warn = 2,
+    /// Failures.
+    Error = 3,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotonic sequence number (global order of recording).
+    pub seq: u64,
+    pub level: Level,
+    /// Subsystem tag, e.g. `"tm.arbitration"`.
+    pub target: &'static str,
+    pub message: String,
+}
+
+const RING_CAPACITY: usize = 4096;
+
+struct Ring {
+    events: Vec<Event>,
+    write_pos: usize,
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static MIN_LEVEL: AtomicU8 = AtomicU8::new(1); // Info by default
+static RING: Mutex<Option<Ring>> = Mutex::new(None);
+
+/// Set the minimum level recorded by [`record`]. Events below it are
+/// dropped cheaply (one atomic load).
+pub fn set_min_level(level: Level) {
+    MIN_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current minimum recorded level.
+pub fn min_level() -> Level {
+    match MIN_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Debug,
+        1 => Level::Info,
+        2 => Level::Warn,
+        _ => Level::Error,
+    }
+}
+
+/// Record an event in the global ring buffer.
+pub fn record(level: Level, target: &'static str, message: String) {
+    if (level as u8) < MIN_LEVEL.load(Ordering::Relaxed) {
+        return;
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut guard = RING.lock();
+    let ring = guard.get_or_insert_with(|| Ring {
+        events: Vec::with_capacity(RING_CAPACITY),
+        write_pos: 0,
+    });
+    let ev = Event {
+        seq,
+        level,
+        target,
+        message,
+    };
+    if ring.events.len() < RING_CAPACITY {
+        ring.events.push(ev);
+    } else {
+        let pos = ring.write_pos;
+        ring.events[pos] = ev;
+        ring.write_pos = (pos + 1) % RING_CAPACITY;
+    }
+}
+
+/// Snapshot of all retained events, oldest first.
+pub fn snapshot() -> Vec<Event> {
+    let guard = RING.lock();
+    match &*guard {
+        None => Vec::new(),
+        Some(ring) => {
+            let mut out = Vec::with_capacity(ring.events.len());
+            if ring.events.len() < RING_CAPACITY {
+                out.extend(ring.events.iter().cloned());
+            } else {
+                out.extend(ring.events[ring.write_pos..].iter().cloned());
+                out.extend(ring.events[..ring.write_pos].iter().cloned());
+            }
+            out
+        }
+    }
+}
+
+/// Retained events whose target starts with `prefix`, oldest first.
+pub fn snapshot_target(prefix: &str) -> Vec<Event> {
+    snapshot()
+        .into_iter()
+        .filter(|e| e.target.starts_with(prefix))
+        .collect()
+}
+
+/// Drop all retained events (tests use this for isolation).
+pub fn clear() {
+    let mut guard = RING.lock();
+    *guard = None;
+}
+
+/// Record an [`Level::Info`] event.
+#[macro_export]
+macro_rules! trace_info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::trace::record($crate::trace::Level::Info, $target, format!($($arg)*))
+    };
+}
+
+/// Record a [`Level::Debug`] event.
+#[macro_export]
+macro_rules! trace_debug {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::trace::min_level() <= $crate::trace::Level::Debug {
+            $crate::trace::record($crate::trace::Level::Debug, $target, format!($($arg)*))
+        }
+    };
+}
+
+/// Record a [`Level::Warn`] event.
+#[macro_export]
+macro_rules! trace_warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::trace::record($crate::trace::Level::Warn, $target, format!($($arg)*))
+    };
+}
+
+/// Record a [`Level::Error`] event.
+#[macro_export]
+macro_rules! trace_error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::trace::record($crate::trace::Level::Error, $target, format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The ring is global, so the tests here run in one #[test] body to avoid
+    // interleaving with each other.
+    #[test]
+    fn record_snapshot_filter_clear() {
+        clear();
+        set_min_level(Level::Debug);
+        record(Level::Info, "tm.arbitration", "selected myrinet".into());
+        record(Level::Debug, "orb", "request id 1".into());
+        record(Level::Warn, "tm.module", "module reloaded".into());
+
+        let all = snapshot();
+        assert!(all.len() >= 3);
+        let tm_only = snapshot_target("tm.");
+        assert_eq!(tm_only.len(), 2);
+        assert!(tm_only[0].seq < tm_only[1].seq, "oldest first");
+
+        set_min_level(Level::Warn);
+        record(Level::Info, "dropped", "should not appear".into());
+        assert!(snapshot_target("dropped").is_empty());
+
+        set_min_level(Level::Info);
+        clear();
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn level_ordering_and_display() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::Warn.to_string(), "WARN");
+    }
+}

@@ -1,0 +1,27 @@
+//! # Padico
+//!
+//! A Rust reproduction of *"Padico: A Component-Based Software Infrastructure
+//! for Grid Computing"* (Denis, Pérez, Priol, Ribes — IPDPS 2003).
+//!
+//! Padico is two cooperating systems:
+//!
+//! * **PadicoTM** ([`tm`]) — a three-layer communication runtime
+//!   (arbitration / abstraction / personality) that lets several middleware
+//!   systems (CORBA, MPI, …) coexist in one process and cooperatively share
+//!   heterogeneous networks (SAN, LAN, WAN).
+//! * **GridCCM** ([`core`]) — a parallel extension of the CORBA Component
+//!   Model: SPMD codes are encapsulated into *parallel components* whose
+//!   every node takes part in inter-component communication, with automatic
+//!   data redistribution performed by a generated interception layer.
+//!
+//! This facade crate re-exports the whole workspace. Start with
+//! [`core::padico::Grid`] to bring up a simulated grid, or see
+//! `examples/quickstart.rs`.
+
+pub use padico_ccm as ccm;
+pub use padico_core as core;
+pub use padico_fabric as fabric;
+pub use padico_mpi as mpi;
+pub use padico_orb as orb;
+pub use padico_tm as tm;
+pub use padico_util as util;

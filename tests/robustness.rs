@@ -1,0 +1,214 @@
+//! Failure-injection integration tests: the stack must degrade with
+//! errors, not hangs or corruption.
+
+use bytes::Bytes;
+use padico::ccm::assembly::Assembly;
+use padico::ccm::package::Package;
+use padico::ccm::CcmError;
+use padico::core::Grid;
+use padico::fabric::topology::single_cluster;
+use padico::orb::cdr::{CdrReader, CdrWriter};
+use padico::orb::orb::Orb;
+use padico::orb::poa::{Servant, ServerCtx};
+use padico::orb::profile::OrbProfile;
+use padico::orb::OrbError;
+use padico::tm::runtime::PadicoTM;
+use padico::tm::selector::FabricChoice;
+use std::sync::Arc;
+
+struct FlakyServant;
+
+impl Servant for FlakyServant {
+    fn repository_id(&self) -> &str {
+        "IDL:Rb/Flaky:1.0"
+    }
+
+    fn dispatch(
+        &self,
+        operation: &str,
+        args: &mut CdrReader,
+        reply: &mut CdrWriter,
+        _ctx: &ServerCtx,
+    ) -> Result<(), OrbError> {
+        match operation {
+            "ok" => {
+                reply.write_i32(1);
+                Ok(())
+            }
+            "panic" => panic!("deliberate servant panic"),
+            "garbage_args" => {
+                // Reads more than the request carries.
+                let _ = args.read_f64_seq()?;
+                Ok(())
+            }
+            other => Err(OrbError::BadOperation(other.into())),
+        }
+    }
+}
+
+fn orb_pair() -> (Arc<Orb>, Arc<Orb>) {
+    let (topo, _ids) = single_cluster(2);
+    let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+    (
+        Orb::start(
+            Arc::clone(&tms[0]),
+            "rb",
+            OrbProfile::omniorb3(),
+            FabricChoice::Auto,
+        )
+        .unwrap(),
+        Orb::start(
+            Arc::clone(&tms[1]),
+            "rb",
+            OrbProfile::omniorb3(),
+            FabricChoice::Auto,
+        )
+        .unwrap(),
+    )
+}
+
+#[test]
+fn servant_panic_becomes_system_exception_and_connection_survives() {
+    let (client, server) = orb_pair();
+    let obj = client.object_ref(server.activate(Arc::new(FlakyServant)));
+    let err = obj.request("panic").invoke().unwrap_err();
+    assert!(
+        matches!(&err, OrbError::System(msg) if msg.contains("panicked")),
+        "{err:?}"
+    );
+    // The connection (and the server) keep working afterwards.
+    let mut reply = obj.request("ok").invoke().unwrap();
+    assert_eq!(reply.read_i32().unwrap(), 1);
+}
+
+#[test]
+fn short_argument_reads_become_marshal_errors() {
+    let (client, server) = orb_pair();
+    let obj = client.object_ref(server.activate(Arc::new(FlakyServant)));
+    let err = obj.request("garbage_args").invoke().unwrap_err();
+    assert!(matches!(&err, OrbError::System(msg) if msg.contains("MARSHAL")));
+    // Still alive.
+    obj.request("ok").invoke().unwrap();
+}
+
+#[test]
+fn dropped_connection_is_reestablished_on_next_call() {
+    let (client, server) = orb_pair();
+    let ior = server.activate(Arc::new(FlakyServant));
+    let obj = client.object_ref(ior.clone());
+    obj.request("ok").invoke().unwrap();
+    // Simulate a connection failure by evicting the cached connection.
+    client.drop_connection(ior.node, &ior.endpoint);
+    let mut reply = obj.request("ok").invoke().unwrap();
+    assert_eq!(reply.read_i32().unwrap(), 1, "fresh connection works");
+}
+
+#[test]
+fn concurrent_clients_multiplex_one_connection() {
+    // 32 threads on one node invoking the same remote object: all replies
+    // must route back to their own requesters.
+    let (client, server) = orb_pair();
+
+    struct Doubler;
+    impl Servant for Doubler {
+        fn repository_id(&self) -> &str {
+            "IDL:Rb/Doubler:1.0"
+        }
+        fn dispatch(
+            &self,
+            _op: &str,
+            args: &mut CdrReader,
+            reply: &mut CdrWriter,
+            _ctx: &ServerCtx,
+        ) -> Result<(), OrbError> {
+            let v = args.read_i32()?;
+            reply.write_i32(v * 2);
+            Ok(())
+        }
+    }
+
+    let obj = client.object_ref(server.activate(Arc::new(Doubler)));
+    let handles: Vec<_> = (0..32)
+        .map(|i| {
+            let obj = obj.clone();
+            std::thread::spawn(move || {
+                for k in 0..10 {
+                    let v = i * 100 + k;
+                    let mut reply = obj.request("x2").arg_i32(v).invoke().unwrap();
+                    assert_eq!(reply.read_i32().unwrap(), v * 2, "cross-routed reply");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn bad_assembly_and_missing_factories_fail_cleanly() {
+    let grid = Grid::single_cluster(2).unwrap();
+    // Package exists but its factory symbol is not registered anywhere.
+    let assembly =
+        Assembly::parse(r#"<assembly name="x"><component id="c" package="p"/></assembly>"#)
+            .unwrap();
+    let err = grid
+        .deployer()
+        .deploy(&assembly, &[Package::new("p", "1.0", "unregistered_symbol")])
+        .unwrap_err();
+    assert!(
+        matches!(&err, CcmError::Remote(msg) if msg.contains("unregistered_symbol")),
+        "{err:?}"
+    );
+    // Malformed assembly XML.
+    assert!(Assembly::parse("<assembly name='x'><component/></assembly>").is_err());
+    assert!(Assembly::parse("not xml at all").is_err());
+    // Unknown placement node.
+    grid.register_factory("mk", |_env| {
+        unreachable!("placement fails before instantiation")
+    });
+    let ghost = Assembly::parse(
+        r#"<assembly name="g">
+             <component id="c" package="p"><placement node="n99"/></component>
+           </assembly>"#,
+    )
+    .unwrap();
+    let err = grid
+        .deployer()
+        .deploy(&ghost, &[Package::new("p", "1.0", "mk")])
+        .unwrap_err();
+    assert!(matches!(err, CcmError::Deployment(_)));
+}
+
+#[test]
+fn oversized_and_empty_payloads_roundtrip() {
+    let (client, server) = orb_pair();
+
+    struct EchoLen;
+    impl Servant for EchoLen {
+        fn repository_id(&self) -> &str {
+            "IDL:Rb/EchoLen:1.0"
+        }
+        fn dispatch(
+            &self,
+            _op: &str,
+            args: &mut CdrReader,
+            reply: &mut CdrWriter,
+            _ctx: &ServerCtx,
+        ) -> Result<(), OrbError> {
+            let blob = args.read_octet_seq()?;
+            reply.write_u64(blob.len() as u64);
+            Ok(())
+        }
+    }
+
+    let obj = client.object_ref(server.activate(Arc::new(EchoLen)));
+    for size in [0usize, 1, 4095, 4096, 4097, 8 << 20] {
+        let mut reply = obj
+            .request("len")
+            .arg_octet_seq(Bytes::from(vec![0u8; size]))
+            .invoke()
+            .unwrap();
+        assert_eq!(reply.read_u64().unwrap(), size as u64, "size {size}");
+    }
+}
