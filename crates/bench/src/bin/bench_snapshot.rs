@@ -1,0 +1,67 @@
+//! Assembles the committed benchmark snapshot (`BENCH_<date>.json`).
+//!
+//! Usage: `bench_snapshot <date> [criterion-jsonl-path] [output-path]`
+//!
+//! Driven by `scripts/bench_snapshot.sh`, which first runs the criterion
+//! benches with `CRITERION_JSON` pointing at a scratch file so their
+//! results land here too.
+
+use padico_bench::{concurrent, fig7, fig8, report};
+use padico_core::redistribute::schedule_cache_stats;
+use padico_fabric::FabricKind;
+use padico_orb::profile::OrbProfile;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let date = args.next().unwrap_or_else(|| "undated".into());
+    let criterion_jsonl = args
+        .next()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .unwrap_or_default();
+    let out_path = args.next().unwrap_or_else(|| format!("BENCH_{date}.json"));
+
+    eprintln!("running fig7 bandwidth curves...");
+    let fig7_series = fig7::run(3);
+    eprintln!("running concurrent CORBA+MPI share...");
+    let share = concurrent::run(256 << 10, 8);
+    eprintln!("running 2x2 parallel invoke (schedule cache)...");
+    let par = fig8::run_parallel_pair(
+        2,
+        OrbProfile::omniorb3(),
+        FabricKind::Myrinet,
+        256 << 10,
+        4,
+    );
+    let (hits, misses) = schedule_cache_stats();
+
+    let sections = vec![
+        ("fig7_bandwidth", report::series_json(&fig7_series)),
+        (
+            "concurrent_share",
+            format!(
+                "{{\"mpi_alone_mb_s\":{:.1},\"corba_alone_mb_s\":{:.1},\
+                 \"mpi_shared_mb_s\":{:.1},\"corba_shared_mb_s\":{:.1},\
+                 \"aggregate_mb_s\":{:.1}}}",
+                share.mpi_alone_mb_s,
+                share.corba_alone_mb_s,
+                share.mpi_shared_mb_s,
+                share.corba_shared_mb_s,
+                share.aggregate_mb_s
+            ),
+        ),
+        (
+            "parallel_2x2",
+            format!(
+                "{{\"latency_us\":{:.1},\"aggregate_mb_s\":{:.1}}}",
+                par.latency_us, par.aggregate_mb_s
+            ),
+        ),
+        (
+            "schedule_cache",
+            format!("{{\"hits\":{hits},\"misses\":{misses}}}"),
+        ),
+    ];
+    let json = report::snapshot_json(&date, &criterion_jsonl, &sections);
+    std::fs::write(&out_path, &json).expect("write snapshot file");
+    eprintln!("wrote {out_path}");
+}

@@ -46,6 +46,74 @@ pub fn render_rows(title: &str, rows: &[(String, f64, &str, &str)]) -> String {
     out
 }
 
+/// Escape a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Bandwidth curves as a JSON array:
+/// `[{"name": ..., "points": [{"size": ..., "value": ...}, ...]}, ...]`.
+pub fn series_json(series: &[Series]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"name\":\"{}\",\"points\":[", json_escape(&s.name)));
+        for (j, p) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"size\":{},\"mb_s\":{:.3}}}", p.size, p.value));
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    out
+}
+
+/// Convert criterion's JSONL dump (one JSON object per line, as written
+/// when `CRITERION_JSON` is set) into one JSON array, dropping lines
+/// that are not plausible objects.
+pub fn criterion_jsonl_to_json(jsonl: &str) -> String {
+    let objs: Vec<&str> = jsonl
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{') && l.ends_with('}'))
+        .collect();
+    format!("[{}]", objs.join(","))
+}
+
+/// Assemble the committed benchmark snapshot: the date, the criterion
+/// micro-bench results, and named experiment sections whose values are
+/// already-rendered JSON fragments.
+pub fn snapshot_json(date: &str, criterion_jsonl: &str, sections: &[(&str, String)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"date\": \"{}\",\n", json_escape(date)));
+    out.push_str(&format!(
+        "  \"criterion\": {},\n",
+        criterion_jsonl_to_json(criterion_jsonl)
+    ));
+    for (i, (name, fragment)) in sections.iter().enumerate() {
+        out.push_str(&format!("  \"{}\": {}", json_escape(name), fragment));
+        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,6 +129,31 @@ mod tests {
         assert!(text.contains("| size (B) | A | B |"));
         assert!(text.contains("| 32 | 1.5 | 2.5 |"));
         assert!(text.contains("| 64 | 3.0 | – |"));
+    }
+
+    #[test]
+    fn snapshot_json_is_wellformed() {
+        let mut s = Series::new("omniORB \"zero-copy\"");
+        s.push(1024, 120.25);
+        let frag = series_json(&[s]);
+        let doc = snapshot_json(
+            "2026-08-06",
+            "{\"id\":\"transport/1k\",\"median_ns\":12}\nnoise\n",
+            &[("fig7_bandwidth", frag), ("extra", "{\"x\":1}".to_string())],
+        );
+        assert!(doc.contains("\"date\": \"2026-08-06\""));
+        assert!(doc.contains("\"criterion\": [{\"id\":\"transport/1k\",\"median_ns\":12}]"));
+        assert!(doc.contains("omniORB \\\"zero-copy\\\""));
+        assert!(doc.contains("{\"size\":1024,\"mb_s\":120.250}"));
+        assert!(doc.contains("\"extra\": {\"x\":1}"));
+        // Balanced braces/brackets — cheap well-formedness proxy.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                doc.matches(open).count(),
+                doc.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
     }
 
     #[test]

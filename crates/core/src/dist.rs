@@ -15,7 +15,7 @@ use bytes::Bytes;
 use crate::error::GridCcmError;
 
 /// How a global sequence is laid out over ranks.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Distribution {
     /// Contiguous blocks, remainder spread over the first ranks (the
     /// GridCCM default and the paper's running example).

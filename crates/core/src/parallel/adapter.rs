@@ -33,7 +33,7 @@ use crate::parallel::wire::{
     InvHeader, ParValue, WireArg,
 };
 use crate::parallel::GRIDCCM_SERVER_NS;
-use crate::redistribute::{schedule, sends_of};
+use crate::redistribute::{schedule_cached, sends_of};
 
 /// What an SPMD upcall sees.
 pub struct ParCtx {
@@ -437,7 +437,7 @@ impl Servant for ParallelAdapter {
                 // This server's pieces of the result destined to the
                 // requesting client rank (client side reassembles as
                 // Block over its group).
-                let transfers = schedule(
+                let transfers = schedule_cached(
                     local.global_elems,
                     local.distribution,
                     cfg.size,

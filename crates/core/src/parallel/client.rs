@@ -25,7 +25,7 @@ use crate::parallel::wire::{
     WireReply,
 };
 use crate::parallel::GRIDCCM_CLIENT_NS;
-use crate::redistribute::{schedule, sends_of, Transfer};
+use crate::redistribute::{schedule_cached, sends_of, Transfer};
 use crate::dist::DistSeq;
 
 /// Client-rank handle to a parallel component.
@@ -153,7 +153,8 @@ impl ParallelRef {
         let server_size = self.replicas.len();
 
         // Schedules and routing metadata for the distributed arguments.
-        let mut schedules: Vec<Option<Vec<Transfer>>> = Vec::with_capacity(args.len());
+        let mut schedules: Vec<Option<std::sync::Arc<Vec<Transfer>>>> =
+            Vec::with_capacity(args.len());
         let mut metas = Vec::new();
         for (arg, dist) in args.iter().zip(&op.arg_dists) {
             match (arg, dist) {
@@ -163,7 +164,7 @@ impl ParallelRef {
                         src_dist: d.distribution,
                         dst_dist: *server_dist,
                     });
-                    schedules.push(Some(schedule(
+                    schedules.push(Some(schedule_cached(
                         d.global_elems,
                         d.distribution,
                         self.group_size,
@@ -284,7 +285,7 @@ impl ParallelRef {
         derived: &str,
         op: &OpPlan,
         args: &[ParValue],
-        schedules: &[Option<Vec<Transfer>>],
+        schedules: &[Option<std::sync::Arc<Vec<Transfer>>>],
         server_rank: usize,
         inv_id: u64,
     ) -> Result<WireReply, GridCcmError> {

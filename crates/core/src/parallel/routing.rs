@@ -21,7 +21,7 @@ use std::collections::BTreeSet;
 
 use crate::dist::Distribution;
 use crate::error::GridCcmError;
-use crate::redistribute::schedule;
+use crate::redistribute::schedule_cached;
 
 /// Metadata of one distributed argument, as carried in chunk headers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,14 +45,17 @@ pub fn targets_of(
     }
     let mut targets = BTreeSet::new();
     for meta in metas {
-        let transfers = schedule(
+        // Cached: `expected_clients` calls this once per client rank with
+        // the same key, and both interception layers route every chunk of
+        // an invocation through the same handful of schedules.
+        let transfers = schedule_cached(
             meta.global_elems,
             meta.src_dist,
             client_size,
             meta.dst_dist,
             server_size,
         )?;
-        for t in transfers {
+        for t in transfers.iter() {
             if t.src_rank == r {
                 targets.insert(t.dst_rank);
             }

@@ -166,6 +166,67 @@ pub fn schedule(
     Ok(out)
 }
 
+/// Cache key: a schedule is fully determined by these five inputs.
+type ScheduleKey = (u64, Distribution, usize, Distribution, usize);
+
+/// Bound on cached schedules; on overflow the cache is cleared (schedules
+/// for live argument shapes repopulate within one invocation round).
+const CACHE_CAP: usize = 1024;
+
+struct ScheduleCache {
+    map: parking_lot::Mutex<std::collections::HashMap<ScheduleKey, std::sync::Arc<Vec<Transfer>>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+static SCHEDULE_CACHE: std::sync::OnceLock<ScheduleCache> = std::sync::OnceLock::new();
+
+fn cache() -> &'static ScheduleCache {
+    SCHEDULE_CACHE.get_or_init(|| ScheduleCache {
+        map: parking_lot::Mutex::new(std::collections::HashMap::new()),
+        hits: std::sync::atomic::AtomicU64::new(0),
+        misses: std::sync::atomic::AtomicU64::new(0),
+    })
+}
+
+/// Like [`schedule`], but memoized: parallel invocations repeat the same
+/// `(len, distribution, group size)` shapes on every call, and cyclic
+/// distributions make the matrix expensive to rebuild (one transfer per
+/// element). The shared `Arc` also lets the three call sites on an
+/// invocation path (routing, client sends, server reply) reuse one
+/// allocation instead of each recomputing the matrix.
+pub fn schedule_cached(
+    global: u64,
+    src_dist: Distribution,
+    src_size: usize,
+    dst_dist: Distribution,
+    dst_size: usize,
+) -> Result<std::sync::Arc<Vec<Transfer>>, GridCcmError> {
+    use std::sync::atomic::Ordering;
+    let key: ScheduleKey = (global, src_dist, src_size, dst_dist, dst_size);
+    let c = cache();
+    if let Some(hit) = c.map.lock().get(&key) {
+        c.hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(std::sync::Arc::clone(hit));
+    }
+    c.misses.fetch_add(1, Ordering::Relaxed);
+    let computed = std::sync::Arc::new(schedule(global, src_dist, src_size, dst_dist, dst_size)?);
+    let mut map = c.map.lock();
+    if map.len() >= CACHE_CAP {
+        map.clear();
+    }
+    let entry = map.entry(key).or_insert_with(|| std::sync::Arc::clone(&computed));
+    Ok(std::sync::Arc::clone(entry))
+}
+
+/// Lifetime (hit, miss) counters of the schedule cache — observability
+/// for benchmarks and tests.
+pub fn schedule_cache_stats() -> (u64, u64) {
+    use std::sync::atomic::Ordering;
+    let c = cache();
+    (c.hits.load(Ordering::Relaxed), c.misses.load(Ordering::Relaxed))
+}
+
 /// The transfers a given source rank must send (its slice of the matrix).
 pub fn sends_of(transfers: &[Transfer], src_rank: usize) -> Vec<Transfer> {
     transfers
@@ -275,6 +336,22 @@ mod tests {
     fn empty_groups_rejected() {
         assert!(schedule(4, Distribution::Block, 0, Distribution::Block, 1).is_err());
         assert!(schedule(4, Distribution::Block, 1, Distribution::Block, 0).is_err());
+    }
+
+    #[test]
+    fn cached_schedule_is_shared_and_correct() {
+        let a = schedule_cached(4096, Distribution::Block, 3, Distribution::Cyclic, 5).unwrap();
+        let b = schedule_cached(4096, Distribution::Block, 3, Distribution::Cyclic, 5).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&a, &b),
+            "second lookup must return the cached matrix"
+        );
+        let fresh = schedule(4096, Distribution::Block, 3, Distribution::Cyclic, 5).unwrap();
+        assert_eq!(*a, fresh);
+        let (hits, misses) = schedule_cache_stats();
+        assert!(hits >= 1 && misses >= 1);
+        // Errors are never cached.
+        assert!(schedule_cached(4, Distribution::Block, 0, Distribution::Block, 1).is_err());
     }
 
     #[test]

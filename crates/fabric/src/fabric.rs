@@ -37,7 +37,6 @@
 use crate::error::FabricError;
 use crate::model::LinkModel;
 use crate::payload::Payload;
-use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use padico_util::ids::{ChannelId, FabricId, NodeId};
 use padico_util::simtime::{ResourceTimeline, SimClock, Vt, VtDuration};
@@ -404,10 +403,10 @@ impl SimFabric {
         // 1. Pre-wire sender cost (driver overhead, rendezvous, kernel copy).
         clock.advance(self.model.pre_wire_sender_cost(len));
         // The kernel copy is physically performed: the payload crosses into
-        // a fresh "kernel buffer" on socket-style fabrics.
+        // a fresh "kernel buffer" on socket-style fabrics. One gather-copy,
+        // matching the single copy `pre_wire_sender_cost` charges.
         let payload = if self.model.kernel_copy && len > 0 {
-            let contiguous = payload.to_contiguous();
-            Payload::from_bytes(Bytes::copy_from_slice(&contiguous))
+            Payload::from_vec(payload.to_vec())
         } else {
             payload
         };

@@ -100,6 +100,41 @@ impl Payload {
         self.segments.len() > 1
     }
 
+    /// True if the payload is at most one segment — a contiguous view is
+    /// free and every byte is addressable through a single `Bytes`.
+    pub fn is_contiguous(&self) -> bool {
+        self.segments.len() <= 1
+    }
+
+    /// Split into the first `at` bytes and the rest, both as payloads
+    /// referencing the original storage — no copies. Segments straddling
+    /// the cut are sliced (refcount bumps only).
+    ///
+    /// This is how protocol layers peel fixed headers off a gather list
+    /// without flattening the body.
+    ///
+    /// # Panics
+    /// Panics if `at > self.len()`.
+    pub fn split_at(&self, at: usize) -> (Payload, Payload) {
+        assert!(at <= self.len, "split_at({at}) beyond payload of {}", self.len);
+        let mut head = Payload::new();
+        let mut tail = Payload::new();
+        let mut consumed = 0usize;
+        for seg in &self.segments {
+            if consumed >= at {
+                tail.push_segment(seg.clone());
+            } else if consumed + seg.len() <= at {
+                head.push_segment(seg.clone());
+            } else {
+                let cut = at - consumed;
+                head.push_segment(seg.slice(..cut));
+                tail.push_segment(seg.slice(cut..));
+            }
+            consumed += seg.len();
+        }
+        (head, tail)
+    }
+
     /// Copy out into a fresh `Vec<u8>` (always a physical copy).
     pub fn to_vec(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(self.len);
@@ -263,5 +298,110 @@ mod tests {
         assert_eq!(blocks[0].len(), 1);
         assert_eq!(blocks[1].len(), 1);
         assert!(blocks[2..].iter().all(|b| b.is_empty()));
+    }
+
+    #[test]
+    fn is_contiguous_tracks_segment_count() {
+        assert!(Payload::new().is_contiguous());
+        assert!(Payload::from_vec(vec![1, 2, 3]).is_contiguous());
+        let mut p = Payload::from_vec(vec![1]);
+        p.push_segment(Bytes::from_static(b"x"));
+        assert!(!p.is_contiguous());
+    }
+
+    #[test]
+    fn split_at_peels_headers_without_copying() {
+        let mut p = Payload::new();
+        p.push_segment(Bytes::from_static(b"abcd"));
+        p.push_segment(Bytes::from_static(b"efgh"));
+        let (head, tail) = p.split_at(6);
+        assert_eq!(head.to_vec(), b"abcdef");
+        assert_eq!(tail.to_vec(), b"gh");
+        // A cut on a segment boundary hands segments through untouched:
+        // the tail's segment is pointer-identical to the original.
+        let (h2, t2) = p.split_at(4);
+        assert_eq!(h2.to_vec(), b"abcd");
+        assert_eq!(t2.to_vec(), b"efgh");
+        let orig: Vec<_> = p.segments().collect();
+        assert_eq!(h2.segments().next().unwrap().as_ptr(), orig[0].as_ptr());
+        assert_eq!(t2.segments().next().unwrap().as_ptr(), orig[1].as_ptr());
+        // Degenerate cuts.
+        let (all, none) = p.split_at(p.len());
+        assert_eq!(all.len(), 8);
+        assert!(none.is_empty());
+        let (none, all) = p.split_at(0);
+        assert!(none.is_empty());
+        assert_eq!(all.len(), 8);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Each chunk segment must be a sub-slice of storage owned by the
+    /// original payload: same allocation, in-bounds pointer range.
+    fn assert_segments_alias(original: &Payload, derived: &Payload) {
+        for seg in derived.segments() {
+            let start = seg.as_ptr() as usize;
+            let end = start + seg.len();
+            assert!(
+                original.segments().any(|orig| {
+                    let o_start = orig.as_ptr() as usize;
+                    o_start <= start && end <= o_start + orig.len()
+                }),
+                "derived segment does not alias the original storage"
+            );
+        }
+    }
+
+    proptest! {
+        /// split_blocks never copies: every chunk segment aliases the
+        /// original storage and no chunk segment crosses an original
+        /// segment boundary.
+        #[test]
+        fn split_blocks_respects_segment_boundaries(
+            seg_lens in proptest::collection::vec(0usize..40, 0..6),
+            parts in 1usize..8,
+        ) {
+            let mut p = Payload::new();
+            let mut byte = 0u8;
+            for len in &seg_lens {
+                let seg: Vec<u8> = (0..*len).map(|_| { byte = byte.wrapping_add(1); byte }).collect();
+                p.push_segment(Bytes::from(seg));
+            }
+            let blocks = p.split_blocks(parts);
+            prop_assert_eq!(blocks.len(), parts);
+            let total: usize = blocks.iter().map(|b| b.len()).sum();
+            prop_assert_eq!(total, p.len());
+            let mut rejoined = Vec::new();
+            for b in &blocks {
+                assert_segments_alias(&p, b);
+                rejoined.extend_from_slice(&b.to_vec());
+            }
+            prop_assert_eq!(rejoined, p.to_vec());
+        }
+
+        /// split_at is exact, loss-free, and zero-copy at any cut point.
+        #[test]
+        fn split_at_rejoins_and_aliases(
+            seg_lens in proptest::collection::vec(0usize..40, 0..6),
+            cut_pct in 0usize..101,
+        ) {
+            let mut p = Payload::new();
+            for (i, len) in seg_lens.iter().enumerate() {
+                p.push_segment(Bytes::from(vec![i as u8; *len]));
+            }
+            let at = p.len() * cut_pct / 100;
+            let (head, tail) = p.split_at(at);
+            prop_assert_eq!(head.len(), at);
+            prop_assert_eq!(tail.len(), p.len() - at);
+            assert_segments_alias(&p, &head);
+            assert_segments_alias(&p, &tail);
+            let mut rejoined = head.to_vec();
+            rejoined.extend_from_slice(&tail.to_vec());
+            prop_assert_eq!(rejoined, p.to_vec());
+        }
     }
 }

@@ -180,54 +180,148 @@ impl CdrWriter {
     }
 }
 
-/// CDR decoder over one contiguous buffer.
+/// CDR decoder over a gather list.
+///
+/// The reader walks the payload's segments in place — building one never
+/// flattens the iovec. A bulk read that happens to sit inside a single
+/// segment (the common case for spliced octet sequences) comes back as a
+/// zero-copy slice; only reads that straddle a segment boundary gather.
 pub struct CdrReader {
-    data: Bytes,
+    segs: Vec<Bytes>,
+    /// Index of the current segment.
+    seg: usize,
+    /// Offset within the current segment.
+    off: usize,
+    /// Global decode position (alignment is relative to message start).
     pos: usize,
+    /// Total bytes across all segments.
+    len: usize,
 }
 
 impl CdrReader {
-    /// Build a reader over a payload.
-    ///
-    /// If the payload is multi-segment this performs the physical
-    /// gather-copy; metered paths account for it via the ORB profile's
-    /// unmarshalling charge.
+    /// Build a reader over a payload without copying it: each segment is
+    /// a reference-counted handle onto the sender's storage.
     pub fn new(payload: &Payload) -> Self {
+        let segs: Vec<Bytes> = payload.segments().cloned().collect();
+        let len = payload.len();
         CdrReader {
-            data: payload.to_contiguous(),
+            segs,
+            seg: 0,
+            off: 0,
             pos: 0,
+            len,
         }
     }
 
     pub fn from_bytes(data: Bytes) -> Self {
-        CdrReader { data, pos: 0 }
+        let len = data.len();
+        CdrReader {
+            segs: vec![data],
+            seg: 0,
+            off: 0,
+            pos: 0,
+            len,
+        }
     }
 
     /// Bytes remaining.
     pub fn remaining(&self) -> usize {
-        self.data.len() - self.pos
+        self.len - self.pos.min(self.len)
+    }
+
+    /// Skip to the next non-exhausted segment.
+    fn normalize(&mut self) {
+        while self.seg < self.segs.len() && self.off == self.segs[self.seg].len() {
+            self.seg += 1;
+            self.off = 0;
+        }
+    }
+
+    /// Advance the cursor by `n` bytes; the global position may run past
+    /// the end (the next bounded read reports the short read).
+    fn skip(&mut self, n: usize) {
+        self.pos += n;
+        let mut left = n;
+        while left > 0 && self.seg < self.segs.len() {
+            let avail = self.segs[self.seg].len() - self.off;
+            let take = avail.min(left);
+            self.off += take;
+            left -= take;
+            if self.off == self.segs[self.seg].len() {
+                self.seg += 1;
+                self.off = 0;
+            }
+        }
     }
 
     fn align(&mut self, to: usize) {
         let pad = (to - (self.pos % to)) % to;
-        self.pos += pad;
+        self.skip(pad);
     }
 
-    fn take(&mut self, n: usize) -> Result<&[u8], OrbError> {
-        if self.pos + n > self.data.len() {
-            return Err(OrbError::Marshal(format!(
-                "short read: need {n} bytes at offset {}, have {}",
-                self.pos,
-                self.data.len() - self.pos.min(self.data.len())
-            )));
+    fn short_read(&self, n: usize) -> OrbError {
+        OrbError::Marshal(format!(
+            "short read: need {n} bytes at offset {}, have {}",
+            self.pos,
+            self.remaining()
+        ))
+    }
+
+    /// Copy exactly `out.len()` bytes into `out`, crossing segment
+    /// boundaries as needed (scalars are tiny; the copy is the decode).
+    fn take_into(&mut self, out: &mut [u8]) -> Result<(), OrbError> {
+        let n = out.len();
+        if self.pos + n > self.len {
+            return Err(self.short_read(n));
         }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+        let mut done = 0;
+        while done < n {
+            self.normalize();
+            let seg = &self.segs[self.seg];
+            let take = (seg.len() - self.off).min(n - done);
+            out[done..done + take].copy_from_slice(&seg[self.off..self.off + take]);
+            self.off += take;
+            self.pos += take;
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Read `n` raw bytes. Zero-copy (a refcounted slice) when the run
+    /// lies within one segment; gathers otherwise.
+    pub fn read_bytes(&mut self, n: usize) -> Result<Bytes, OrbError> {
+        if self.pos + n > self.len {
+            return Err(self.short_read(n));
+        }
+        if n == 0 {
+            return Ok(Bytes::new());
+        }
+        self.normalize();
+        let seg = &self.segs[self.seg];
+        if self.off + n <= seg.len() {
+            let s = seg.slice(self.off..self.off + n);
+            self.off += n;
+            self.pos += n;
+            return Ok(s);
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut left = n;
+        while left > 0 {
+            self.normalize();
+            let seg = &self.segs[self.seg];
+            let take = (seg.len() - self.off).min(left);
+            out.extend_from_slice(&seg[self.off..self.off + take]);
+            self.off += take;
+            self.pos += take;
+            left -= take;
+        }
+        Ok(Bytes::from(out))
     }
 
     pub fn read_u8(&mut self) -> Result<u8, OrbError> {
-        Ok(self.take(1)?[0])
+        let mut b = [0u8; 1];
+        self.take_into(&mut b)?;
+        Ok(b[0])
     }
 
     pub fn read_bool(&mut self) -> Result<bool, OrbError> {
@@ -236,37 +330,51 @@ impl CdrReader {
 
     pub fn read_u16(&mut self) -> Result<u16, OrbError> {
         self.align(2);
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+        let mut b = [0u8; 2];
+        self.take_into(&mut b)?;
+        Ok(u16::from_le_bytes(b))
     }
 
     pub fn read_u32(&mut self) -> Result<u32, OrbError> {
         self.align(4);
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        let mut b = [0u8; 4];
+        self.take_into(&mut b)?;
+        Ok(u32::from_le_bytes(b))
     }
 
     pub fn read_i32(&mut self) -> Result<i32, OrbError> {
         self.align(4);
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        let mut b = [0u8; 4];
+        self.take_into(&mut b)?;
+        Ok(i32::from_le_bytes(b))
     }
 
     pub fn read_u64(&mut self) -> Result<u64, OrbError> {
         self.align(8);
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        let mut b = [0u8; 8];
+        self.take_into(&mut b)?;
+        Ok(u64::from_le_bytes(b))
     }
 
     pub fn read_i64(&mut self) -> Result<i64, OrbError> {
         self.align(8);
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        let mut b = [0u8; 8];
+        self.take_into(&mut b)?;
+        Ok(i64::from_le_bytes(b))
     }
 
     pub fn read_f32(&mut self) -> Result<f32, OrbError> {
         self.align(4);
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        let mut b = [0u8; 4];
+        self.take_into(&mut b)?;
+        Ok(f32::from_le_bytes(b))
     }
 
     pub fn read_f64(&mut self) -> Result<f64, OrbError> {
         self.align(8);
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        let mut b = [0u8; 8];
+        self.take_into(&mut b)?;
+        Ok(f64::from_le_bytes(b))
     }
 
     pub fn read_string(&mut self) -> Result<String, OrbError> {
@@ -274,7 +382,7 @@ impl CdrReader {
         if len == 0 {
             return Err(OrbError::Marshal("string with zero length".into()));
         }
-        let bytes = self.take(len)?;
+        let bytes = self.read_bytes(len)?;
         let (content, nul) = bytes.split_at(len - 1);
         if nul != [0] {
             return Err(OrbError::Marshal("string not NUL-terminated".into()));
@@ -283,17 +391,15 @@ impl CdrReader {
             .map_err(|_| OrbError::Marshal("string is not UTF-8".into()))
     }
 
-    /// `sequence<octet>` without copying: slices the underlying buffer.
+    /// `sequence<octet>` without copying: slices the underlying segment.
     pub fn read_octet_seq(&mut self) -> Result<Bytes, OrbError> {
         let len = self.read_u32()? as usize;
-        if self.pos + len > self.data.len() {
+        if self.pos + len > self.len {
             return Err(OrbError::Marshal(format!(
                 "octet sequence of {len} bytes overruns buffer"
             )));
         }
-        let s = self.data.slice(self.pos..self.pos + len);
-        self.pos += len;
-        Ok(s)
+        self.read_bytes(len)
     }
 
     pub fn read_i32_seq(&mut self) -> Result<Vec<i32>, OrbError> {
@@ -301,7 +407,7 @@ impl CdrReader {
         if len != 0 {
             self.align(4);
         }
-        let bytes = self.take(len * 4)?;
+        let bytes = self.read_bytes(len * 4)?;
         Ok(bytes
             .chunks_exact(4)
             .map(|c| i32::from_le_bytes(c.try_into().expect("4")))
@@ -313,7 +419,7 @@ impl CdrReader {
         if len != 0 {
             self.align(8);
         }
-        let bytes = self.take(len * 8)?;
+        let bytes = self.read_bytes(len * 8)?;
         Ok(bytes
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().expect("8")))
@@ -458,6 +564,40 @@ mod tests {
     }
 
     #[test]
+    fn reader_over_gather_list_aliases_spliced_segment() {
+        // Decoding a spliced bulk sequence from a multi-segment payload
+        // must hand back the very segment the writer spliced in — no
+        // flatten on construction, no copy on read.
+        let big = Bytes::from(vec![3u8; ZERO_COPY_THRESHOLD * 2]);
+        let big_ptr = big.as_ptr();
+        let mut w = CdrWriter::new(MarshalStrategy::ZeroCopy);
+        w.write_u32(42);
+        w.write_octet_seq(big);
+        w.write_string("tail");
+        let payload = w.finish();
+        assert!(payload.segment_count() >= 3);
+        let mut r = CdrReader::new(&payload);
+        assert_eq!(r.read_u32().unwrap(), 42);
+        let seq = r.read_octet_seq().unwrap();
+        assert_eq!(seq.len(), ZERO_COPY_THRESHOLD * 2);
+        assert_eq!(seq.as_ptr(), big_ptr, "bulk read must alias the splice");
+        assert_eq!(r.read_string().unwrap(), "tail");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn scalar_reads_cross_segment_boundaries() {
+        // A u64 split across two segments still decodes (gathered into a
+        // stack buffer), with alignment tracked globally.
+        let mut p = Payload::new();
+        p.push_segment(Bytes::from_static(&[0xEF, 0xBE, 0xAD]));
+        p.push_segment(Bytes::from_static(&[0xDE, 0, 0, 0, 0]));
+        let mut r = CdrReader::new(&p);
+        assert_eq!(r.read_u64().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
     fn read_octet_seq_is_zero_copy_slice() {
         let mut w = CdrWriter::new(MarshalStrategy::Copying);
         w.write_octet_slice(&[5u8; 64]);
@@ -472,12 +612,7 @@ mod tests {
 
 impl std::fmt::Debug for CdrReader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "CdrReader(pos {} of {} bytes)",
-            self.pos,
-            self.data.len()
-        )
+        write!(f, "CdrReader(pos {} of {} bytes)", self.pos, self.len)
     }
 }
 

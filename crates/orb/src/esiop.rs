@@ -86,31 +86,40 @@ pub fn is_esiop(first_byte: u8) -> bool {
 }
 
 /// Decode one ESIOP frame into the common message model.
+///
+/// The head is one segment on the encode side, so the head flattens here
+/// are free slices; the body is split off the gather list untouched.
 pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
-    let whole = frame.to_contiguous();
-    if whole.len() < 6 || whole[0] != MAGIC {
+    let total = frame.len();
+    if total < 6 {
         return Err(OrbError::Marshal("not an ESIOP frame".into()));
     }
-    let msg_type = whole[1];
-    let request_id = u32::from_le_bytes(whole[2..6].try_into().expect("4"));
+    let prefix = frame.split_at(6).0.to_contiguous();
+    if prefix[0] != MAGIC {
+        return Err(OrbError::Marshal("not an ESIOP frame".into()));
+    }
+    let msg_type = prefix[1];
+    let request_id = u32::from_le_bytes(prefix[2..6].try_into().expect("4"));
     match msg_type {
         TYPE_REQUEST | TYPE_REQUEST_ONEWAY => {
-            if whole.len() < 16 {
+            if total < 16 {
                 return Err(OrbError::Marshal("ESIOP request too short".into()));
             }
-            let object_key = ObjectKey(u64::from_le_bytes(whole[6..14].try_into().expect("8")));
-            let op_len = u16::from_le_bytes(whole[14..16].try_into().expect("2")) as usize;
-            if whole.len() < 16 + op_len {
+            let fixed = frame.split_at(16).0.to_contiguous();
+            let object_key = ObjectKey(u64::from_le_bytes(fixed[6..14].try_into().expect("8")));
+            let op_len = u16::from_le_bytes(fixed[14..16].try_into().expect("2")) as usize;
+            if total < 16 + op_len {
                 return Err(OrbError::Marshal("ESIOP operation overruns frame".into()));
             }
-            let operation = std::str::from_utf8(&whole[16..16 + op_len])
+            let head = frame.split_at(16 + op_len).0.to_contiguous();
+            let operation = std::str::from_utf8(&head[16..16 + op_len])
                 .map_err(|_| OrbError::Marshal("ESIOP operation is not UTF-8".into()))?
                 .to_string();
             let mut body_start = 16 + op_len;
             while !body_start.is_multiple_of(8) {
                 body_start += 1;
             }
-            if body_start > whole.len() {
+            if body_start > total {
                 return Err(OrbError::Marshal("ESIOP padding overruns frame".into()));
             }
             Ok(GiopMessage::Request {
@@ -118,14 +127,15 @@ pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
                 response_expected: msg_type == TYPE_REQUEST,
                 object_key,
                 operation,
-                body: whole.slice(body_start..),
+                body: frame.split_at(body_start).1,
             })
         }
         TYPE_REPLY => {
-            if whole.len() < 8 {
+            if total < 8 {
                 return Err(OrbError::Marshal("ESIOP reply too short".into()));
             }
-            let status = match whole[6] {
+            let head = frame.split_at(8).0.to_contiguous();
+            let status = match head[6] {
                 0 => ReplyStatus::NoException,
                 1 => ReplyStatus::UserException,
                 2 => ReplyStatus::SystemException,
@@ -136,7 +146,7 @@ pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
             Ok(GiopMessage::Reply {
                 request_id,
                 status,
-                body: whole.slice(8..),
+                body: frame.split_at(8).1,
             })
         }
         other => Err(OrbError::Marshal(format!("unknown ESIOP type {other}"))),
@@ -168,7 +178,7 @@ mod tests {
                 assert!(response_expected);
                 assert_eq!(object_key, ObjectKey(42));
                 assert_eq!(operation, "density");
-                let mut r = CdrReader::from_bytes(body);
+                let mut r = CdrReader::new(&body);
                 assert_eq!(r.read_u64().unwrap(), 0xdead_beef);
                 assert_eq!(r.read_octet_seq().unwrap(), Bytes::from(vec![7u8; 4096]));
             }
@@ -201,7 +211,7 @@ mod tests {
                 } => {
                     assert_eq!(request_id, 7);
                     assert_eq!(got, status);
-                    let mut r = CdrReader::from_bytes(body);
+                    let mut r = CdrReader::new(&body);
                     assert_eq!(r.read_i32().unwrap(), 5);
                 }
                 other => panic!("{other:?}"),

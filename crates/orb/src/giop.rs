@@ -81,14 +81,14 @@ pub enum GiopMessage {
         response_expected: bool,
         object_key: ObjectKey,
         operation: String,
-        /// CDR-encoded arguments.
-        body: Bytes,
+        /// CDR-encoded arguments, still the sender's gather list.
+        body: Payload,
     },
     Reply {
         request_id: u32,
         status: ReplyStatus,
-        /// CDR-encoded results or exception.
-        body: Bytes,
+        /// CDR-encoded results or exception, still the sender's gather list.
+        body: Payload,
     },
     CancelRequest {
         request_id: u32,
@@ -203,11 +203,17 @@ pub fn encode_message_error() -> Payload {
 }
 
 /// Decode one framed message.
+///
+/// Splits the frame along its gather list: the 12-byte header (its own
+/// segment on the encode side, so this is free), then the CDR head
+/// fields, then the argument/result body — which stays the sender's
+/// segments untouched.
 pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
-    let whole = frame.to_contiguous();
-    if whole.len() < 12 {
+    if frame.len() < 12 {
         return Err(OrbError::Marshal("GIOP frame shorter than header".into()));
     }
+    let (head, rest) = frame.split_at(12);
+    let whole = head.to_contiguous();
     if &whole[0..4] != MAGIC {
         return Err(OrbError::Marshal("bad GIOP magic".into()));
     }
@@ -224,14 +230,13 @@ pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
     }
     let msg_type = MsgType::from_u8(whole[7])?;
     let body_len = u32::from_le_bytes(whole[8..12].try_into().expect("4")) as usize;
-    if whole.len() - 12 != body_len {
+    if rest.len() != body_len {
         return Err(OrbError::Marshal(format!(
             "GIOP size mismatch: header says {body_len}, frame has {}",
-            whole.len() - 12
+            rest.len()
         )));
     }
-    let body = whole.slice(12..);
-    let mut r = CdrReader::from_bytes(body.clone());
+    let mut r = CdrReader::new(&rest);
     match msg_type {
         MsgType::Request => {
             let request_id = r.read_u32()?;
@@ -239,7 +244,7 @@ pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
             let object_key = ObjectKey(r.read_u64()?);
             let operation = r.read_string()?;
             let args_len = r.read_u64()? as usize;
-            let consumed = body.len() - r.remaining();
+            let consumed = rest.len() - r.remaining();
             if r.remaining() != args_len {
                 return Err(OrbError::Marshal(format!(
                     "request args length mismatch: declared {args_len}, have {}",
@@ -251,21 +256,21 @@ pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
                 response_expected,
                 object_key,
                 operation,
-                body: body.slice(consumed..),
+                body: rest.split_at(consumed).1,
             })
         }
         MsgType::Reply => {
             let request_id = r.read_u32()?;
             let status = ReplyStatus::from_u32(r.read_u32()?)?;
             let body_len = r.read_u64()? as usize;
-            let consumed = body.len() - r.remaining();
+            let consumed = rest.len() - r.remaining();
             if r.remaining() != body_len {
                 return Err(OrbError::Marshal("reply body length mismatch".into()));
             }
             Ok(GiopMessage::Reply {
                 request_id,
                 status,
-                body: body.slice(consumed..),
+                body: rest.split_at(consumed).1,
             })
         }
         MsgType::CancelRequest => Ok(GiopMessage::CancelRequest {
@@ -297,8 +302,10 @@ mod tests {
 
     #[test]
     fn request_roundtrip_preserves_zero_copy_args() {
+        let blob = Bytes::from(vec![3u8; 4096]);
+        let blob_ptr = blob.as_ptr();
         let mut args = CdrWriter::new(MarshalStrategy::ZeroCopy);
-        args.write_octet_seq(Bytes::from(vec![3u8; 4096]));
+        args.write_octet_seq(blob);
         let frame = encode_request(42, true, ObjectKey(7), "compute_density", args.finish());
         assert!(frame.segment_count() > 1, "splice survives framing");
         match decode(&frame).unwrap() {
@@ -313,8 +320,14 @@ mod tests {
                 assert!(response_expected);
                 assert_eq!(object_key, ObjectKey(7));
                 assert_eq!(operation, "compute_density");
-                let mut r = CdrReader::from_bytes(body);
-                assert_eq!(r.read_octet_seq().unwrap(), Bytes::from(vec![3u8; 4096]));
+                let mut r = CdrReader::new(&body);
+                let seq = r.read_octet_seq().unwrap();
+                assert_eq!(seq, Bytes::from(vec![3u8; 4096]));
+                assert_eq!(
+                    seq.as_ptr(),
+                    blob_ptr,
+                    "decoded args must alias the caller's splice"
+                );
             }
             other => panic!("wrong message: {other:?}"),
         }
@@ -338,7 +351,7 @@ mod tests {
                 } => {
                     assert_eq!(request_id, 9);
                     assert_eq!(got, status);
-                    let mut r = CdrReader::from_bytes(body);
+                    let mut r = CdrReader::new(&body);
                     assert_eq!(r.read_i32().unwrap(), -5);
                 }
                 other => panic!("wrong message: {other:?}"),

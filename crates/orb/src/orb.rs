@@ -29,7 +29,8 @@ use crate::error::OrbError;
 use crate::giop::{self, GiopMessage, LocateStatus, ReplyStatus};
 use crate::ior::Ior;
 use crate::poa::{Poa, Servant, ServerCtx};
-use crate::profile::OrbProfile;
+use crate::profile::{MarshalStrategy, OrbProfile};
+use padico_fabric::Payload;
 
 /// Wire protocol spoken by a client connection. Servers auto-detect the
 /// protocol of every incoming frame, so mixed-protocol grids work.
@@ -126,11 +127,7 @@ fn client_reader(
     stream: Arc<padico_tm::vlink::VLinkStream>,
     pending: Arc<Mutex<HashMap<u32, crossbeam::channel::Sender<GiopMessage>>>>,
 ) {
-    loop {
-        let frame = match stream.read_frame() {
-            Ok(Some(frame)) => frame,
-            Ok(None) | Err(_) => break,
-        };
+    while let Ok(Some(frame)) = stream.read_frame() {
         let first = frame.segments().next().and_then(|s| s.first().copied());
         let decoded = if first == Some(crate::esiop::MAGIC) {
             crate::esiop::decode(&frame)
@@ -391,7 +388,7 @@ impl Orb {
         response_expected: bool,
         object_key: crate::ior::ObjectKey,
         operation: String,
-        body: bytes::Bytes,
+        body: Payload,
     ) {
         let clock = self.tm.clock().share();
         self.profile
@@ -404,7 +401,14 @@ impl Orb {
                     clock: clock.share(),
                     caller,
                 };
-                let mut args = CdrReader::from_bytes(body);
+                // Copying profiles physically flatten the request into
+                // one unmarshalling buffer (the copy `charge_server`
+                // accounts for); zero-copy profiles read the gather list
+                // in place.
+                let mut args = match self.profile.strategy {
+                    MarshalStrategy::Copying => CdrReader::from_bytes(body.to_contiguous()),
+                    MarshalStrategy::ZeroCopy => CdrReader::new(&body),
+                };
                 // A panicking servant must not hang its client: panics
                 // become system exceptions, as real POAs map them.
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -677,14 +681,21 @@ impl RequestBuilder {
                 // on the reply length.
                 orb.profile
                     .charge_client_scaled(clock, body.len(), factor);
+                // Same strategy split as the server side: copying
+                // profiles flatten the reply, zero-copy ones read the
+                // gather list in place.
+                let reader = match orb.profile.strategy {
+                    MarshalStrategy::Copying => CdrReader::from_bytes(body.to_contiguous()),
+                    MarshalStrategy::ZeroCopy => CdrReader::new(&body),
+                };
                 match status {
-                    ReplyStatus::NoException => Ok(Some(CdrReader::from_bytes(body))),
+                    ReplyStatus::NoException => Ok(Some(reader)),
                     ReplyStatus::UserException => {
-                        let mut r = CdrReader::from_bytes(body);
+                        let mut r = reader;
                         Err(OrbError::User(r.read_string()?))
                     }
                     ReplyStatus::SystemException => {
-                        let mut r = CdrReader::from_bytes(body);
+                        let mut r = reader;
                         Err(OrbError::System(r.read_string()?))
                     }
                 }
@@ -846,6 +857,51 @@ mod tests {
         // oneway was dispatched (FIFO per connection).
         let mut reply = obj.request("add").arg_i32(1).arg_i32(2).invoke().unwrap();
         assert_eq!(reply.read_i32().unwrap(), 3);
+    }
+
+    #[test]
+    fn zero_copy_profile_performs_zero_physical_copies() {
+        // Acceptance check for the gather-list fast path: with a
+        // zero-copy profile on a fabric without a kernel copy, the bulk
+        // argument the servant sees IS the client's buffer — the splice
+        // survived CDR, GIOP framing, VLink, the circuit, and dispatch.
+        struct PtrRecorder(Mutex<Option<(usize, usize)>>);
+        impl Servant for PtrRecorder {
+            fn repository_id(&self) -> &str {
+                "IDL:Test/PtrRecorder:1.0"
+            }
+            fn dispatch(
+                &self,
+                operation: &str,
+                args: &mut CdrReader,
+                reply: &mut CdrWriter,
+                _ctx: &ServerCtx,
+            ) -> Result<(), OrbError> {
+                assert_eq!(operation, "take");
+                let blob = args.read_octet_seq()?;
+                *self.0.lock() = Some((blob.as_ptr() as usize, blob.len()));
+                reply.write_bool(true);
+                Ok(())
+            }
+        }
+        let (client, server) = orb_pair(OrbProfile::omniorb3(), OrbProfile::omniorb3());
+        let recorder = Arc::new(PtrRecorder(Mutex::new(None)));
+        let ior = server.activate(Arc::clone(&recorder) as Arc<dyn Servant>);
+        let obj = client.object_ref(ior);
+        let blob = Bytes::from(vec![0x5A_u8; 1 << 16]);
+        let blob_ptr = blob.as_ptr() as usize;
+        let mut reply = obj
+            .request("take")
+            .arg_octet_seq(blob.clone())
+            .invoke()
+            .unwrap();
+        assert!(reply.read_bool().unwrap());
+        let (srv_ptr, srv_len) = recorder.0.lock().take().expect("servant ran");
+        assert_eq!(srv_len, 1 << 16);
+        assert_eq!(
+            srv_ptr, blob_ptr,
+            "servant must see the client's buffer, not a copy"
+        );
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A wall-clock micro-benchmark harness that is source-compatible with
+//! the subset of the criterion 0.5 API this workspace's benches use. It
+//! really measures: warm-up, then `sample_size` samples of adaptively
+//! batched iterations, reporting the median ns/iteration and derived
+//! throughput. When the `CRITERION_JSON` environment variable names a
+//! file, one JSON object per benchmark is appended to it — the
+//! `scripts/bench_snapshot.sh` flow builds `BENCH_<date>.json` from
+//! that stream.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark (drives the derived rate).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier composed of a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to the benchmark closure.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    result: &'a mut Option<Sample>,
+}
+
+struct Sample {
+    median_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Measure `f`, including its return-value drop time (criterion
+    /// semantics).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run for ~30 ms to populate caches and estimate cost.
+        let warmup = Duration::from_millis(30);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        // Batch iterations so one sample spans ≥ ~200 µs.
+        let batch = ((200_000.0 / est_ns).ceil() as u64).max(1);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        *self.result = Some(Sample {
+            median_ns: samples[samples.len() / 2],
+            min_ns: samples[0],
+            iters: batch * self.sample_size as u64,
+        });
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id.to_string(), self.sample_size, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            format!("{}/{}", self.name, id),
+            self.criterion.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut result = None;
+    let mut b = Bencher {
+        sample_size,
+        result: &mut result,
+    };
+    f(&mut b);
+    let Some(sample) = result else {
+        println!("{id:<48} (no measurement)");
+        return;
+    };
+    let rate = throughput.map(|t| match t {
+        // Decimal MB/s, matching how the paper reports bandwidth.
+        Throughput::Bytes(n) => (n as f64 * 1_000.0 / sample.median_ns, "MB/s"),
+        Throughput::Elements(n) => (n as f64 * 1e9 / sample.median_ns, "elem/s"),
+    });
+    match rate {
+        Some((v, unit)) => println!(
+            "{id:<48} time: {:>12} thrpt: {v:>10.1} {unit}",
+            fmt_ns(sample.median_ns)
+        ),
+        None => println!("{id:<48} time: {:>12}", fmt_ns(sample.median_ns)),
+    }
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            let tp = match throughput {
+                Some(Throughput::Bytes(n)) => format!(",\"throughput_bytes\":{n}"),
+                Some(Throughput::Elements(n)) => format!(",\"throughput_elements\":{n}"),
+                None => String::new(),
+            };
+            let line = format!(
+                "{{\"id\":{:?},\"median_ns\":{:.1},\"min_ns\":{:.1},\"iters\":{}{tp}}}\n",
+                id, sample.median_ns, sample.min_ns, sample.iters
+            );
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut fh| fh.write_all(line.as_bytes()));
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. --bench); ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 8), &8usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("zero_copy", 64).to_string(), "zero_copy/64");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

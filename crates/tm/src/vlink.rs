@@ -39,6 +39,18 @@ const KIND_ACK: u8 = 2;
 const KIND_DATA: u8 = 3;
 const KIND_FIN: u8 = 4;
 
+/// The one-byte frame tag as a static segment: prepending it to a frame
+/// is a gather-list append, not an allocation per frame.
+fn kind_segment(kind: u8) -> bytes::Bytes {
+    match kind {
+        KIND_SYN => bytes::Bytes::from_static(&[KIND_SYN]),
+        KIND_ACK => bytes::Bytes::from_static(&[KIND_ACK]),
+        KIND_DATA => bytes::Bytes::from_static(&[KIND_DATA]),
+        KIND_FIN => bytes::Bytes::from_static(&[KIND_FIN]),
+        other => unreachable!("unknown frame kind {other}"),
+    }
+}
+
 fn listener_channel(service: &str, node: NodeId) -> ChannelId {
     named_channel(&format!("vlink:{service}@{node}"))
 }
@@ -104,7 +116,8 @@ impl VLinkListener {
             Some(t) => self.rx.recv_timeout(self.tm.clock(), t)?,
             None => self.rx.recv(self.tm.clock())?,
         };
-        let syn = msg.payload.to_vec();
+        // SYN frames are sent as one segment, so this flatten is free.
+        let syn = msg.payload.to_contiguous();
         if syn.len() != 1 + 8 + 8 + 4 + 1 || syn[0] != KIND_SYN {
             return Err(TmError::Protocol("malformed SYN".into()));
         }
@@ -152,10 +165,53 @@ pub struct VLinkStream {
     rx_offset: Mutex<u64>,
 }
 
+/// Received-but-unread data, kept as the segments the wire delivered —
+/// `read` copies into the caller's buffer (that copy is inherent to the
+/// read(2)-style API), while `read_frame` hands segments out untouched.
 #[derive(Default)]
 struct StreamBuffer {
-    bytes: VecDeque<u8>,
+    segments: VecDeque<bytes::Bytes>,
+    len: usize,
     eof: bool,
+}
+
+impl StreamBuffer {
+    fn push(&mut self, seg: bytes::Bytes) {
+        if !seg.is_empty() {
+            self.len += seg.len();
+            self.segments.push_back(seg);
+        }
+    }
+
+    /// Copy up to `buf.len()` buffered bytes out; returns the count.
+    fn copy_out(&mut self, buf: &mut [u8]) -> usize {
+        let mut done = 0;
+        while done < buf.len() {
+            let Some(front) = self.segments.front_mut() else {
+                break;
+            };
+            let n = front.len().min(buf.len() - done);
+            buf[done..done + n].copy_from_slice(&front[..n]);
+            done += n;
+            self.len -= n;
+            if n == front.len() {
+                self.segments.pop_front();
+            } else {
+                *front = front.slice(n..);
+            }
+        }
+        done
+    }
+
+    /// Hand every buffered segment out as one payload, zero-copy.
+    fn drain_payload(&mut self) -> Payload {
+        let mut p = Payload::new();
+        for seg in self.segments.drain(..) {
+            p.push_segment(seg);
+        }
+        self.len = 0;
+        p
+    }
 }
 
 impl VLinkStream {
@@ -217,8 +273,8 @@ impl VLinkStream {
             .rx
             .lock()
             .recv_timeout(stream.tm.clock(), timeout)?;
-        let ack_bytes = ack.payload.to_vec();
-        if ack_bytes.first() != Some(&KIND_ACK) {
+        let first = ack.payload.segments().next().and_then(|s| s.first().copied());
+        if first != Some(KIND_ACK) {
             return Err(TmError::Protocol("expected ACK".into()));
         }
         Ok(stream)
@@ -235,7 +291,7 @@ impl VLinkStream {
 
     fn send_frame(&self, kind: u8, body: Payload) -> Result<(), TmError> {
         let mut wire = Payload::new();
-        wire.push_segment(bytes::Bytes::copy_from_slice(&[kind]));
+        wire.push_segment(kind_segment(kind));
         wire.append(body);
         if self.peer == self.tm.node() {
             self.tm.net().send_local(self.tx_channel, wire);
@@ -281,12 +337,8 @@ impl VLinkStream {
         loop {
             {
                 let mut b = self.buffer.lock();
-                if !b.bytes.is_empty() {
-                    let n = buf.len().min(b.bytes.len());
-                    for slot in buf.iter_mut().take(n) {
-                        *slot = b.bytes.pop_front().expect("non-empty");
-                    }
-                    return Ok(n);
+                if b.len > 0 {
+                    return Ok(b.copy_out(buf));
                 }
                 if b.eof {
                     return Ok(0);
@@ -315,9 +367,8 @@ impl VLinkStream {
         // Drain any buffered bytes first to preserve stream semantics.
         {
             let mut b = self.buffer.lock();
-            if !b.bytes.is_empty() {
-                let drained: Vec<u8> = b.bytes.drain(..).collect();
-                return Ok(Some(Payload::from_vec(drained)));
+            if b.len > 0 {
+                return Ok(Some(b.drain_payload()));
             }
             if b.eof {
                 return Ok(None);
@@ -334,8 +385,10 @@ impl VLinkStream {
                 None => rx.recv(self.tm.clock())?,
             }
         };
-        self.ingest(msg, |bytes, buffer| {
-            buffer.bytes.extend(bytes.iter().copied());
+        self.ingest(msg, |body, buffer| {
+            for seg in body.segments() {
+                buffer.push(seg.clone());
+            }
         })?;
         Ok(())
     }
@@ -347,8 +400,8 @@ impl VLinkStream {
             rx.recv(self.tm.clock())?
         };
         let mut out = None;
-        self.ingest(msg, |bytes, _buffer| {
-            out = Some(Payload::from_vec(bytes.to_vec()));
+        self.ingest(msg, |body, _buffer| {
+            out = Some(body);
         })?;
         if out.is_none() {
             // FIN arrived.
@@ -360,18 +413,22 @@ impl VLinkStream {
     fn ingest(
         &self,
         msg: padico_fabric::Message,
-        mut sink: impl FnMut(&[u8], &mut StreamBuffer),
+        mut sink: impl FnMut(Payload, &mut StreamBuffer),
     ) -> Result<(), TmError> {
-        let raw = msg.payload.to_vec();
-        let (kind, body) = raw
-            .split_first()
-            .ok_or_else(|| TmError::Protocol("empty frame".into()))?;
-        match *kind {
+        if msg.payload.is_empty() {
+            return Err(TmError::Protocol("empty frame".into()));
+        }
+        // Peel the one-byte kind tag off the gather list without touching
+        // the body segments.
+        let (tag, body) = msg.payload.split_at(1);
+        let kind = tag.to_contiguous()[0];
+        match kind {
             KIND_DATA => {
-                let mut decoded;
-                let bytes: &[u8] = if self.route.encrypt {
+                let body = if self.route.encrypt {
+                    // The cipher must walk every byte: this copy is real
+                    // work and is charged at CIPHER_MB_S.
                     let mut offset = self.rx_offset.lock();
-                    decoded = body.to_vec();
+                    let mut decoded = body.to_vec();
                     self.key.apply(&mut decoded, *offset);
                     *offset += decoded.len() as u64;
                     self.tm
@@ -380,12 +437,12 @@ impl VLinkStream {
                             decoded.len(),
                             crate::security::CIPHER_MB_S,
                         ));
-                    &decoded
+                    Payload::from_vec(decoded)
                 } else {
                     body
                 };
                 let mut b = self.buffer.lock();
-                sink(bytes, &mut b);
+                sink(body, &mut b);
                 Ok(())
             }
             KIND_FIN => {
@@ -564,6 +621,32 @@ mod tests {
         assert!(
             trusted_cost < cipher_cost,
             "trusted send ({trusted_cost} ns) must beat even just the cipher ({cipher_cost} ns)"
+        );
+    }
+
+    #[test]
+    fn read_frame_preserves_segment_identity_on_trusted_route() {
+        // A framed payload sent over the SAN must arrive as the very same
+        // storage: the kind tag is peeled off the gather list, never
+        // flattened into the body.
+        let (a, b) = pair();
+        let listener = b.vlink_listen("zc").unwrap();
+        let bt = std::thread::spawn(move || listener.accept().unwrap());
+        let s = a
+            .vlink_connect(b.node(), "zc", FabricChoice::Kind(FabricKind::Myrinet))
+            .unwrap();
+        let server = bt.join().unwrap();
+        let blob = bytes::Bytes::from(vec![0xAB; 64 * 1024]);
+        let sent_ptr = blob.as_ptr();
+        s.write_payload(Payload::from_bytes(blob)).unwrap();
+        let frame = server.read_frame().unwrap().expect("one frame");
+        assert!(frame.is_contiguous(), "frame should be one segment");
+        let got = frame.to_contiguous();
+        assert_eq!(got.len(), 64 * 1024);
+        assert_eq!(
+            got.as_ptr(),
+            sent_ptr,
+            "VLink frame must alias the sender's buffer end-to-end"
         );
     }
 

@@ -16,12 +16,16 @@
 //!   arrival timestamp (`fetch_max`), the classic conservative
 //!   virtual-time rule: `recv_time = max(local_now, arrival)`.
 //! * Shared resources (a NIC, a link) are modelled by [`ResourceTimeline`]:
-//!   a transmission *reserves* an interval on the timeline starting no
-//!   earlier than both the requester's clock and the end of the previous
-//!   reservation. Two concurrent senders therefore split the line rate,
-//!   which is precisely the mechanism behind the paper's "CORBA and MPI at
-//!   the same time each get 120 MB/s" result (§4.4).
+//!   a transmission *reserves* an interval on the timeline at the earliest
+//!   virtual instant the resource is idle, no earlier than the requester's
+//!   clock. Two concurrent senders therefore split the line rate, which is
+//!   precisely the mechanism behind the paper's "CORBA and MPI at the same
+//!   time each get 120 MB/s" result (§4.4) — while a request for an idle
+//!   past window (made late in *wall-clock* order by a thread the OS
+//!   scheduled behind its peers) backfills the gap instead of queueing
+//!   behind reservations that live later on the virtual axis.
 
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -129,12 +133,17 @@ impl SimClock {
 /// A serially-reusable resource on the virtual timeline (a NIC transmit
 /// engine, a link, a DMA engine).
 ///
-/// Reservations are first-come-first-served in *call* order, which under
-/// concurrent use interleaves requesters and shares the resource's rate
-/// fairly — the behaviour the arbitration layer is designed to provide.
+/// Each reservation is granted the *earliest idle interval* on the virtual
+/// axis that starts no earlier than the requester's `not_before`. Saturated
+/// concurrent use packs intervals back to back, sharing the resource's rate
+/// fairly — the behaviour the arbitration layer is designed to provide —
+/// while a requester whose thread the OS scheduled late still lands in the
+/// idle window its virtual clock entitles it to, keeping granted times
+/// independent of wall-clock interleaving.
 #[derive(Debug, Default)]
 pub struct ResourceTimeline {
-    busy_until: AtomicU64,
+    /// Sorted, disjoint, non-touching busy intervals `[start, end)`.
+    busy: Mutex<Vec<(Vt, Vt)>>,
 }
 
 /// The interval granted by [`ResourceTimeline::reserve`].
@@ -152,31 +161,63 @@ impl ResourceTimeline {
         Self::default()
     }
 
-    /// Reserve the resource for `dur` starting no earlier than `not_before`.
+    /// Reserve the resource for `dur` starting no earlier than `not_before`,
+    /// in the earliest idle interval that fits.
     ///
     /// Returns the granted interval. The caller typically merges its clock
     /// to `end` (the request occupies the caller until the resource is done,
     /// e.g. a blocking DMA) or forwards `end` as a message timestamp.
     pub fn reserve(&self, not_before: Vt, dur: VtDuration) -> Reservation {
-        let mut cur = self.busy_until.load(Ordering::Acquire);
-        loop {
-            let start = cur.max(not_before);
-            let end = start + dur;
-            match self.busy_until.compare_exchange_weak(
-                cur,
-                end,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => return Reservation { start, end },
-                Err(actual) => cur = actual,
-            }
+        if dur == 0 {
+            // Zero-length use never occupies the resource; it starts (and
+            // ends) at the first instant the resource is idle.
+            let start = self.next_idle(not_before);
+            return Reservation { start, end: start };
         }
+        let mut busy = self.busy.lock();
+        let mut start = not_before;
+        let mut at = busy.len();
+        for (i, &(s, e)) in busy.iter().enumerate() {
+            if start + dur <= s {
+                at = i;
+                break;
+            }
+            start = start.max(e);
+        }
+        let end = start + dur;
+        // Insert, coalescing with a touching predecessor and/or successor so
+        // the list stays short under back-to-back packing.
+        let merge_prev = at > 0 && busy[at - 1].1 == start;
+        let merge_next = at < busy.len() && busy[at].0 == end;
+        match (merge_prev, merge_next) {
+            (true, true) => {
+                busy[at - 1].1 = busy[at].1;
+                busy.remove(at);
+            }
+            (true, false) => busy[at - 1].1 = end,
+            (false, true) => busy[at].0 = start,
+            (false, false) => busy.insert(at, (start, end)),
+        }
+        Reservation { start, end }
     }
 
-    /// The time at which the resource is next free.
+    /// First instant at or after `t` at which the resource is idle.
+    pub fn next_idle(&self, t: Vt) -> Vt {
+        let busy = self.busy.lock();
+        let mut at = t;
+        for &(s, e) in busy.iter() {
+            if at < s {
+                break;
+            }
+            at = at.max(e);
+        }
+        at
+    }
+
+    /// The time after which the resource is permanently free (end of the
+    /// last reservation).
     pub fn horizon(&self) -> Vt {
-        self.busy_until.load(Ordering::Acquire)
+        self.busy.lock().last().map_or(0, |&(_, e)| e)
     }
 }
 
@@ -262,6 +303,38 @@ mod tests {
             }
         );
         assert_eq!(t.horizon(), 1005);
+    }
+
+    #[test]
+    fn timeline_backfills_idle_gaps() {
+        let t = ResourceTimeline::new();
+        // A fast peer raced ahead in wall-clock and reserved a future slot.
+        let r1 = t.reserve(1_000, 5);
+        assert_eq!(
+            r1,
+            Reservation {
+                start: 1_000,
+                end: 1_005
+            }
+        );
+        // A request for an idle earlier window, issued later in call order,
+        // must land there — not queue behind the future reservation.
+        let r2 = t.reserve(0, 100);
+        assert_eq!(r2, Reservation { start: 0, end: 100 });
+        // A request too large for the remaining gap skips past it.
+        let r3 = t.reserve(0, 1_000);
+        assert_eq!(r3.start, 1_005);
+        // Exact-fit into a gap coalesces the neighbours.
+        let r4 = t.reserve(100, 900);
+        assert_eq!(
+            r4,
+            Reservation {
+                start: 100,
+                end: 1_000
+            }
+        );
+        assert_eq!(t.horizon(), 2_005);
+        assert_eq!(t.next_idle(0), 2_005);
     }
 
     #[test]

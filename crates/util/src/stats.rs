@@ -5,10 +5,8 @@
 //! keep the unit conversions in one place and provide the usual summary
 //! statistics over repeated measurements.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary of a set of scalar samples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     pub count: usize,
     pub min: f64,
@@ -92,14 +90,14 @@ pub fn size_sweep(min: usize, max: usize) -> Vec<usize> {
 }
 
 /// One row of a bandwidth curve: `(message_size, value)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CurvePoint {
     pub size: usize,
     pub value: f64,
 }
 
 /// A named measurement series (one curve of Figure 7).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     pub name: String,
     pub points: Vec<CurvePoint>,

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Capture a benchmark snapshot: criterion micro-benches (transport,
+# marshalling, parallel_invoke, redistribution) plus the fig7_bandwidth
+# and concurrent_share experiment bins, merged into BENCH_<date>.json at
+# the repo root by the bench_snapshot bin.
+#
+# Usage: scripts/bench_snapshot.sh [date-tag]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+date_tag=${1:-$(date +%F)}
+criterion_jsonl=$(mktemp)
+trap 'rm -f "$criterion_jsonl"' EXIT
+
+echo "== criterion benches (JSONL -> $criterion_jsonl)"
+CRITERION_JSON="$criterion_jsonl" cargo bench -p padico-bench \
+  --bench transport --bench marshalling \
+  --bench parallel_invoke --bench redistribution
+
+echo "== experiment bins (human-readable output)"
+cargo run --release -q -p padico-bench --bin fig7_bandwidth -- 3
+cargo run --release -q -p padico-bench --bin concurrent_share
+
+echo "== assembling BENCH_${date_tag}.json"
+cargo run --release -q -p padico-bench --bin bench_snapshot -- \
+  "$date_tag" "$criterion_jsonl" "BENCH_${date_tag}.json"
