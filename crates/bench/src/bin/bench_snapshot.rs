@@ -60,6 +60,11 @@ fn main() {
             "schedule_cache",
             format!("{{\"hits\":{hits},\"misses\":{misses}}}"),
         ),
+        // Retry/failover work done across every run above — shows the
+        // recovery overhead next to the latency/bandwidth numbers (all
+        // zero on a healthy grid; nonzero means a bench hit the
+        // fault-injection or failover paths).
+        ("recovery", report::recovery_json()),
     ];
     let json = report::snapshot_json(&date, &criterion_jsonl, &sections);
     std::fs::write(&out_path, &json).expect("write snapshot file");

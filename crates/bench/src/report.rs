@@ -84,6 +84,24 @@ pub fn series_json(series: &[Series]) -> String {
     out
 }
 
+/// The process-wide recovery counters as a JSON object — how much
+/// retry/failover work the PadicoTM stack did while the benchmarks ran.
+pub fn recovery_json() -> String {
+    let r = padico_util::stats::global_recovery().snapshot();
+    format!(
+        "{{\"send_retries\":{},\"connect_retries\":{},\"giop_retries\":{},\
+         \"route_failovers\":{},\"mapping_remaps\":{},\"corrupt_discards\":{},\
+         \"backoff_ns\":{}}}",
+        r.send_retries,
+        r.connect_retries,
+        r.giop_retries,
+        r.route_failovers,
+        r.mapping_remaps,
+        r.corrupt_discards,
+        r.backoff_ns
+    )
+}
+
 /// Convert criterion's JSONL dump (one JSON object per line, as written
 /// when `CRITERION_JSON` is set) into one JSON array, dropping lines
 /// that are not plausible objects.
@@ -154,6 +172,23 @@ mod tests {
                 "unbalanced {open}{close}"
             );
         }
+    }
+
+    #[test]
+    fn recovery_json_is_wellformed() {
+        let doc = recovery_json();
+        for field in [
+            "send_retries",
+            "connect_retries",
+            "giop_retries",
+            "route_failovers",
+            "mapping_remaps",
+            "corrupt_discards",
+            "backoff_ns",
+        ] {
+            assert!(doc.contains(&format!("\"{field}\":")), "{doc}");
+        }
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
     }
 
     #[test]

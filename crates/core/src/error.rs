@@ -20,6 +20,10 @@ pub enum GridCcmError {
     Descriptor(String),
     /// Interception-layer protocol violation.
     Protocol(String),
+    /// Too few server replicas reachable to run a degraded parallel
+    /// invocation: `alive` of `total` answered the liveness probe, but
+    /// the handle's quorum requires more.
+    QuorumLost { alive: usize, total: usize },
 }
 
 impl fmt::Display for GridCcmError {
@@ -31,6 +35,10 @@ impl fmt::Display for GridCcmError {
             GridCcmError::Distribution(what) => write!(f, "distribution error: {what}"),
             GridCcmError::Descriptor(what) => write!(f, "parallelism descriptor error: {what}"),
             GridCcmError::Protocol(what) => write!(f, "GridCCM protocol error: {what}"),
+            GridCcmError::QuorumLost { alive, total } => write!(
+                f,
+                "quorum lost: only {alive} of {total} server replicas reachable"
+            ),
         }
     }
 }

@@ -47,8 +47,19 @@ impl Grid {
         profile: OrbProfile,
         choice: FabricChoice,
     ) -> Result<Grid, GridCcmError> {
+        Grid::boot_with_config(topology, profile, choice, padico_tm::TmConfig::default())
+    }
+
+    /// Like [`Grid::boot`] with an explicit PadicoTM configuration —
+    /// chaos tests shorten the deadlines and widen the retry budget.
+    pub fn boot_with_config(
+        topology: Topology,
+        profile: OrbProfile,
+        choice: FabricChoice,
+        config: padico_tm::TmConfig,
+    ) -> Result<Grid, GridCcmError> {
         let topology = Arc::new(topology);
-        let tms = PadicoTM::boot_all(Arc::clone(&topology))?;
+        let tms = PadicoTM::boot_all_with_config(Arc::clone(&topology), config)?;
         let mut nodes = Vec::with_capacity(tms.len());
         let mut naming_ior: Option<Ior> = None;
         for tm in &tms {

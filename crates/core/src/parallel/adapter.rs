@@ -163,12 +163,42 @@ struct InvSlot {
     cv: Condvar,
 }
 
+/// How many finished invocations keep their outcome for duplicate
+/// requests (a client whose reply frame was lost re-sends the request;
+/// the servant must not run twice, so the cached outcome answers it).
+const COMPLETED_CAP: usize = 256;
+
+/// Bounded FIFO of completed invocation outcomes.
+#[derive(Default)]
+struct CompletedCache {
+    outcomes: HashMap<(u64, String), Result<Arc<Outcome>, String>>,
+    order: std::collections::VecDeque<(u64, String)>,
+}
+
+impl CompletedCache {
+    fn insert(&mut self, key: (u64, String), outcome: Result<Arc<Outcome>, String>) {
+        if self.outcomes.insert(key.clone(), outcome).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > COMPLETED_CAP {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.outcomes.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    fn get(&self, key: &(u64, String)) -> Option<Result<Arc<Outcome>, String>> {
+        self.outcomes.get(key).cloned()
+    }
+}
+
 /// The derived-interface servant of one replica.
 pub struct ParallelAdapter {
     user: Arc<dyn ParallelServant>,
     plan: Arc<InterceptionPlan>,
     configured: Mutex<Option<Arc<Configured>>>,
     invocations: Mutex<HashMap<(u64, String), Arc<InvSlot>>>,
+    completed: Mutex<CompletedCache>,
 }
 
 impl ParallelAdapter {
@@ -178,6 +208,7 @@ impl ParallelAdapter {
             plan,
             configured: Mutex::new(None),
             invocations: Mutex::new(HashMap::new()),
+            completed: Mutex::new(CompletedCache::default()),
         })
     }
 
@@ -191,9 +222,17 @@ impl ParallelAdapter {
         &self.plan
     }
 
+    /// Run the user upcall once all expected client requests arrived.
+    ///
+    /// `eff_rank`/`eff_size` are the replica's rank and group size *in
+    /// the invocation's (possibly degraded) view* — equal to
+    /// `cfg.rank`/`cfg.size` on a healthy invocation, and the client's
+    /// renumbering of the survivors otherwise.
     fn run_invocation(
         &self,
         cfg: &Configured,
+        eff_rank: usize,
+        eff_size: usize,
         op_plan: &OpPlan,
         state: &InvState,
         clock: &SimClock,
@@ -238,7 +277,7 @@ impl ParallelAdapter {
                 }
                 let (elem_size, global_elems, dst_dist) =
                     meta.expect("at least one client arrived");
-                let local_elems = dst_dist.local_len(global_elems, cfg.rank, cfg.size);
+                let local_elems = dst_dist.local_len(global_elems, eff_rank, eff_size);
                 let block = assemble_block(elem_size, local_elems, &all_chunks)?;
                 // The gather physically copied the block together.
                 charge_copy(clock, block.len());
@@ -246,8 +285,8 @@ impl ParallelAdapter {
                     elem_size,
                     global_elems,
                     dst_dist,
-                    cfg.rank,
-                    cfg.size,
+                    eff_rank,
+                    eff_size,
                     block,
                 )?));
             } else {
@@ -269,8 +308,8 @@ impl ParallelAdapter {
         }
 
         let ctx = ParCtx {
-            rank: cfg.rank,
-            size: cfg.size,
+            rank: eff_rank,
+            size: eff_size,
             comm: cfg.comm.clone(),
             clock: clock.share(),
         };
@@ -281,11 +320,11 @@ impl ParallelAdapter {
         match (result, op_plan.result_dist) {
             (None, None) => Ok(Outcome::Void),
             (Some(ParValue::Dist(d)), Some(expected_dist)) => {
-                if d.distribution != expected_dist || d.rank != cfg.rank || d.size != cfg.size {
+                if d.distribution != expected_dist || d.rank != eff_rank || d.size != eff_size {
                     return Err(GridCcmError::Distribution(format!(
                         "result block metadata mismatch: got {:?} rank {}/{}, plan says {:?} \
                          rank {}/{}",
-                        d.distribution, d.rank, d.size, expected_dist, cfg.rank, cfg.size
+                        d.distribution, d.rank, d.size, expected_dist, eff_rank, eff_size
                     )));
                 }
                 Ok(Outcome::Dist(d))
@@ -302,7 +341,48 @@ impl ParallelAdapter {
             )),
         }
     }
+
+    /// Marshal one client's share of an invocation outcome.
+    fn write_outcome(
+        &self,
+        outcome: &Outcome,
+        header: &InvHeader,
+        reply: &mut CdrWriter,
+    ) -> Result<(), OrbError> {
+        match outcome {
+            Outcome::Void => {
+                write_reply_void(reply);
+                Ok(())
+            }
+            Outcome::Replicated(v) => write_reply_replicated(reply, v).map_err(to_orb),
+            Outcome::Dist(local) => {
+                // This server's pieces of the result destined to the
+                // requesting client rank (client side reassembles as
+                // Block over its group). The server-side rank and size
+                // come from the invocation's possibly-degraded view.
+                let transfers = schedule_cached(
+                    local.global_elems,
+                    local.distribution,
+                    header.target_size as usize,
+                    crate::dist::Distribution::Block,
+                    header.client_size as usize,
+                )
+                .map_err(to_orb)?;
+                let mine: Vec<_> = sends_of(&transfers, header.target_rank as usize)
+                    .into_iter()
+                    .filter(|t| t.dst_rank == header.client_rank as usize)
+                    .collect();
+                write_reply_dist(reply, local, crate::dist::Distribution::Block, &mine)
+                    .map_err(to_orb)
+            }
+        }
+    }
 }
+
+/// How long a dispatch thread waits for the rest of a collective
+/// invocation before abandoning it (wall-clock; generous next to any
+/// healthy gather, tiny next to a leaked thread).
+const ABANDON_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
 
 impl Servant for ParallelAdapter {
     fn repository_id(&self) -> &str {
@@ -332,6 +412,22 @@ impl Servant for ParallelAdapter {
 
         ctx.clock.advance(GRIDCCM_SERVER_NS);
         let header = InvHeader::read(args).map_err(to_orb)?;
+        // The client may address this replica under a degraded view
+        // (surviving replicas renumbered 0..target_size); the view can
+        // only shrink the configured group.
+        if header.target_size == 0
+            || header.target_rank >= header.target_size
+            || header.target_size as usize > cfg.size
+            || (header.target_size as usize == cfg.size
+                && header.target_rank as usize != cfg.rank)
+        {
+            return Err(OrbError::System(format!(
+                "bad degraded view: target rank {}/{} at replica {}/{}",
+                header.target_rank, header.target_size, cfg.rank, cfg.size
+            )));
+        }
+        let eff_rank = header.target_rank as usize;
+        let eff_size = header.target_size as usize;
         if header.arg_count as usize != op_plan.arg_dists.len() {
             return Err(OrbError::Marshal(format!(
                 "operation `{op_name}` expects {} arguments, request carries {}",
@@ -362,34 +458,56 @@ impl Servant for ParallelAdapter {
             })
             .collect();
         let expected = expected_clients(
-            cfg.rank,
+            eff_rank,
             header.client_size as usize,
-            cfg.size,
+            eff_size,
             op_plan.result_dist.is_some(),
             &metas,
         )
         .map_err(to_orb)?;
         if !expected.contains(&header.client_rank) {
             return Err(OrbError::System(format!(
-                "client rank {} is not expected at server rank {}",
-                header.client_rank, cfg.rank
+                "client rank {} is not expected at server rank {eff_rank}",
+                header.client_rank
             )));
         }
 
         let key = (header.inv_id, op_name.to_string());
-        let slot = {
+        // A duplicate of a finished invocation (the ORB re-issued a
+        // request whose reply frame was lost) is answered from the
+        // completed cache — the servant must not run twice. The cache
+        // check and the slot lookup share the invocations lock so a slot
+        // retiring concurrently cannot slip between them.
+        enum Found {
+            Done(Result<Arc<Outcome>, String>),
+            Slot(Arc<InvSlot>),
+        }
+        let found = {
             let mut invocations = self.invocations.lock();
-            Arc::clone(invocations.entry(key.clone()).or_insert_with(|| {
-                Arc::new(InvSlot {
-                    mu: Mutex::new(InvState {
-                        expected: expected.clone(),
-                        arrived: HashMap::new(),
-                        outcome: None,
-                        replies_sent: 0,
-                    }),
-                    cv: Condvar::new(),
-                })
-            }))
+            match self.completed.lock().get(&key) {
+                Some(outcome) => Found::Done(outcome),
+                None => Found::Slot(Arc::clone(invocations.entry(key.clone()).or_insert_with(
+                    || {
+                        Arc::new(InvSlot {
+                            mu: Mutex::new(InvState {
+                                expected: expected.clone(),
+                                arrived: HashMap::new(),
+                                outcome: None,
+                                replies_sent: 0,
+                            }),
+                            cv: Condvar::new(),
+                        })
+                    },
+                ))),
+            }
+        };
+        let slot = match found {
+            Found::Done(outcome) => {
+                let outcome =
+                    outcome.map_err(|msg| OrbError::System(format!("GridCCM: {msg}")))?;
+                return self.write_outcome(&outcome, &header, reply);
+            }
+            Found::Slot(slot) => slot,
         };
 
         let outcome = {
@@ -399,60 +517,55 @@ impl Servant for ParallelAdapter {
                     "clients disagree on the expected-sender set".into(),
                 ));
             }
-            if state.arrived.insert(header.client_rank, wire_args).is_some() {
-                return Err(OrbError::System(format!(
-                    "duplicate request from client rank {}",
-                    header.client_rank
-                )));
+            let duplicate = state.arrived.contains_key(&header.client_rank);
+            if !duplicate {
+                state.arrived.insert(header.client_rank, wire_args);
+                if state.arrived.len() == state.expected.len() {
+                    // Last chunk in: this thread runs the user operation.
+                    let outcome = self
+                        .run_invocation(&cfg, eff_rank, eff_size, &op_plan, &state, &ctx.clock)
+                        .map(Arc::new)
+                        .map_err(|e| e.to_string());
+                    state.outcome = Some(outcome);
+                    slot.cv.notify_all();
+                }
             }
-            if state.arrived.len() == state.expected.len() {
-                // Last chunk in: this thread runs the user operation.
-                let outcome = self
-                    .run_invocation(&cfg, &op_plan, &state, &ctx.clock)
-                    .map(Arc::new)
-                    .map_err(|e| e.to_string());
-                state.outcome = Some(outcome);
-                slot.cv.notify_all();
-            } else {
-                while state.outcome.is_none() {
-                    slot.cv.wait(&mut state);
+            while state.outcome.is_none() {
+                // An expected client may never arrive (it failed its
+                // round and re-planned under a fresh invocation id);
+                // abandon the partial gather rather than park this
+                // dispatch thread forever.
+                if slot.cv.wait_for(&mut state, ABANDON_TIMEOUT).timed_out()
+                    && state.outcome.is_none()
+                {
+                    if !duplicate {
+                        state.arrived.remove(&header.client_rank);
+                        if state.arrived.is_empty() {
+                            self.invocations.lock().remove(&key);
+                        }
+                    }
+                    return Err(OrbError::System(format!(
+                        "GridCCM: abandoned incomplete collective invocation {} of `{op_name}`",
+                        header.inv_id
+                    )));
                 }
             }
             let outcome = state.outcome.clone().expect("set above");
-            state.replies_sent += 1;
-            if state.replies_sent == state.expected.len() {
-                self.invocations.lock().remove(&key);
+            if !duplicate {
+                state.replies_sent += 1;
+                if state.replies_sent == state.expected.len() {
+                    // Retire the slot but keep the outcome around for
+                    // late duplicates, atomically w.r.t. the lookup above.
+                    let mut invocations = self.invocations.lock();
+                    self.completed.lock().insert(key.clone(), outcome.clone());
+                    invocations.remove(&key);
+                }
             }
             outcome
         };
 
         let outcome = outcome.map_err(|msg| OrbError::System(format!("GridCCM: {msg}")))?;
-        match &*outcome {
-            Outcome::Void => {
-                write_reply_void(reply);
-                Ok(())
-            }
-            Outcome::Replicated(v) => write_reply_replicated(reply, v).map_err(to_orb),
-            Outcome::Dist(local) => {
-                // This server's pieces of the result destined to the
-                // requesting client rank (client side reassembles as
-                // Block over its group).
-                let transfers = schedule_cached(
-                    local.global_elems,
-                    local.distribution,
-                    cfg.size,
-                    crate::dist::Distribution::Block,
-                    header.client_size as usize,
-                )
-                .map_err(to_orb)?;
-                let mine: Vec<_> = sends_of(&transfers, cfg.rank)
-                    .into_iter()
-                    .filter(|t| t.dst_rank == header.client_rank as usize)
-                    .collect();
-                write_reply_dist(reply, local, crate::dist::Distribution::Block, &mine)
-                    .map_err(to_orb)
-            }
-        }
+        self.write_outcome(&outcome, &header, reply)
     }
 }
 

@@ -10,8 +10,27 @@
 //! must call [`ParallelRef::invoke`] with the same operation sequence
 //! (the usual SPMD contract), so the layers can derive matching
 //! invocation ids without extra coordination.
+//!
+//! # Degraded operation
+//!
+//! When a derived invocation fails with a transport error even after the
+//! ORB's own retries, the handle probes every replica with a GIOP
+//! `LocateRequest`, marks unreachable ones dead, and **re-plans** the
+//! invocation over the survivors: the surviving replicas are renumbered
+//! `0..S'` (carried to the server in the wire header's `target_rank` /
+//! `target_size` fields) and the scatter schedules are recomputed for a
+//! server group of size `S'`. The invocation only fails once fewer than
+//! [`ParallelRef::with_quorum`] replicas answer the probe.
+//!
+//! The SPMD contract extends to failures: re-planning assumes every
+//! client rank observes the same failure and retries the same rounds
+//! (true for full fan-out routings — distributed results or replicated
+//! invocations — under the deterministic fault fabric). A sparse scatter
+//! whose failure only some ranks observe surfaces the transport error
+//! instead of silently diverging.
 
 use padico_orb::orb::ObjectRef;
+use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -38,6 +57,11 @@ pub struct ParallelRef {
     replicas: Vec<ObjectRef>,
     my_rank: usize,
     group_size: usize,
+    /// Minimum number of live replicas a degraded invocation may run on.
+    quorum: usize,
+    /// Replica ranks that failed a liveness probe (monotone: a replica
+    /// marked dead stays out of every later plan).
+    dead: Mutex<BTreeSet<usize>>,
     base: u64,
     seq: AtomicU64,
 }
@@ -69,19 +93,40 @@ impl ParallelRef {
             base ^= u64::from(*b);
             base = base.wrapping_mul(0x1000_0000_01b3);
         }
+        let quorum = replicas.len();
         Ok(ParallelRef {
             group_name,
             plan,
             replicas,
             my_rank,
             group_size,
+            quorum,
+            dead: Mutex::new(BTreeSet::new()),
             base,
             seq: AtomicU64::new(1),
         })
     }
 
+    /// Allow degraded invocations over as few as `quorum` live replicas
+    /// (default: all of them, i.e. no degradation tolerated).
+    pub fn with_quorum(mut self, quorum: usize) -> Result<ParallelRef, GridCcmError> {
+        if quorum == 0 || quorum > self.replicas.len() {
+            return Err(GridCcmError::Protocol(format!(
+                "quorum {quorum} out of range for {} replicas",
+                self.replicas.len()
+            )));
+        }
+        self.quorum = quorum;
+        Ok(self)
+    }
+
     pub fn server_size(&self) -> usize {
         self.replicas.len()
+    }
+
+    /// Replica ranks currently considered dead.
+    pub fn dead_replicas(&self) -> BTreeSet<usize> {
+        self.dead.lock().clone()
     }
 
     pub fn client_rank(&self) -> usize {
@@ -150,9 +195,69 @@ impl ParallelRef {
     ) -> Result<Option<ParValue>, GridCcmError> {
         let op = self.plan.op(op_name)?.clone();
         self.validate_args(&op, &args)?;
-        let server_size = self.replicas.len();
+        let policy = self.replicas[0].orb().tm().config().retry;
+        let max_rounds = policy.max_attempts.max(1);
+        let inv_id = self
+            .base
+            .wrapping_add(self.seq.fetch_add(1, Ordering::Relaxed));
+        let derived = InterceptionPlan::derived_op(op_name);
 
-        // Schedules and routing metadata for the distributed arguments.
+        let mut round: u32 = 0;
+        loop {
+            let dead = self.dead.lock().clone();
+            let survivors: Vec<usize> = (0..self.replicas.len())
+                .filter(|s| !dead.contains(s))
+                .collect();
+            if survivors.len() < self.quorum {
+                return Err(GridCcmError::QuorumLost {
+                    alive: survivors.len(),
+                    total: self.replicas.len(),
+                });
+            }
+            // A retried round is a fresh logical invocation as far as the
+            // servers are concerned (the degraded view may differ), so it
+            // gets its own deterministic id.
+            let round_id = inv_id.wrapping_add(u64::from(round) << 48);
+            match self.invoke_round(&op, &derived, &args, &survivors, round_id) {
+                Ok(replies) => return self.assemble(&op, replies),
+                Err(e) if round + 1 < max_rounds && is_transport_failure(&e) => {
+                    self.probe_replicas();
+                    round += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Probe every not-yet-dead replica with a GIOP locate request and
+    /// mark the unreachable ones dead.
+    fn probe_replicas(&self) {
+        let mut dead = self.dead.lock();
+        for (s, replica) in self.replicas.iter().enumerate() {
+            if dead.contains(&s) {
+                continue;
+            }
+            if !matches!(replica.locate(), Ok(true)) {
+                dead.insert(s);
+            }
+        }
+    }
+
+    /// Run one scatter/gather round over the surviving replicas
+    /// (renumbered `0..survivors.len()`), returning the per-virtual-rank
+    /// replies in rank order.
+    fn invoke_round(
+        &self,
+        op: &OpPlan,
+        derived: &str,
+        args: &[ParValue],
+        survivors: &[usize],
+        inv_id: u64,
+    ) -> Result<Vec<WireReply>, GridCcmError> {
+        let server_size = survivors.len();
+
+        // Schedules and routing metadata for the distributed arguments,
+        // over the degraded server group.
         let mut schedules: Vec<Option<std::sync::Arc<Vec<Transfer>>>> =
             Vec::with_capacity(args.len());
         let mut metas = Vec::new();
@@ -182,40 +287,69 @@ impl ParallelRef {
             op.result_dist.is_some(),
             &metas,
         )?;
-        let inv_id = self
-            .base
-            .wrapping_add(self.seq.fetch_add(1, Ordering::Relaxed));
-        let derived = InterceptionPlan::derived_op(op_name);
 
         // One derived invocation per target server, concurrently — every
         // client node participates in inter-component communication.
         let mut replies: Vec<(usize, Result<WireReply, GridCcmError>)> =
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for &s in &targets {
+                for &v in &targets {
                     let args = &args;
-                    let op = &op;
                     let schedules = &schedules;
-                    let derived = &derived;
-                    let target = &self.replicas[s];
+                    let target = &self.replicas[survivors[v]];
                     handles.push((
-                        s,
-                        scope.spawn(move || self.invoke_one(target, derived, op, args, schedules, s, inv_id)),
+                        v,
+                        scope.spawn(move || {
+                            self.invoke_one(
+                                target,
+                                derived,
+                                op,
+                                args,
+                                schedules,
+                                v,
+                                server_size,
+                                inv_id,
+                            )
+                        }),
                     ));
                 }
                 handles
                     .into_iter()
-                    .map(|(s, h)| (s, h.join().expect("invoke thread panicked")))
+                    .map(|(v, h)| (v, h.join().expect("invoke thread panicked")))
                     .collect()
             });
-        replies.sort_by_key(|(s, _)| *s);
+        replies.sort_by_key(|(v, _)| *v);
 
+        // Surface a non-transport error over a transport one: the former
+        // is a protocol bug a retry cannot fix.
+        let mut transport: Option<GridCcmError> = None;
+        let mut good = Vec::with_capacity(replies.len());
+        for (_v, reply) in replies {
+            match reply {
+                Ok(r) => good.push(r),
+                Err(e) if is_transport_failure(&e) => {
+                    transport.get_or_insert(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        match transport {
+            Some(e) => Err(e),
+            None => Ok(good),
+        }
+    }
+
+    fn assemble(
+        &self,
+        op: &OpPlan,
+        replies: Vec<WireReply>,
+    ) -> Result<Option<ParValue>, GridCcmError> {
         // Assemble the result.
         let mut replicated: Option<ParValue> = None;
         let mut dist_meta: Option<(u32, u64, Distribution)> = None;
         let mut dist_chunks = Vec::new();
-        for (_s, reply) in replies {
-            match reply? {
+        for reply in replies {
+            match reply {
                 WireReply::Void => {}
                 WireReply::Replicated(v) => {
                     if let Some(prev) = &replicated {
@@ -287,16 +421,21 @@ impl ParallelRef {
         args: &[ParValue],
         schedules: &[Option<std::sync::Arc<Vec<Transfer>>>],
         server_rank: usize,
+        server_size: usize,
         inv_id: u64,
     ) -> Result<WireReply, GridCcmError> {
         // The GridCCM layer's own bookkeeping cost per derived request.
         target.orb().tm().clock().advance(GRIDCCM_CLIENT_NS);
-        let mut request = target.request(derived);
+        // Derived requests are idempotent: the adapter de-duplicates by
+        // (inv_id, op), so the ORB may re-issue them after a lost frame.
+        let mut request = target.request(derived).idempotent();
         let w = request.writer();
         InvHeader {
             inv_id,
             client_rank: self.my_rank as u32,
             client_size: self.group_size as u32,
+            target_rank: server_rank as u32,
+            target_size: server_size as u32,
             arg_count: args.len() as u32,
         }
         .write(w);
@@ -317,6 +456,17 @@ impl ParallelRef {
         let mut reply = request.invoke()?;
         read_reply(&mut reply)
     }
+}
+
+/// Whether an invocation error came from the transport (and a degraded
+/// re-plan may help) rather than from the GridCCM protocol itself.
+fn is_transport_failure(e: &GridCcmError) -> bool {
+    matches!(
+        e,
+        GridCcmError::Orb(
+            padico_orb::OrbError::Transient(_) | padico_orb::OrbError::CommFailure(_)
+        )
+    )
 }
 
 impl std::fmt::Debug for ParallelRef {

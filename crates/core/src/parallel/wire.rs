@@ -59,6 +59,16 @@ pub struct InvHeader {
     pub inv_id: u64,
     pub client_rank: u32,
     pub client_size: u32,
+    /// The server rank this request addresses, in the client's (possibly
+    /// degraded) view of the component: when a partition has removed
+    /// replicas from service, the surviving servers are renumbered
+    /// `0..target_size` and told their temporary rank here, so both
+    /// sides compute identical redistribution schedules over the
+    /// survivors without any extra coordination round.
+    pub target_rank: u32,
+    /// Number of server replicas in the client's view (≤ the configured
+    /// replica count; equal in the healthy case).
+    pub target_size: u32,
     pub arg_count: u32,
 }
 
@@ -67,6 +77,8 @@ impl InvHeader {
         w.write_u64(self.inv_id);
         w.write_u32(self.client_rank);
         w.write_u32(self.client_size);
+        w.write_u32(self.target_rank);
+        w.write_u32(self.target_size);
         w.write_u32(self.arg_count);
     }
 
@@ -75,6 +87,8 @@ impl InvHeader {
             inv_id: r.read_u64()?,
             client_rank: r.read_u32()?,
             client_size: r.read_u32()?,
+            target_rank: r.read_u32()?,
+            target_size: r.read_u32()?,
             arg_count: r.read_u32()?,
         })
     }
@@ -368,6 +382,8 @@ mod tests {
             inv_id: 99,
             client_rank: 1,
             client_size: 4,
+            target_rank: 2,
+            target_size: 3,
             arg_count: values.len() as u32,
         };
         header.write(&mut w);

@@ -355,6 +355,70 @@ mod tests {
     }
 
     #[test]
+    fn schedule_cache_concurrent_access() {
+        use std::collections::hash_map::Entry;
+        use std::collections::HashMap;
+        use std::sync::Arc;
+        const THREADS: usize = 8;
+        const ITERS: usize = 64;
+        // Shapes unique to this test so collisions with other tests'
+        // lookups cannot skew the identity checks.
+        let keys = [
+            (70_001, Distribution::Block, 3, Distribution::Cyclic, 4),
+            (70_002, Distribution::Cyclic, 4, Distribution::Block, 3),
+            (70_003, Distribution::Block, 2, Distribution::Block, 5),
+            (70_004, Distribution::BlockCyclic(8), 3, Distribution::Block, 2),
+        ];
+        let (hits_before, misses_before) = schedule_cache_stats();
+        let per_thread: Vec<Vec<(u64, Arc<Vec<Transfer>>)>> = std::thread::scope(|scope| {
+            let keys = &keys;
+            (0..THREADS)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut got = Vec::with_capacity(ITERS);
+                        for i in 0..ITERS {
+                            let (g, sd, ss, dd, ds) = keys[(t + i) % keys.len()];
+                            got.push((g, schedule_cached(g, sd, ss, dd, ds).unwrap()));
+                        }
+                        got
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        // Every thread must have observed the *same* Arc per shape, even
+        // when two threads raced on the initial miss.
+        let mut canonical: HashMap<u64, Arc<Vec<Transfer>>> = HashMap::new();
+        for (global, arc) in per_thread.into_iter().flatten() {
+            match canonical.entry(global) {
+                Entry::Occupied(e) => assert!(
+                    Arc::ptr_eq(e.get(), &arc),
+                    "cache returned distinct Arcs for one shape ({global})"
+                ),
+                Entry::Vacant(v) => {
+                    v.insert(arc);
+                }
+            }
+        }
+        // Cached matrices match a fresh computation.
+        for (g, sd, ss, dd, ds) in keys {
+            assert_eq!(*canonical[&g], schedule(g, sd, ss, dd, ds).unwrap());
+        }
+        // Counter accounting is race-free: each of our lookups bumped
+        // exactly one of the two counters (other tests may add more).
+        let (hits_after, misses_after) = schedule_cache_stats();
+        let counted = (hits_after - hits_before) + (misses_after - misses_before);
+        assert!(
+            counted >= (THREADS * ITERS) as u64,
+            "lost counter updates: {counted} counted for {} lookups",
+            THREADS * ITERS
+        );
+        assert!(misses_after > misses_before, "first lookups must miss");
+    }
+
+    #[test]
     fn site_chooser_honours_feasibility_then_efficiency() {
         let base = SiteFactors {
             client_free_memory: 1 << 30,

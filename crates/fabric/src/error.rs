@@ -35,6 +35,13 @@ pub enum FabricError {
         to: NodeId,
         port: u16,
     },
+    /// The physical link between two nodes is down (partition, flapping
+    /// window, or dead mapping hardware). Retryable: the link may heal,
+    /// or another fabric may reach the peer.
+    LinkDown {
+        from: NodeId,
+        to: NodeId,
+    },
     /// The endpoint (or fabric) has been shut down.
     Closed,
 }
@@ -57,6 +64,9 @@ impl fmt::Display for FabricError {
             }
             FabricError::Unreachable { to, port } => {
                 write!(f, "no endpoint listening at {to}:{port}")
+            }
+            FabricError::LinkDown { from, to } => {
+                write!(f, "link from {from} to {to} is down")
             }
             FabricError::Closed => write!(f, "endpoint closed"),
         }

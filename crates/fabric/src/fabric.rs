@@ -35,6 +35,7 @@
 //!    takes delivery ([`Message::deliver`]).
 
 use crate::error::FabricError;
+use crate::faults::{FaultInjector, FaultPlan, FaultSnapshot, Verdict};
 use crate::model::LinkModel;
 use crate::payload::Payload;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
@@ -122,6 +123,10 @@ pub struct Message {
     pub arrival: Vt,
     /// Receive-side cost to charge on delivery (upcall + kernel copy).
     pub recv_cost: VtDuration,
+    /// Set by fault injection: the bytes were damaged on the wire. A
+    /// receiver models CRC detection by discarding the message (after
+    /// paying delivery cost — the hardware received it before checking).
+    pub corrupted: bool,
     /// The bytes.
     pub payload: Payload,
 }
@@ -164,6 +169,7 @@ pub struct SimFabric {
     members: Vec<NodeId>,
     nics: HashMap<NodeId, NicState>,
     state: Mutex<FabricState>,
+    faults: FaultInjector,
 }
 
 impl fmt::Debug for SimFabric {
@@ -211,6 +217,7 @@ impl SimFabric {
             members,
             nics,
             state: Mutex::new(FabricState::default()),
+            faults: FaultInjector::new(),
         })
     }
 
@@ -333,6 +340,10 @@ impl SimFabric {
         if !self.has_member(to) {
             return Err(FabricError::NotMember(to));
         }
+        if self.faults.mappings_dead(from) {
+            self.faults.note_mapping_refusal();
+            return Err(FabricError::LinkDown { from, to });
+        }
         let mut st = self.state.lock();
         let table = st.mappings.entry(from).or_default();
         if table.contains(&to) {
@@ -362,6 +373,42 @@ impl SimFabric {
         st.mappings.get(&node).map_or(0, |t| t.len())
     }
 
+    /// The fabric's fault injector (inert until armed).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Install a probabilistic fault plan on this fabric.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.faults.set_plan(plan);
+    }
+
+    /// Remove the probabilistic fault plan (partitions/dead hardware stay).
+    pub fn clear_fault_plan(&self) {
+        self.faults.clear_plan();
+    }
+
+    /// Simulate `node`'s SAN mapping hardware dying: all of its established
+    /// mappings vanish and re-establishment fails with
+    /// [`FabricError::LinkDown`] until [`SimFabric::revive_mappings`].
+    /// No-op semantics on fabrics without a mapping discipline (nothing to
+    /// lose), but the refusal of future `map_remote` calls still applies.
+    pub fn kill_mappings(&self, node: NodeId) {
+        self.faults.kill_mappings(node);
+        let mut st = self.state.lock();
+        st.mappings.remove(&node);
+    }
+
+    /// Revive `node`'s mapping hardware; mappings must be re-established.
+    pub fn revive_mappings(&self, node: NodeId) {
+        self.faults.revive_mappings(node);
+    }
+
+    /// Snapshot of injected-fault counters.
+    pub fn fault_stats(&self) -> FaultSnapshot {
+        self.faults.counters()
+    }
+
     fn send_from(
         &self,
         src: EndpointAddr,
@@ -373,6 +420,9 @@ impl SimFabric {
         if !self.has_member(dst.node) {
             return Err(FabricError::NotMember(dst.node));
         }
+        // Link-level faults refuse the send before any time is charged:
+        // a partitioned or flapping link fails fast at the driver.
+        self.faults.check_link(src.node, dst.node, clock.now())?;
         if self.requires_mapping() && src.node != dst.node {
             let st = self.state.lock();
             let mapped = st
@@ -400,6 +450,11 @@ impl SimFabric {
         };
 
         let len = payload.len();
+        // Roll the deterministic fault stream for this link. The verdict is
+        // decided before the transfer but applied after: a dropped message
+        // still costs the sender the full send (it cannot know the packet
+        // died), and a corrupted one still occupies both NICs.
+        let (verdict, extra_delay) = self.faults.roll(src.node, dst.node);
         // 1. Pre-wire sender cost (driver overhead, rendezvous, kernel copy).
         clock.advance(self.model.pre_wire_sender_cost(len));
         // The kernel copy is physically performed: the payload crosses into
@@ -420,12 +475,16 @@ impl SimFabric {
         // the message: Myrinet has link-level flow control and TCP a
         // bounded window, so a busy receiver back-pressures the sender.
         clock.merge_to(tx_res.end.max(rx_res.end));
-        // 4. Stamp and enqueue.
+        // 4. Stamp and enqueue (unless the fault stream ate the message).
+        if verdict == Verdict::Drop {
+            return Ok(()); // silently lost on the wire; sender paid in full
+        }
         let msg = Message {
             src,
             channel,
-            arrival: rx_res.end.max(tx_res.end) + self.model.latency_ns,
+            arrival: rx_res.end.max(tx_res.end) + self.model.latency_ns + extra_delay,
             recv_cost: self.model.recv_cost(len),
+            corrupted: verdict == Verdict::Corrupt,
             payload,
         };
         inbox.send(msg).map_err(|_| FabricError::Unreachable {
@@ -768,6 +827,102 @@ mod tests {
         );
         a.unmap_remote(NodeId(1));
         a.map_remote(NodeId(3)).unwrap();
+    }
+
+    #[test]
+    fn partitioned_send_fails_fast_without_charging() {
+        let fab = two_node_ethernet();
+        let a = fab.attach(NodeId(0), "t").unwrap();
+        let b = fab.attach(NodeId(1), "t").unwrap();
+        let ca = SimClock::new();
+        fab.faults().partition_pair(NodeId(0), NodeId(1));
+        let err = a
+            .send(&ca, b.addr(), ChannelId(0), Payload::from_vec(vec![1]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FabricError::LinkDown {
+                from: NodeId(0),
+                to: NodeId(1)
+            }
+        );
+        assert_eq!(ca.now(), 0, "refused send must not charge time");
+        fab.faults().heal_pair(NodeId(0), NodeId(1));
+        a.send(&ca, b.addr(), ChannelId(0), Payload::from_vec(vec![1]))
+            .unwrap();
+        let cb = SimClock::new();
+        assert_eq!(b.recv(&cb).unwrap().payload.to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn dropped_send_charges_sender_but_never_arrives() {
+        let fab = two_node_ethernet();
+        let a = fab.attach(NodeId(0), "t").unwrap();
+        let b = fab.attach(NodeId(1), "t").unwrap();
+        let ca = SimClock::new();
+        fab.set_fault_plan(crate::faults::FaultPlan::drops(42, 100));
+        a.send(&ca, b.addr(), ChannelId(0), Payload::from_vec(vec![9; 512]))
+            .unwrap();
+        assert!(ca.now() > 0, "sender pays for a message the wire ate");
+        assert!(b.try_recv_raw().unwrap().is_none(), "nothing delivered");
+        assert_eq!(fab.fault_stats().dropped, 1);
+        fab.clear_fault_plan();
+        a.send(&ca, b.addr(), ChannelId(0), Payload::from_vec(vec![1]))
+            .unwrap();
+        let cb = SimClock::new();
+        assert!(!b.recv(&cb).unwrap().corrupted);
+    }
+
+    #[test]
+    fn corrupted_send_is_flagged_and_delay_pushes_arrival() {
+        let fab = two_node_ethernet();
+        let a = fab.attach(NodeId(0), "t").unwrap();
+        let b = fab.attach(NodeId(1), "t").unwrap();
+        let ca = SimClock::new();
+        let extra = 40 * US;
+        fab.set_fault_plan(crate::faults::FaultPlan {
+            seed: 5,
+            corrupt_pct: 100,
+            extra_delay_ns: extra,
+            ..Default::default()
+        });
+        a.send(&ca, b.addr(), ChannelId(0), Payload::from_vec(vec![3; 64]))
+            .unwrap();
+        let cb = SimClock::new();
+        let msg = b.recv(&cb).unwrap();
+        assert!(msg.corrupted);
+        assert!(
+            msg.arrival >= extra,
+            "arrival {} includes injected delay {extra}",
+            msg.arrival
+        );
+        assert_eq!(fab.fault_stats().corrupted, 1);
+    }
+
+    #[test]
+    fn dead_mapping_hardware_refuses_remap() {
+        let fab = presets::sci().build(FabricId(4), vec![NodeId(0), NodeId(1)]);
+        let a = fab.attach(NodeId(0), "t").unwrap();
+        let b = fab.attach(NodeId(1), "t").unwrap();
+        let ca = SimClock::new();
+        a.map_remote(NodeId(1)).unwrap();
+        a.send(&ca, b.addr(), ChannelId(0), Payload::from_vec(vec![1]))
+            .unwrap();
+        // Hardware dies: existing mappings vanish, re-mapping refused.
+        fab.kill_mappings(NodeId(0));
+        assert_eq!(fab.mappings_in_use(NodeId(0)), 0);
+        let err = a
+            .send(&ca, b.addr(), ChannelId(0), Payload::from_vec(vec![1]))
+            .unwrap_err();
+        assert!(matches!(err, FabricError::NoMapping { .. }));
+        let err = a.map_remote(NodeId(1)).unwrap_err();
+        assert!(matches!(err, FabricError::LinkDown { .. }));
+        assert_eq!(fab.fault_stats().mapping_refusals, 1);
+        // Revive: mapping can be re-established and traffic flows again.
+        fab.revive_mappings(NodeId(0));
+        a.map_remote(NodeId(1)).unwrap();
+        a.send(&ca, b.addr(), ChannelId(0), Payload::from_vec(vec![1]))
+            .unwrap();
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 pub mod error;
 pub mod fabric;
+pub mod faults;
 pub mod model;
 pub mod payload;
 pub mod presets;
@@ -35,6 +36,7 @@ pub use error::FabricError;
 pub use fabric::{
     AccessMode, EndpointAddr, FabricEndpoint, FabricKind, Message, Paradigm, SimFabric,
 };
+pub use faults::{FaultInjector, FaultPlan, FaultSnapshot};
 pub use model::LinkModel;
 pub use payload::Payload;
 pub use topology::{NodeInfo, SecurityZone, Topology, TopologyBuilder};

@@ -8,6 +8,10 @@ use std::fmt;
 pub enum OrbError {
     /// Transport failure (CORBA `COMM_FAILURE`).
     CommFailure(TmError),
+    /// Transient transport failure (CORBA `TRANSIENT`): the request did
+    /// not reach the servant (or its reply was lost) and the retry budget
+    /// ran out — the caller may safely re-issue it later.
+    Transient(TmError),
     /// Marshalling/demarshalling failure (CORBA `MARSHAL`).
     Marshal(String),
     /// No servant for the object key (CORBA `OBJECT_NOT_EXIST`).
@@ -27,6 +31,7 @@ impl fmt::Display for OrbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OrbError::CommFailure(e) => write!(f, "COMM_FAILURE: {e}"),
+            OrbError::Transient(e) => write!(f, "TRANSIENT: {e}"),
             OrbError::Marshal(what) => write!(f, "MARSHAL: {what}"),
             OrbError::ObjectNotExist(what) => write!(f, "OBJECT_NOT_EXIST: {what}"),
             OrbError::BadOperation(what) => write!(f, "BAD_OPERATION: {what}"),
@@ -40,7 +45,7 @@ impl fmt::Display for OrbError {
 impl std::error::Error for OrbError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            OrbError::CommFailure(e) => Some(e),
+            OrbError::CommFailure(e) | OrbError::Transient(e) => Some(e),
             _ => None,
         }
     }
@@ -48,6 +53,17 @@ impl std::error::Error for OrbError {
 
 impl From<TmError> for OrbError {
     fn from(e: TmError) -> Self {
+        OrbError::CommFailure(e)
+    }
+}
+
+/// Classify a transport error the CORBA way: retryable conditions (the
+/// peer may come back, another route may work) surface as `TRANSIENT`,
+/// hard failures as `COMM_FAILURE`.
+pub fn classify_transport(e: TmError) -> OrbError {
+    if padico_tm::is_retryable(&e) {
+        OrbError::Transient(e)
+    } else {
         OrbError::CommFailure(e)
     }
 }
@@ -67,5 +83,19 @@ mod tests {
         assert!(OrbError::User("IDL:App/Overflow:1.0".into())
             .to_string()
             .contains("Overflow"));
+    }
+
+    #[test]
+    fn classification_and_source_chain() {
+        use std::error::Error;
+        let t = classify_transport(TmError::Timeout("reply".into()));
+        assert!(matches!(t, OrbError::Transient(_)), "{t}");
+        assert!(t.to_string().starts_with("TRANSIENT"));
+        assert!(t.source().is_some(), "TRANSIENT keeps its source");
+        let hard = classify_transport(TmError::Closed);
+        assert!(matches!(hard, OrbError::CommFailure(_)), "{hard}");
+        // Source chains reach the fabric layer through TmError.
+        let deep = OrbError::from(TmError::from(padico_fabric::FabricError::Closed));
+        assert!(deep.source().unwrap().source().is_some());
     }
 }

@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::cdr::{CdrReader, CdrWriter};
-use crate::error::OrbError;
+use crate::error::{classify_transport, OrbError};
 use crate::giop::{self, GiopMessage, LocateStatus, ReplyStatus};
 use crate::ior::Ior;
 use crate::poa::{Poa, Servant, ServerCtx};
@@ -106,15 +106,27 @@ impl ClientConn {
         Ok(rx)
     }
 
-    /// Await the routed reply for `request_id`.
+    /// Await the routed reply for `request_id`, for at most `deadline`.
+    ///
+    /// A lost reply (the request or the reply frame was dropped on the
+    /// wire) surfaces as `TRANSIENT` after the deadline instead of
+    /// blocking the caller forever; the pending entry is removed so a
+    /// straggler reply to the stale id is simply discarded by the reader.
     fn await_reply(
         &self,
         request_id: u32,
         rx: crossbeam::channel::Receiver<GiopMessage>,
+        deadline: std::time::Duration,
     ) -> Result<GiopMessage, OrbError> {
-        match rx.recv() {
+        match rx.recv_timeout(deadline) {
             Ok(msg) => Ok(msg),
-            Err(_) => {
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                self.pending.lock().remove(&request_id);
+                Err(classify_transport(TmError::Timeout(format!(
+                    "GIOP reply to request {request_id}"
+                ))))
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
                 self.pending.lock().remove(&request_id);
                 Err(OrbError::CommFailure(TmError::Closed))
             }
@@ -203,6 +215,9 @@ impl Orb {
                             let conn_orb = Arc::clone(&accept_orb);
                             std::thread::spawn(move || conn_orb.serve_connection(stream));
                         }
+                        // An idle endpoint trips the accept deadline from
+                        // time to time; that is not a failure of the ORB.
+                        Err(TmError::Timeout(_)) => continue,
                         Err(_) => return,
                     }
                 }
@@ -274,12 +289,16 @@ impl Orb {
         if self.shutting_down.swap(true, Ordering::AcqRel) {
             return;
         }
-        // Wake the accept loop with a dummy connection.
-        let _ = self.tm.vlink_connect(
-            self.tm.node(),
-            &self.endpoint_service,
-            FabricChoice::Auto,
-        );
+        // Wake the accept loop with a dummy connection — from a detached
+        // thread, because the wake-up races thread startup: an accept
+        // thread that saw the flag before its first accept() exits
+        // without ever ACKing the dummy SYN, and shutdown must not sit
+        // out that connect's full timeout-and-retry budget.
+        let tm = Arc::clone(&self.tm);
+        let endpoint = self.endpoint_service.clone();
+        std::thread::spawn(move || {
+            let _ = tm.vlink_connect(tm.node(), &endpoint, FabricChoice::Auto);
+        });
         if let Some(handle) = self.accept_thread.lock().take() {
             let _ = handle.join();
         }
@@ -496,6 +515,31 @@ impl Orb {
     pub fn drop_connection(&self, node: NodeId, endpoint: &str) {
         self.conns.lock().remove(&(node, endpoint.to_string()));
     }
+
+    /// Whether a failed GIOP exchange is worth another attempt: only
+    /// transport-level failures the TM classifies as retryable (timeouts,
+    /// down links, mapping losses). Marshal errors, user/system
+    /// exceptions, and hard closes are final.
+    fn transport_retryable(&self, err: &OrbError) -> bool {
+        match err {
+            OrbError::CommFailure(e) | OrbError::Transient(e) => padico_tm::is_retryable(e),
+            _ => false,
+        }
+    }
+
+    /// Account one GIOP retry: charge the policy's backoff to the node's
+    /// virtual clock and bump the recovery counters.
+    fn note_giop_retry(&self, retry: u32, policy: &padico_tm::RetryPolicy) {
+        let charged = policy.charge_backoff(self.tm.clock(), retry);
+        let recovery = self.tm.recovery();
+        padico_tm::faults::note(recovery, |r| &r.giop_retries);
+        padico_tm::faults::note_backoff(recovery, charged);
+        trace_debug!(
+            "orb",
+            "{}: GIOP retry #{retry}, backed off {charged} vns",
+            self.tm.node()
+        );
+    }
 }
 
 impl Drop for Orb {
@@ -539,27 +583,52 @@ impl ObjectRef {
             target: self.clone(),
             operation: operation.to_string(),
             args: CdrWriter::new(self.orb.profile.strategy),
+            idempotent: false,
         }
     }
 
     /// GIOP LocateRequest: is the object active at its endpoint?
+    ///
+    /// LocateRequest is idempotent by construction, so transient
+    /// transport failures are retried within the TM's budget — this is
+    /// the liveness probe parallel clients use to count survivors, and a
+    /// single dropped frame must not misreport a healthy peer as dead.
     pub fn locate(&self) -> Result<bool, OrbError> {
-        let conn = self.orb.connection(self.ior.node, &self.ior.endpoint)?;
-        let request_id = self.orb.request_ids.next() as u32;
-        let rx = conn
-            .send_request(
-                request_id,
-                giop::encode_locate_request(request_id, self.ior.key),
-                true,
-            )?
-            .expect("reply expected");
-        match conn.await_reply(request_id, rx)? {
-            GiopMessage::LocateReply { status, .. } => {
-                Ok(status == LocateStatus::ObjectHere)
+        let orb = &self.orb;
+        let policy = orb.tm.config().retry;
+        let deadline = orb.tm.config().default_deadline;
+        let mut retry = 0u32;
+        loop {
+            let attempt = || -> Result<GiopMessage, OrbError> {
+                let conn = orb.connection(self.ior.node, &self.ior.endpoint)?;
+                let request_id = orb.request_ids.next() as u32;
+                let rx = conn
+                    .send_request(
+                        request_id,
+                        giop::encode_locate_request(request_id, self.ior.key),
+                        true,
+                    )?
+                    .expect("reply expected");
+                conn.await_reply(request_id, rx, deadline)
+            };
+            match attempt() {
+                Ok(GiopMessage::LocateReply { status, .. }) => {
+                    return Ok(status == LocateStatus::ObjectHere)
+                }
+                Ok(other) => {
+                    return Err(OrbError::Marshal(format!(
+                        "expected LocateReply, got {other:?}"
+                    )))
+                }
+                Err(err) => {
+                    retry += 1;
+                    if retry >= policy.max_attempts || !orb.transport_retryable(&err) {
+                        return Err(err);
+                    }
+                    orb.note_giop_retry(retry, &policy);
+                    orb.drop_connection(self.ior.node, &self.ior.endpoint);
+                }
             }
-            other => Err(OrbError::Marshal(format!(
-                "expected LocateReply, got {other:?}"
-            ))),
         }
     }
 }
@@ -575,9 +644,22 @@ pub struct RequestBuilder {
     target: ObjectRef,
     operation: String,
     args: CdrWriter,
+    idempotent: bool,
 }
 
 impl RequestBuilder {
+    /// Declare the operation idempotent: the ORB may transparently
+    /// re-issue the request after a transient transport failure, even
+    /// when it cannot know whether the servant already executed it (the
+    /// reply, not the request, may have been the frame that was lost).
+    /// Without this flag a transient failure surfaces as
+    /// [`OrbError::Transient`] after a single attempt and the *caller*
+    /// decides whether re-issuing is safe — exactly CORBA's contract.
+    pub fn idempotent(mut self) -> Self {
+        self.idempotent = true;
+        self
+    }
+
     pub fn arg_u32(mut self, v: u32) -> Self {
         self.args.write_u32(v);
         self
@@ -647,36 +729,64 @@ impl RequestBuilder {
         let args = self.args.finish();
         let factor = orb.protocol.fixed_cost_factor();
         orb.profile.charge_client_scaled(clock, args.len(), factor);
-        let request_id = orb.request_ids.next() as u32;
-        let frame = match orb.protocol {
-            WireProtocol::Giop => giop::encode_request(
-                request_id,
-                response_expected,
-                ior.key,
-                &self.operation,
-                args,
-            ),
-            WireProtocol::Esiop => crate::esiop::encode_request(
-                request_id,
-                response_expected,
-                ior.key,
-                &self.operation,
-                args,
-            ),
+        // The marshalled arguments (not the framed request) are what we
+        // keep for re-issue: each attempt gets a *fresh* request id so a
+        // straggler reply to an abandoned attempt can never be mistaken
+        // for the reply of the retry.
+        let policy = if self.idempotent {
+            orb.tm.config().retry
+        } else {
+            padico_tm::RetryPolicy::none()
         };
-        let conn = orb.connection(ior.node, &ior.endpoint)?;
-        let rx = conn.send_request(request_id, frame, response_expected)?;
-        let rx = match rx {
-            Some(rx) => rx,
-            None => return Ok(None),
+        let deadline = orb.tm.config().default_deadline;
+        let mut retry = 0u32;
+        let msg = loop {
+            let attempt = || -> Result<Option<GiopMessage>, OrbError> {
+                let request_id = orb.request_ids.next() as u32;
+                let frame = match orb.protocol {
+                    WireProtocol::Giop => giop::encode_request(
+                        request_id,
+                        response_expected,
+                        ior.key,
+                        &self.operation,
+                        args.clone(),
+                    ),
+                    WireProtocol::Esiop => crate::esiop::encode_request(
+                        request_id,
+                        response_expected,
+                        ior.key,
+                        &self.operation,
+                        args.clone(),
+                    ),
+                };
+                let conn = orb.connection(ior.node, &ior.endpoint)?;
+                match conn.send_request(request_id, frame, response_expected)? {
+                    Some(rx) => conn.await_reply(request_id, rx, deadline).map(Some),
+                    None => Ok(None),
+                }
+            };
+            match attempt() {
+                Ok(Some(msg)) => break msg,
+                Ok(None) => return Ok(None),
+                Err(err) => {
+                    retry += 1;
+                    if retry >= policy.max_attempts || !orb.transport_retryable(&err) {
+                        return Err(err);
+                    }
+                    orb.note_giop_retry(retry, &policy);
+                    // The cached connection may be the broken thing:
+                    // evict it so the next attempt reconnects (and the
+                    // VLink layer gets the chance to fail over).
+                    orb.drop_connection(ior.node, &ior.endpoint);
+                }
+            }
         };
-        match conn.await_reply(request_id, rx)? {
+        match msg {
             GiopMessage::Reply {
-                request_id: got_id,
+                request_id: _,
                 status,
                 body,
             } => {
-                debug_assert_eq!(got_id, request_id, "reader routes by id");
                 // Unmarshalling the reply costs like a client-side charge
                 // on the reply length.
                 orb.profile
@@ -711,7 +821,7 @@ impl RequestBuilder {
 mod tests {
     use super::*;
     use padico_fabric::topology::single_cluster;
-    use padico_fabric::FabricKind;
+    use padico_fabric::{FabricKind, FaultPlan};
     use padico_util::stats::mb_per_s;
 
     struct Calculator;
@@ -965,6 +1075,84 @@ mod tests {
             "Mico one-way {mico:.1} µs, paper reports 62"
         );
         assert!(mico > omni * 2.0);
+    }
+
+    /// An ORB pair over Myrinet with tight deadlines, returning the
+    /// Myrinet fabric so tests can arm fault plans on it. Faults are
+    /// armed *after* this returns, so the connection warm-up each test
+    /// does first isolates the request/reply recovery path.
+    fn chaos_pair() -> (Arc<Orb>, Arc<Orb>, Arc<padico_fabric::SimFabric>) {
+        use std::time::Duration;
+        let (topo, ids) = single_cluster(2);
+        let topo = Arc::new(topo);
+        let fabric = topo
+            .fabrics_between(ids[0], ids[1])
+            .into_iter()
+            .find(|f| f.kind() == FabricKind::Myrinet)
+            .expect("cluster has Myrinet");
+        let cfg = padico_tm::TmConfig {
+            default_deadline: Duration::from_millis(60),
+            connect_timeout: Duration::from_millis(250),
+            retry: padico_tm::RetryPolicy {
+                max_attempts: 6,
+                ..Default::default()
+            },
+        };
+        let tms = PadicoTM::boot_all_with_config(Arc::clone(&topo), cfg).unwrap();
+        let choice = FabricChoice::Kind(FabricKind::Myrinet);
+        let a = Orb::start(Arc::clone(&tms[0]), "client", OrbProfile::omniorb3(), choice)
+            .unwrap();
+        let b = Orb::start(Arc::clone(&tms[1]), "server", OrbProfile::omniorb3(), choice)
+            .unwrap();
+        (a, b, fabric)
+    }
+
+    #[test]
+    fn idempotent_requests_survive_seeded_frame_drops() {
+        let (client, server, fabric) = chaos_pair();
+        let ior = server.activate(Arc::new(Calculator));
+        let obj = client.object_ref(ior);
+        obj.request("add").arg_i32(1).arg_i32(1).invoke().unwrap(); // warm-up
+        fabric.set_fault_plan(FaultPlan::drops(11, 20));
+        for i in 0..10 {
+            let mut reply = obj
+                .request("add")
+                .arg_i32(i)
+                .arg_i32(1)
+                .idempotent()
+                .invoke()
+                .unwrap();
+            assert_eq!(reply.read_i32().unwrap(), i + 1);
+        }
+        let rec = client.tm().recovery().snapshot();
+        assert!(
+            rec.giop_retries > 0,
+            "a 20% drop rate over 20 frames must trip at least one retry: {rec:?}"
+        );
+        assert!(rec.backoff_ns > 0, "retries charge backoff: {rec:?}");
+        assert!(
+            fabric.fault_stats().dropped > 0,
+            "the plan actually dropped frames"
+        );
+    }
+
+    #[test]
+    fn non_idempotent_failure_is_transient_without_retry() {
+        let (client, server, fabric) = chaos_pair();
+        let ior = server.activate(Arc::new(Calculator));
+        let obj = client.object_ref(ior);
+        obj.request("noop").invoke().unwrap(); // warm-up
+        fabric.set_fault_plan(FaultPlan::drops(1, 100));
+        let err = obj.request("add").arg_i32(1).arg_i32(2).invoke().unwrap_err();
+        assert!(
+            matches!(err, OrbError::Transient(TmError::Timeout(_))),
+            "lost exchange must surface as TRANSIENT, got {err}"
+        );
+        assert_eq!(
+            client.tm().recovery().snapshot().giop_retries,
+            0,
+            "a request not declared idempotent must not be re-issued"
+        );
     }
 
     #[test]

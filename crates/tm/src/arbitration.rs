@@ -33,9 +33,10 @@
 //! mutex.
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use padico_fabric::{EndpointAddr, FabricEndpoint, Message, Payload, SimFabric, Topology};
+use padico_fabric::{EndpointAddr, FabricEndpoint, FabricError, Message, Payload, SimFabric, Topology};
 use padico_util::ids::{ChannelId, FabricId, IdGen, NodeId};
 use padico_util::simtime::SimClock;
+use padico_util::stats::RecoveryStats;
 use padico_util::{trace_info, trace_warn};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -215,6 +216,8 @@ pub struct NetAccess {
     map: Arc<ChannelMap>,
     stopping: Arc<AtomicBool>,
     io_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Per-node recovery bookkeeping; the runtime façade exposes it.
+    recovery: RecoveryStats,
 }
 
 impl NetAccess {
@@ -284,6 +287,7 @@ impl NetAccess {
             map,
             stopping,
             io_threads: Mutex::new(io_threads),
+            recovery: RecoveryStats::new(),
         }))
     }
 
@@ -331,8 +335,19 @@ impl NetAccess {
         })
     }
 
+    /// Per-node recovery counters (remaps, retries charged by the
+    /// abstraction layer).
+    pub fn recovery(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
     /// Send `payload` on logical `channel` to the arbitration layer of
     /// `dst` over the given fabric, charging this node's clock.
+    ///
+    /// On mapping-table hardware, a missing mapping (never established at
+    /// boot, or lost when the hardware died and revived) is transparently
+    /// re-established here: the arbitration layer is the single owner of
+    /// the table, so it alone does the remap-and-retry dance.
     pub fn send(
         &self,
         fabric: FabricId,
@@ -345,17 +360,29 @@ impl NetAccess {
             .iter()
             .find(|a| a.fabric.id() == fabric)
             .ok_or_else(|| TmError::NoUsableFabric(format!("{fabric} not attached")))?;
-        att.endpoint
-            .send(
-                &self.clock,
-                EndpointAddr {
-                    node: dst,
-                    port: TM_SERVICE_PORT,
-                },
-                channel,
-                payload,
-            )
-            .map_err(TmError::from)
+        let dst_addr = EndpointAddr {
+            node: dst,
+            port: TM_SERVICE_PORT,
+        };
+        match att
+            .endpoint
+            .send(&self.clock, dst_addr, channel, payload.clone())
+        {
+            Err(FabricError::NoMapping { .. }) => {
+                // Re-establish on demand, then retry the send once. If the
+                // mapping hardware is dead this surfaces LinkDown and the
+                // caller fails over to another fabric.
+                att.fabric.map_remote(self.node, dst)?;
+                self.recovery.mapping_remaps.fetch_add(1, Ordering::Relaxed);
+                padico_util::stats::global_recovery()
+                    .mapping_remaps
+                    .fetch_add(1, Ordering::Relaxed);
+                att.endpoint
+                    .send(&self.clock, dst_addr, channel, payload)
+                    .map_err(TmError::from)
+            }
+            other => other.map_err(TmError::from),
+        }
     }
 
     /// Loopback optimization: a message to the local node skips the wire
@@ -370,6 +397,7 @@ impl NetAccess {
             channel,
             arrival: self.clock.now(),
             recv_cost: 0,
+            corrupted: false,
             payload,
         };
         self.map.dispatch(channel, msg);

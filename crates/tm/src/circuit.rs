@@ -22,6 +22,7 @@ use std::sync::Arc;
 
 use crate::arbitration::{named_channel, ChannelRx};
 use crate::error::TmError;
+use crate::faults::{self, is_retryable};
 use crate::runtime::PadicoTM;
 use crate::security::{protect, SessionKey};
 use crate::selector::{FabricChoice, Route};
@@ -62,7 +63,11 @@ pub struct Circuit {
     tm: Arc<PadicoTM>,
     spec: CircuitSpec,
     my_rank: usize,
-    route: Route,
+    /// Current route; replaced in place when the group's fabric fails and
+    /// another one connects the whole group (Circuit failover is
+    /// group-wide: each member re-selects independently but
+    /// deterministically, so the group converges on the same fabric).
+    route: Mutex<Route>,
     key: SessionKey,
     rx: Mutex<ChannelRx>,
     /// Messages received while waiting for a specific rank.
@@ -92,7 +97,7 @@ impl Circuit {
             tm,
             spec,
             my_rank,
-            route,
+            route: Mutex::new(route),
             key,
             rx: Mutex::new(rx),
             stash: Mutex::new(VecDeque::new()),
@@ -109,9 +114,10 @@ impl Circuit {
         self.spec.group.len()
     }
 
-    /// The route the selector picked (exposed for tests and traces).
-    pub fn route(&self) -> &Route {
-        &self.route
+    /// The route currently carrying the circuit (owned because failover
+    /// may swap it concurrently).
+    pub fn route(&self) -> Route {
+        self.route.lock().clone()
     }
 
     /// The node's clock (shared with the runtime).
@@ -131,7 +137,7 @@ impl Circuit {
         hdr[..4].copy_from_slice(&(self.my_rank as u32).to_le_bytes());
         hdr[4..].copy_from_slice(&header.to_le_bytes());
         wire.push_segment(bytes::Bytes::copy_from_slice(&hdr));
-        let body = if self.route.encrypt {
+        let body = if self.route.lock().encrypt {
             protect(self.key, &payload, self.tm.clock())
         } else {
             payload
@@ -140,11 +146,50 @@ impl Circuit {
         let channel = named_channel(&format!("circuit:{}", self.spec.name));
         if dst_node == self.tm.node() {
             self.tm.net().send_local(channel, wire);
-            Ok(())
-        } else {
-            self.tm
-                .net()
-                .send(self.route.fabric.id(), dst_node, channel, wire)
+            return Ok(());
+        }
+        let policy = self.tm.config().retry;
+        let mut attempt = 1u32;
+        loop {
+            let fabric = self.route.lock().fabric.id();
+            match self.tm.net().send(fabric, dst_node, channel, wire.clone()) {
+                Ok(()) => return Ok(()),
+                Err(err) if attempt < policy.max_attempts && is_retryable(&err) => {
+                    let rec = self.tm.recovery();
+                    faults::note(rec, |r| &r.send_retries);
+                    let charged = policy.charge_backoff(self.tm.clock(), attempt);
+                    faults::note_backoff(rec, charged);
+                    self.try_failover(&err);
+                    attempt += 1;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// On a link-level failure, re-select a fabric connecting the whole
+    /// group, excluding the one that just failed.
+    fn try_failover(&self, err: &TmError) {
+        use padico_fabric::FabricError;
+        let link_level = matches!(
+            err,
+            TmError::LinkDown { .. }
+                | TmError::Fabric(
+                    FabricError::NoMapping { .. } | FabricError::MappingLimit { .. }
+                )
+        );
+        if !link_level {
+            return;
+        }
+        let current = self.route.lock().fabric.id();
+        if let Ok(next) = self.tm.select_excluding(
+            &self.spec.group,
+            Paradigm::Parallel,
+            FabricChoice::Auto,
+            &[current],
+        ) {
+            faults::note(self.tm.recovery(), |r| &r.route_failovers);
+            *self.route.lock() = next;
         }
     }
 
@@ -160,7 +205,7 @@ impl Circuit {
         let hdr = head.to_contiguous();
         let src = u32::from_le_bytes(hdr[..4].try_into().expect("4 bytes"));
         let user = u64::from_le_bytes(hdr[4..].try_into().expect("8 bytes"));
-        let body = if self.route.encrypt {
+        let body = if self.route.lock().encrypt {
             protect(self.key, &tail, self.tm.clock())
         } else {
             tail
@@ -168,12 +213,27 @@ impl Circuit {
         Ok((src, user, body))
     }
 
+    /// Pull the next intact (non-corrupted) delivery off the wire, bounded
+    /// by the runtime's default deadline so a dead peer surfaces
+    /// [`TmError::Timeout`] instead of hanging the rank forever.
+    fn recv_intact(&self) -> Result<padico_fabric::Message, TmError> {
+        let deadline = self.tm.config().default_deadline;
+        loop {
+            let msg = self.rx.lock().recv_timeout(self.tm.clock(), deadline)?;
+            if msg.corrupted {
+                faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
+                continue;
+            }
+            return Ok(msg);
+        }
+    }
+
     /// Receive the next message from any rank: `(src_rank, header, body)`.
     pub fn recv(&self) -> Result<(u32, u64, Payload), TmError> {
         if let Some(entry) = self.stash.lock().pop_front() {
             return Ok(entry);
         }
-        let msg = self.rx.lock().recv(self.tm.clock())?;
+        let msg = self.recv_intact()?;
         self.decode(msg)
     }
 
@@ -188,7 +248,7 @@ impl Circuit {
                     return Ok((h, p));
                 }
             }
-            let msg = self.rx.lock().recv(self.tm.clock())?;
+            let msg = self.recv_intact()?;
             let entry = self.decode(msg)?;
             if entry.0 as usize == src_rank {
                 return Ok((entry.1, entry.2));
@@ -202,9 +262,14 @@ impl Circuit {
         if let Some(entry) = self.stash.lock().pop_front() {
             return Ok(Some(entry));
         }
-        match self.rx.lock().try_recv(self.tm.clock())? {
-            Some(msg) => Ok(Some(self.decode(msg)?)),
-            None => Ok(None),
+        loop {
+            match self.rx.lock().try_recv(self.tm.clock())? {
+                Some(msg) if msg.corrupted => {
+                    faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
+                }
+                Some(msg) => return Ok(Some(self.decode(msg)?)),
+                None => return Ok(None),
+            }
         }
     }
 }
@@ -217,7 +282,7 @@ impl std::fmt::Debug for Circuit {
             self.spec.name,
             self.my_rank,
             self.size(),
-            self.route.fabric.model().name
+            self.route.lock().fabric.model().name
         )
     }
 }
@@ -329,6 +394,50 @@ mod tests {
         let (src, h, body) = c1.recv().unwrap();
         assert_eq!((src, h), (0, 11));
         assert_eq!(body.to_vec(), data, "decrypted transparently");
+    }
+
+    #[test]
+    fn recv_times_out_instead_of_hanging() {
+        use crate::runtime::TmConfig;
+        let (topo, ids) = single_cluster(2);
+        let cfg = TmConfig {
+            default_deadline: std::time::Duration::from_millis(40),
+            ..TmConfig::default()
+        };
+        let tms = PadicoTM::boot_all_with_config(Arc::new(topo), cfg).unwrap();
+        let c0 = tms[0]
+            .circuit(CircuitSpec::new("quiet", ids.clone()))
+            .unwrap();
+        let _c1 = tms[1].circuit(CircuitSpec::new("quiet", ids)).unwrap();
+        // Rank 1 never sends: the barrier-ish wait surfaces a typed
+        // timeout instead of deadlocking the rank.
+        let err = c0.recv_from(1).unwrap_err();
+        assert!(matches!(err, TmError::Timeout(_)), "{err}");
+    }
+
+    #[test]
+    fn circuit_fails_over_when_group_fabric_dies() {
+        let (topo, ids) = single_cluster(2);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let circuits: Vec<Circuit> = tms
+            .iter()
+            .map(|tm| tm.circuit(CircuitSpec::new("fo", ids.clone())).unwrap())
+            .collect();
+        let original = circuits[0].route().fabric.id();
+        circuits[0]
+            .route()
+            .fabric
+            .faults()
+            .partition_pair(ids[0], ids[1]);
+        circuits[0]
+            .send(1, 9, Payload::from_vec(vec![4, 2]))
+            .unwrap();
+        let (src, h, body) = circuits[1].recv().unwrap();
+        assert_eq!((src, h, body.to_vec()), (0, 9, vec![4, 2]));
+        assert_ne!(circuits[0].route().fabric.id(), original, "failed over");
+        let snap = tms[0].recovery().snapshot();
+        assert!(snap.route_failovers >= 1, "{snap:?}");
+        assert!(snap.backoff_ns > 0, "{snap:?}");
     }
 
     #[test]

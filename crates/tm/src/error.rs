@@ -17,6 +17,9 @@ pub enum TmError {
     /// Timed out waiting for a peer (connect, handshake, recv with
     /// deadline).
     Timeout(String),
+    /// The physical link to the peer is down (partition, flap window, dead
+    /// mapping hardware). Retryable — possibly over another fabric.
+    LinkDown { from: NodeId, to: NodeId },
     /// The channel/stream/endpoint has been closed.
     Closed,
     /// Module management error (missing dependency, duplicate load, …).
@@ -32,6 +35,7 @@ impl fmt::Display for TmError {
             TmError::NoRoute { from, to } => write!(f, "no fabric connects {from} to {to}"),
             TmError::NoUsableFabric(what) => write!(f, "no usable fabric: {what}"),
             TmError::Timeout(what) => write!(f, "timed out: {what}"),
+            TmError::LinkDown { from, to } => write!(f, "link from {from} to {to} is down"),
             TmError::Closed => write!(f, "closed"),
             TmError::Module(what) => write!(f, "module error: {what}"),
             TmError::Protocol(what) => write!(f, "protocol error: {what}"),
@@ -50,7 +54,12 @@ impl std::error::Error for TmError {
 
 impl From<FabricError> for TmError {
     fn from(e: FabricError) -> Self {
-        TmError::Fabric(e)
+        match e {
+            // A down link keeps its typed identity across the layer
+            // boundary so retry/failover logic can match on it.
+            FabricError::LinkDown { from, to } => TmError::LinkDown { from, to },
+            other => TmError::Fabric(other),
+        }
     }
 }
 
@@ -71,5 +80,21 @@ mod tests {
         .to_string()
         .contains("node3"));
         assert!(TmError::Timeout("connect".into()).source().is_none());
+    }
+
+    #[test]
+    fn link_down_keeps_typed_identity_across_conversion() {
+        let e = TmError::from(FabricError::LinkDown {
+            from: NodeId(1),
+            to: NodeId(2),
+        });
+        assert_eq!(
+            e,
+            TmError::LinkDown {
+                from: NodeId(1),
+                to: NodeId(2)
+            }
+        );
+        assert!(e.to_string().contains("down"));
     }
 }

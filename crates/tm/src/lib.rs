@@ -29,6 +29,7 @@
 pub mod arbitration;
 pub mod circuit;
 pub mod error;
+pub mod faults;
 pub mod module;
 pub mod personality;
 pub mod runtime;
@@ -39,7 +40,8 @@ pub mod vlink;
 pub use arbitration::{ChannelRx, NetAccess, TM_SERVICE_PORT};
 pub use circuit::{Circuit, CircuitSpec};
 pub use error::TmError;
+pub use faults::{is_retryable, RetryPolicy};
 pub use module::{ModuleManager, PadicoModule};
-pub use runtime::PadicoTM;
+pub use runtime::{PadicoTM, TmConfig};
 pub use selector::{FabricChoice, Route};
 pub use vlink::{VLinkListener, VLinkStream};

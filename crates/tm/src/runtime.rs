@@ -7,17 +7,42 @@
 //! [`PadicoTM::vlink_listen`], [`PadicoTM::vlink_connect`]).
 
 use padico_fabric::{Paradigm, Topology};
-use padico_util::ids::NodeId;
+use padico_util::ids::{FabricId, NodeId};
 use padico_util::simtime::SimClock;
+use padico_util::stats::RecoveryStats;
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::arbitration::NetAccess;
 use crate::circuit::{Circuit, CircuitSpec};
 use crate::error::TmError;
+use crate::faults::RetryPolicy;
 use crate::module::ModuleManager;
 use crate::selector::{self, FabricChoice, Route};
 use crate::vlink::{VLinkListener, VLinkStream};
+
+/// Tunable runtime knobs, shared by all middleware on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmConfig {
+    /// Default deadline for blocking receive paths that used to wait
+    /// forever (VLink accept, stream reads, Circuit recv). Generous so the
+    /// happy path never trips it; chaos tests shrink it.
+    pub default_deadline: Duration,
+    /// Deadline for one VLink connect handshake attempt.
+    pub connect_timeout: Duration,
+    /// Retry budget + backoff for stream ops, handshakes, and failover.
+    pub retry: RetryPolicy,
+}
+
+impl Default for TmConfig {
+    fn default() -> Self {
+        TmConfig {
+            default_deadline: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(5),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
 
 /// The PadicoTM runtime of one grid node.
 pub struct PadicoTM {
@@ -26,11 +51,21 @@ pub struct PadicoTM {
     clock: SimClock,
     net: Arc<NetAccess>,
     modules: ModuleManager,
+    config: TmConfig,
 }
 
 impl PadicoTM {
     /// Boot the runtime on one node of `topology`.
     pub fn boot(topology: Arc<Topology>, node: NodeId) -> Result<Arc<PadicoTM>, TmError> {
+        PadicoTM::boot_with_config(topology, node, TmConfig::default())
+    }
+
+    /// Boot with explicit runtime knobs.
+    pub fn boot_with_config(
+        topology: Arc<Topology>,
+        node: NodeId,
+        config: TmConfig,
+    ) -> Result<Arc<PadicoTM>, TmError> {
         let clock = SimClock::new();
         let net = NetAccess::bring_up(&topology, node, clock.share())?;
         Ok(Arc::new(PadicoTM {
@@ -39,19 +74,28 @@ impl PadicoTM {
             clock,
             net,
             modules: ModuleManager::new(),
+            config,
         }))
     }
 
     /// Boot a runtime on every node of `topology`; index `i` of the result
     /// is the runtime of `NodeId(i)`.
     pub fn boot_all(topology: Arc<Topology>) -> Result<Vec<Arc<PadicoTM>>, TmError> {
+        PadicoTM::boot_all_with_config(topology, TmConfig::default())
+    }
+
+    /// [`PadicoTM::boot_all`] with explicit runtime knobs on every node.
+    pub fn boot_all_with_config(
+        topology: Arc<Topology>,
+        config: TmConfig,
+    ) -> Result<Vec<Arc<PadicoTM>>, TmError> {
         topology
             .nodes()
             .iter()
             .map(|n| n.id)
             .collect::<Vec<_>>()
             .into_iter()
-            .map(|id| PadicoTM::boot(Arc::clone(&topology), id))
+            .map(|id| PadicoTM::boot_with_config(Arc::clone(&topology), id, config))
             .collect()
     }
 
@@ -78,6 +122,18 @@ impl PadicoTM {
         &self.modules
     }
 
+    /// The node's runtime knobs.
+    pub fn config(&self) -> &TmConfig {
+        &self.config
+    }
+
+    /// The node's recovery counters (retries, failovers, backoff charged).
+    /// The process-global aggregate in
+    /// [`padico_util::stats::global_recovery`] is bumped alongside these.
+    pub fn recovery(&self) -> &RecoveryStats {
+        self.net.recovery()
+    }
+
     /// Select a route from this node towards `peers` (see
     /// [`crate::selector::select`]).
     pub fn select(
@@ -87,6 +143,18 @@ impl PadicoTM {
         choice: FabricChoice,
     ) -> Result<Route, TmError> {
         selector::select(&self.topology, peers, paradigm, choice)
+    }
+
+    /// Like [`PadicoTM::select`], but skipping fabrics that already failed
+    /// — the failover path of VLink/Circuit route re-selection.
+    pub fn select_excluding(
+        &self,
+        peers: &[NodeId],
+        paradigm: Paradigm,
+        choice: FabricChoice,
+        excluded: &[FabricId],
+    ) -> Result<Route, TmError> {
+        selector::select_excluding(&self.topology, peers, paradigm, choice, excluded)
     }
 
     /// Build this node's member of a [`Circuit`] — the parallel-oriented
@@ -109,7 +177,13 @@ impl PadicoTM {
         service: &str,
         choice: FabricChoice,
     ) -> Result<VLinkStream, TmError> {
-        VLinkStream::connect(Arc::clone(self), dst, service, choice, Duration::from_secs(5))
+        VLinkStream::connect(
+            Arc::clone(self),
+            dst,
+            service,
+            choice,
+            self.config.connect_timeout,
+        )
     }
 }
 

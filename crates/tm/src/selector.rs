@@ -11,7 +11,7 @@
 //! a trusted machine).
 
 use padico_fabric::{FabricKind, Paradigm, SimFabric, Topology};
-use padico_util::ids::NodeId;
+use padico_util::ids::{FabricId, NodeId};
 use padico_util::trace_info;
 use std::sync::Arc;
 
@@ -51,11 +51,27 @@ pub fn select(
     paradigm: Paradigm,
     choice: FabricChoice,
 ) -> Result<Route, TmError> {
+    select_excluding(topology, peers, paradigm, choice, &[])
+}
+
+/// [`select`] restricted to fabrics not in `excluded` — the failover path:
+/// when a route's fabric fails persistently (dead mapping hardware, flap),
+/// the caller re-selects with the failed fabric excluded and transparently
+/// carries the flow over whatever connects the peers next-best, even
+/// across paradigms (SAN mapping dies → socket driver takes over).
+pub fn select_excluding(
+    topology: &Topology,
+    peers: &[NodeId],
+    paradigm: Paradigm,
+    choice: FabricChoice,
+    excluded: &[FabricId],
+) -> Result<Route, TmError> {
     assert!(!peers.is_empty(), "empty peer group");
     let candidates: Vec<Arc<SimFabric>> = topology
         .fabrics()
         .iter()
         .filter(|f| peers.iter().all(|&p| f.has_member(p)))
+        .filter(|f| !excluded.contains(&f.id()))
         .filter(|f| match choice {
             FabricChoice::Auto => true,
             FabricChoice::Kind(k) => f.kind() == k,
@@ -177,6 +193,28 @@ mod tests {
         let r = select(&topo, &peers, Paradigm::Parallel, FabricChoice::Auto).unwrap();
         assert_eq!(r.fabric.kind(), FabricKind::Wan);
         assert!(!r.straight, "parallel abstraction over WAN is cross-paradigm");
+    }
+
+    #[test]
+    fn excluding_best_fabric_fails_over_to_next() {
+        let (topo, ids) = single_cluster(2);
+        let peers = [ids[0], ids[1]];
+        let best = select(&topo, &peers, Paradigm::Parallel, FabricChoice::Auto).unwrap();
+        let next = select_excluding(
+            &topo,
+            &peers,
+            Paradigm::Parallel,
+            FabricChoice::Auto,
+            &[best.fabric.id()],
+        )
+        .unwrap();
+        assert_ne!(next.fabric.id(), best.fabric.id());
+        // Excluding everything leaves no route.
+        let all: Vec<_> = topo.fabrics().iter().map(|f| f.id()).collect();
+        let err =
+            select_excluding(&topo, &peers, Paradigm::Parallel, FabricChoice::Auto, &all)
+                .unwrap_err();
+        assert!(matches!(err, TmError::NoRoute { .. }));
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::time::Duration;
 
 use crate::arbitration::{fresh_channel, named_channel, ChannelRx};
 use crate::error::TmError;
+use crate::faults::{self, is_retryable};
 use crate::runtime::PadicoTM;
 use crate::security::SessionKey;
 use crate::selector::{FabricChoice, Route};
@@ -101,7 +102,9 @@ impl VLinkListener {
         &self.service
     }
 
-    /// Accept one incoming connection (blocking).
+    /// Accept one incoming connection. "Blocking" is bounded by the
+    /// runtime's default deadline — a dead peer surfaces
+    /// [`TmError::Timeout`] instead of hanging the acceptor forever.
     pub fn accept(&self) -> Result<VLinkStream, TmError> {
         self.accept_inner(None)
     }
@@ -112,9 +115,16 @@ impl VLinkListener {
     }
 
     fn accept_inner(&self, timeout: Option<Duration>) -> Result<VLinkStream, TmError> {
-        let msg = match timeout {
-            Some(t) => self.rx.recv_timeout(self.tm.clock(), t)?,
-            None => self.rx.recv(self.tm.clock())?,
+        let timeout = timeout.unwrap_or(self.tm.config().default_deadline);
+        let msg = loop {
+            let msg = self.rx.recv_timeout(self.tm.clock(), timeout)?;
+            if msg.corrupted {
+                // A damaged SYN is as good as a lost one: the client's
+                // connect retry re-sends it.
+                faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
+                continue;
+            }
+            break msg;
         };
         // SYN frames are sent as one segment, so this flatten is free.
         let syn = msg.payload.to_contiguous();
@@ -154,7 +164,11 @@ impl VLinkListener {
 pub struct VLinkStream {
     tm: Arc<PadicoTM>,
     peer: NodeId,
-    route: Route,
+    /// Current route; replaced in place when the stream fails over to
+    /// another fabric (the peer never notices — channel ids are
+    /// fabric-independent and the encrypt decision depends only on the
+    /// peers' trust, not on the fabric carrying the bytes).
+    route: Mutex<Route>,
     tx_channel: ChannelId,
     rx: Mutex<ChannelRx>,
     key: SessionKey,
@@ -226,7 +240,7 @@ impl VLinkStream {
         VLinkStream {
             tm,
             peer,
-            route,
+            route: Mutex::new(route),
             tx_channel,
             rx: Mutex::new(rx),
             key,
@@ -243,7 +257,51 @@ impl VLinkStream {
         choice: FabricChoice,
         timeout: Duration,
     ) -> Result<VLinkStream, TmError> {
-        let route = tm.select(&[tm.node(), dst], Paradigm::Distributed, choice)?;
+        let policy = tm.config().retry;
+        let mut route = tm.select(&[tm.node(), dst], Paradigm::Distributed, choice)?;
+        let mut attempt = 1u32;
+        // `timeout` bounds the whole handshake, retries included: a dead
+        // service costs one connect_timeout total, not one per attempt.
+        let per_attempt = timeout / policy.max_attempts.max(1);
+        loop {
+            match VLinkStream::connect_once(&tm, dst, service, choice, &route, per_attempt) {
+                Ok(stream) => return Ok(stream),
+                Err(err) if attempt < policy.max_attempts && is_retryable(&err) => {
+                    let rec = tm.recovery();
+                    faults::note(rec, |r| &r.connect_retries);
+                    let charged = policy.charge_backoff(tm.clock(), attempt);
+                    faults::note_backoff(rec, charged);
+                    // A flapping link may heal between attempts; a dead
+                    // mapping will not — move the next attempt to the
+                    // next-best fabric if one connects the pair.
+                    if matches!(err, TmError::LinkDown { .. }) {
+                        if let Ok(next) = tm.select_excluding(
+                            &[tm.node(), dst],
+                            Paradigm::Distributed,
+                            choice,
+                            &[route.fabric.id()],
+                        ) {
+                            faults::note(rec, |r| &r.route_failovers);
+                            route = next;
+                        }
+                    }
+                    attempt += 1;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// One handshake attempt. Each attempt uses fresh channels so a late
+    /// ACK for a timed-out attempt cannot be mistaken for this one's.
+    fn connect_once(
+        tm: &Arc<PadicoTM>,
+        dst: NodeId,
+        service: &str,
+        choice: FabricChoice,
+        route: &Route,
+        timeout: Duration,
+    ) -> Result<VLinkStream, TmError> {
         let c2s = fresh_channel();
         let s2c = fresh_channel();
         let rx = tm.net().subscribe(s2c)?;
@@ -261,32 +319,36 @@ impl VLinkStream {
                 .send(route.fabric.id(), dst, listener, Payload::from_vec(syn))?;
         }
         let stream = VLinkStream::assemble(
-            Arc::clone(&tm),
+            Arc::clone(tm),
             dst,
-            route,
+            route.clone(),
             c2s,
             rx,
             SessionKey::derive(c2s.0, s2c.0),
         );
-        // Wait for ACK.
-        let ack = stream
-            .rx
-            .lock()
-            .recv_timeout(stream.tm.clock(), timeout)?;
-        let first = ack.payload.segments().next().and_then(|s| s.first().copied());
-        if first != Some(KIND_ACK) {
-            return Err(TmError::Protocol("expected ACK".into()));
+        // Wait for ACK (a corrupted one counts as lost).
+        loop {
+            let ack = stream.rx.lock().recv_timeout(stream.tm.clock(), timeout)?;
+            if ack.corrupted {
+                faults::note(tm.recovery(), |r| &r.corrupt_discards);
+                continue;
+            }
+            let first = ack.payload.segments().next().and_then(|s| s.first().copied());
+            if first != Some(KIND_ACK) {
+                return Err(TmError::Protocol("expected ACK".into()));
+            }
+            return Ok(stream);
         }
-        Ok(stream)
     }
 
     pub fn peer(&self) -> NodeId {
         self.peer
     }
 
-    /// The route the selector picked (exposed for tests and traces).
-    pub fn route(&self) -> &Route {
-        &self.route
+    /// The route currently carrying the stream (exposed for tests and
+    /// traces; owned because failover may swap it concurrently).
+    pub fn route(&self) -> Route {
+        self.route.lock().clone()
     }
 
     fn send_frame(&self, kind: u8, body: Payload) -> Result<(), TmError> {
@@ -295,11 +357,56 @@ impl VLinkStream {
         wire.append(body);
         if self.peer == self.tm.node() {
             self.tm.net().send_local(self.tx_channel, wire);
-            Ok(())
-        } else {
-            self.tm
+            return Ok(());
+        }
+        let policy = self.tm.config().retry;
+        let mut attempt = 1u32;
+        loop {
+            let fabric = self.route.lock().fabric.id();
+            match self
+                .tm
                 .net()
-                .send(self.route.fabric.id(), self.peer, self.tx_channel, wire)
+                .send(fabric, self.peer, self.tx_channel, wire.clone())
+            {
+                Ok(()) => return Ok(()),
+                Err(err) if attempt < policy.max_attempts && is_retryable(&err) => {
+                    let rec = self.tm.recovery();
+                    faults::note(rec, |r| &r.send_retries);
+                    let charged = policy.charge_backoff(self.tm.clock(), attempt);
+                    faults::note_backoff(rec, charged);
+                    self.try_failover(&err);
+                    attempt += 1;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// On a link-level failure, re-select the route excluding the failed
+    /// fabric — the paper's cross-paradigm fallback: when the SAN mapping
+    /// dies the stream transparently re-establishes over the socket
+    /// driver. The channel ids stay, so the peer just keeps receiving.
+    fn try_failover(&self, err: &TmError) {
+        use padico_fabric::FabricError;
+        let link_level = matches!(
+            err,
+            TmError::LinkDown { .. }
+                | TmError::Fabric(
+                    FabricError::NoMapping { .. } | FabricError::MappingLimit { .. }
+                )
+        );
+        if !link_level {
+            return;
+        }
+        let current = self.route.lock().fabric.id();
+        if let Ok(next) = self.tm.select_excluding(
+            &[self.tm.node(), self.peer],
+            Paradigm::Distributed,
+            FabricChoice::Auto,
+            &[current],
+        ) {
+            faults::note(self.tm.recovery(), |r| &r.route_failovers);
+            *self.route.lock() = next;
         }
     }
 
@@ -311,7 +418,7 @@ impl VLinkStream {
     /// Write a payload to the stream without copying it (zero-copy path
     /// for single-segment payloads on trusted routes).
     pub fn write_payload(&self, body: Payload) -> Result<(), TmError> {
-        let body = if self.route.encrypt {
+        let body = if self.route.lock().encrypt {
             let mut offset = self.tx_offset.lock();
             let mut buf = body.to_vec();
             self.key.apply(&mut buf, *offset);
@@ -377,37 +484,51 @@ impl VLinkStream {
         self.fill_buffer_frame()
     }
 
+    /// Pull one frame into the stream buffer. `None` means "the runtime's
+    /// default deadline" — a silent peer surfaces [`TmError::Timeout`]
+    /// instead of blocking the reader forever. Corrupted deliveries are
+    /// discarded (CRC model) and the wait continues.
     fn fill_buffer(&self, timeout: Option<Duration>) -> Result<(), TmError> {
-        let msg = {
-            let rx = self.rx.lock();
-            match timeout {
-                Some(t) => rx.recv_timeout(self.tm.clock(), t)?,
-                None => rx.recv(self.tm.clock())?,
+        let timeout = timeout.unwrap_or(self.tm.config().default_deadline);
+        loop {
+            let msg = {
+                let rx = self.rx.lock();
+                rx.recv_timeout(self.tm.clock(), timeout)?
+            };
+            if msg.corrupted {
+                faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
+                continue;
             }
-        };
-        self.ingest(msg, |body, buffer| {
-            for seg in body.segments() {
-                buffer.push(seg.clone());
-            }
-        })?;
-        Ok(())
+            self.ingest(msg, |body, buffer| {
+                for seg in body.segments() {
+                    buffer.push(seg.clone());
+                }
+            })?;
+            return Ok(());
+        }
     }
 
-    /// Like `fill_buffer` but hands the frame out whole.
+    /// Like `fill_buffer` but hands the frame out whole. Deliberately
+    /// blocks without deadline: long-lived reader threads (the ORB's
+    /// per-connection readers) idle here legitimately between requests;
+    /// request liveness is the caller's business (`await_reply` budgets).
     fn fill_buffer_frame(&self) -> Result<Option<Payload>, TmError> {
-        let msg = {
-            let rx = self.rx.lock();
-            rx.recv(self.tm.clock())?
-        };
-        let mut out = None;
-        self.ingest(msg, |body, _buffer| {
-            out = Some(body);
-        })?;
-        if out.is_none() {
-            // FIN arrived.
-            return Ok(None);
+        loop {
+            let msg = {
+                let rx = self.rx.lock();
+                rx.recv(self.tm.clock())?
+            };
+            if msg.corrupted {
+                faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
+                continue;
+            }
+            let mut out = None;
+            self.ingest(msg, |body, _buffer| {
+                out = Some(body);
+            })?;
+            // `None` here means a FIN arrived: end of stream.
+            return Ok(out);
         }
-        Ok(out)
     }
 
     fn ingest(
@@ -424,7 +545,7 @@ impl VLinkStream {
         let kind = tag.to_contiguous()[0];
         match kind {
             KIND_DATA => {
-                let body = if self.route.encrypt {
+                let body = if self.route.lock().encrypt {
                     // The cipher must walk every byte: this copy is real
                     // work and is charged at CIPHER_MB_S.
                     let mut offset = self.rx_offset.lock();
@@ -472,7 +593,7 @@ impl std::fmt::Debug for VLinkStream {
             "VLinkStream({} <-> {} on {})",
             self.tm.node(),
             self.peer,
-            self.route.fabric.model().name
+            self.route.lock().fabric.model().name
         )
     }
 }
@@ -648,6 +769,65 @@ mod tests {
             sent_ptr,
             "VLink frame must alias the sender's buffer end-to-end"
         );
+    }
+
+    #[test]
+    fn stream_fails_over_when_link_dies() {
+        let (a, b) = pair();
+        let listener = b.vlink_listen("fo").unwrap();
+        let bt = std::thread::spawn(move || listener.accept().unwrap());
+        let s = a.vlink_connect(b.node(), "fo", FabricChoice::Auto).unwrap();
+        let server = bt.join().unwrap();
+        let original = s.route().fabric.id();
+        // The fabric carrying the stream dies between the two nodes; the
+        // next write must retry, fail over, and still deliver.
+        s.route().fabric.faults().partition_pair(a.node(), b.node());
+        s.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        assert_ne!(s.route().fabric.id(), original, "route failed over");
+        let snap = a.recovery().snapshot();
+        assert!(snap.route_failovers >= 1, "{snap:?}");
+        assert!(snap.send_retries >= 1, "{snap:?}");
+        assert!(snap.backoff_ns > 0, "backoff charged to virtual clock");
+    }
+
+    #[test]
+    fn read_times_out_instead_of_hanging() {
+        use crate::runtime::TmConfig;
+        let (topo, _ids) = single_cluster(2);
+        let cfg = TmConfig {
+            default_deadline: Duration::from_millis(40),
+            ..TmConfig::default()
+        };
+        let tms = PadicoTM::boot_all_with_config(Arc::new(topo), cfg).unwrap();
+        let listener = tms[1].vlink_listen("quiet").unwrap();
+        let bt = std::thread::spawn(move || listener.accept().unwrap());
+        let s = tms[0]
+            .vlink_connect(tms[1].node(), "quiet", FabricChoice::Auto)
+            .unwrap();
+        let server = bt.join().unwrap();
+        // Nobody ever writes: the read surfaces a typed timeout instead of
+        // blocking the caller forever.
+        let mut buf = [0u8; 1];
+        let err = server.read(&mut buf).unwrap_err();
+        assert!(matches!(err, TmError::Timeout(_)), "{err}");
+        drop(s);
+    }
+
+    #[test]
+    fn accept_times_out_with_default_deadline() {
+        use crate::runtime::TmConfig;
+        let (topo, _ids) = single_cluster(1);
+        let cfg = TmConfig {
+            default_deadline: Duration::from_millis(30),
+            ..TmConfig::default()
+        };
+        let tms = PadicoTM::boot_all_with_config(Arc::new(topo), cfg).unwrap();
+        let listener = tms[0].vlink_listen("lonely").unwrap();
+        let err = listener.accept().unwrap_err();
+        assert!(matches!(err, TmError::Timeout(_)), "{err}");
     }
 
     #[test]

@@ -5,6 +5,77 @@
 //! keep the unit conversions in one place and provide the usual summary
 //! statistics over repeated measurements.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Recovery bookkeeping: how much work the retry/failover machinery did.
+///
+/// One instance lives in each PadicoTM runtime (per-node counters, used by
+/// the chaos tests to assert deterministic recovery); a process-global
+/// aggregate (see [`global_recovery`]) is mirrored alongside so bench
+/// reports can show recovery overhead next to latency without plumbing.
+#[derive(Debug, Default)]
+pub struct RecoveryStats {
+    /// Stream/send operations retried after a retryable transport error.
+    pub send_retries: AtomicU64,
+    /// Connection handshakes retried (lost SYN/ACK).
+    pub connect_retries: AtomicU64,
+    /// GIOP requests re-issued by the ORB (idempotent retry path).
+    pub giop_retries: AtomicU64,
+    /// Route failovers: a VLink/Circuit re-selected onto another fabric.
+    pub route_failovers: AtomicU64,
+    /// SAN mappings re-established on demand by the arbitration layer.
+    pub mapping_remaps: AtomicU64,
+    /// Frames discarded as corrupt (CRC-style detection at delivery).
+    pub corrupt_discards: AtomicU64,
+    /// Virtual nanoseconds charged to backoff while recovering.
+    pub backoff_ns: AtomicU64,
+}
+
+/// A plain-value snapshot of [`RecoveryStats`], comparable across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoverySnapshot {
+    pub send_retries: u64,
+    pub connect_retries: u64,
+    pub giop_retries: u64,
+    pub route_failovers: u64,
+    pub mapping_remaps: u64,
+    pub corrupt_discards: u64,
+    pub backoff_ns: u64,
+}
+
+impl RecoverySnapshot {
+    /// Total retry-shaped events (the "bounded retries" number chaos
+    /// tests assert on).
+    pub fn total_retries(&self) -> u64 {
+        self.send_retries + self.connect_retries + self.giop_retries
+    }
+}
+
+impl RecoveryStats {
+    pub fn new() -> RecoveryStats {
+        RecoveryStats::default()
+    }
+
+    pub fn snapshot(&self) -> RecoverySnapshot {
+        RecoverySnapshot {
+            send_retries: self.send_retries.load(Ordering::Relaxed),
+            connect_retries: self.connect_retries.load(Ordering::Relaxed),
+            giop_retries: self.giop_retries.load(Ordering::Relaxed),
+            route_failovers: self.route_failovers.load(Ordering::Relaxed),
+            mapping_remaps: self.mapping_remaps.load(Ordering::Relaxed),
+            corrupt_discards: self.corrupt_discards.load(Ordering::Relaxed),
+            backoff_ns: self.backoff_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Process-wide aggregate recovery counters (for bench reports).
+pub fn global_recovery() -> &'static RecoveryStats {
+    static GLOBAL: OnceLock<RecoveryStats> = OnceLock::new();
+    GLOBAL.get_or_init(RecoveryStats::new)
+}
+
 /// Summary of a set of scalar samples.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
@@ -174,6 +245,20 @@ mod tests {
         // 240 MB/s: 240 bytes per microsecond.
         assert!((mb_per_s(240, 1_000) - 240.0).abs() < 1e-9);
         assert!(mb_per_s(1, 0).is_infinite());
+    }
+
+    #[test]
+    fn recovery_snapshot_reflects_counters() {
+        let r = RecoveryStats::new();
+        r.giop_retries.fetch_add(2, Ordering::Relaxed);
+        r.route_failovers.fetch_add(1, Ordering::Relaxed);
+        r.backoff_ns.fetch_add(5_000, Ordering::Relaxed);
+        let s = r.snapshot();
+        assert_eq!(s.giop_retries, 2);
+        assert_eq!(s.route_failovers, 1);
+        assert_eq!(s.backoff_ns, 5_000);
+        assert_eq!(s.total_retries(), 2);
+        assert_eq!(s, r.snapshot(), "snapshot is a stable value type");
     }
 
     #[test]

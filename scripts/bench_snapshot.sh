@@ -12,6 +12,9 @@ date_tag=${1:-$(date +%F)}
 criterion_jsonl=$(mktemp)
 trap 'rm -f "$criterion_jsonl"' EXIT
 
+echo "== chaos suite (fault injection + retry/failover, deterministic)"
+cargo test --features chaos -q --test chaos
+
 echo "== criterion benches (JSONL -> $criterion_jsonl)"
 CRITERION_JSON="$criterion_jsonl" cargo bench -p padico-bench \
   --bench transport --bench marshalling \

@@ -1,0 +1,332 @@
+//! Chaos suite: end-to-end fault injection through the whole stack
+//! (fabric → PadicoTM → ORB → GridCCM), gated behind the `chaos` cargo
+//! feature because the tests deliberately burn wall-clock time waiting
+//! out reply deadlines on dropped frames.
+//!
+//! Everything here is deterministic: fault decisions are a pure function
+//! of the plan seed and per-link sequence numbers, and backoff is
+//! charged to the virtual clock — so two runs of the same scenario must
+//! report identical retry counts and recovery time.
+#![cfg(feature = "chaos")]
+
+use padico::core::parallel::adapter::{ParArgs, ParCtx, ParallelServant};
+use padico::core::parallel::{ParValue, ParallelAdapter, ParallelRef};
+use padico::core::paridl::{ArgDef, InterfaceDef, OpDef, ParamKind};
+use padico::core::{DistSeq, Distribution, Grid, GridCcmError, InterceptionPlan};
+use padico::fabric::fabric::FabricKind;
+use padico::fabric::{presets, FaultPlan, SecurityZone, Topology};
+use padico::orb::profile::OrbProfile;
+use padico::tm::selector::FabricChoice;
+use padico::tm::{RetryPolicy, TmConfig};
+use padico::util::simtime::MS;
+use padico::util::stats::RecoverySnapshot;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Short deadlines (a lost frame costs one reply timeout of wall-clock)
+/// and a widened retry budget for the 20%-drop scenarios.
+fn chaos_config() -> TmConfig {
+    TmConfig {
+        default_deadline: Duration::from_millis(150),
+        connect_timeout: Duration::from_millis(500),
+        retry: RetryPolicy {
+            max_attempts: 6,
+            ..RetryPolicy::default()
+        },
+    }
+}
+
+fn shift_interface() -> InterfaceDef {
+    InterfaceDef {
+        repo_id: "IDL:Chaos/Shift:1.0".into(),
+        ops: vec![OpDef::new(
+            "shift",
+            vec![
+                ArgDef::new("v", ParamKind::Sequence),
+                ArgDef::new("delta", ParamKind::Double),
+            ],
+            Some(ParamKind::Sequence),
+        )],
+    }
+}
+
+fn shift_plan() -> Arc<InterceptionPlan> {
+    let xml = r#"<parallelism interface="IDL:Chaos/Shift:1.0">
+        <operation name="shift">
+          <argument index="0" distribution="block"/>
+          <result distribution="block"/>
+        </operation>
+    </parallelism>"#;
+    Arc::new(InterceptionPlan::compile(&shift_interface(), xml).unwrap())
+}
+
+/// Adds `delta` to its local block — no internal MPI, so a degraded
+/// replica group stays self-consistent.
+struct ShiftServant;
+
+impl ParallelServant for ShiftServant {
+    fn repository_id(&self) -> &str {
+        "IDL:Chaos/Shift:1.0"
+    }
+
+    fn invoke_parallel(
+        &self,
+        op: &str,
+        args: &ParArgs,
+        ctx: &ParCtx,
+    ) -> Result<Option<ParValue>, GridCcmError> {
+        assert_eq!(op, "shift");
+        let local = args.dist(0)?;
+        let delta = args.f64(1)?;
+        let shifted: Vec<f64> = local.as_f64()?.iter().map(|v| v + delta).collect();
+        Ok(Some(ParValue::Dist(DistSeq::from_f64_local(
+            local.global_elems,
+            local.distribution,
+            ctx.rank,
+            ctx.size,
+            &shifted,
+        )?)))
+    }
+}
+
+/// Activate ShiftServant adapters on `server_nodes` and build a
+/// single-rank client handle on `client_node`.
+fn shift_handle(grid: &Grid, client_node: usize, server_nodes: &[usize]) -> ParallelRef {
+    let plan = shift_plan();
+    let mut refs = Vec::new();
+    for (rank, &node) in server_nodes.iter().enumerate() {
+        let adapter = ParallelAdapter::new(Arc::new(ShiftServant), Arc::clone(&plan));
+        adapter.configure(rank, server_nodes.len(), None);
+        let ior = grid.node(node).env.orb.activate(adapter);
+        refs.push(grid.node(client_node).env.orb.object_ref(ior));
+    }
+    ParallelRef::new("chaos-shift", plan, refs, 0, 1).unwrap()
+}
+
+fn invoke_shift(par: &ParallelRef, values: &[f64], delta: f64) -> Result<Vec<f64>, GridCcmError> {
+    let arg = DistSeq::from_f64_local(
+        values.len() as u64,
+        Distribution::Block,
+        0,
+        1,
+        values,
+    )
+    .unwrap();
+    match par.invoke("shift", vec![ParValue::Dist(arg), ParValue::F64(delta)])? {
+        Some(ParValue::Dist(d)) => Ok(d.as_f64().unwrap()),
+        other => panic!("unexpected shift result {other:?}"),
+    }
+}
+
+fn assert_shifted(got: &[f64], values: &[f64], delta: f64) {
+    assert_eq!(got.len(), values.len());
+    for (g, v) in got.iter().zip(values) {
+        assert!((g - (v + delta)).abs() < 1e-9, "got {g}, want {}", v + delta);
+    }
+}
+
+/// A trusted 3-node cluster with an SCI SAN (mapping discipline) and a
+/// Fast-Ethernet LAN (the socket fallback).
+fn sci_cluster(n: usize) -> (Topology, Vec<padico::util::ids::NodeId>) {
+    let mut b = Topology::builder();
+    let ids = b.machine("n", "chaos-cluster", n, SecurityZone::Trusted);
+    b.fabric(presets::sci(), ids.clone());
+    b.fabric(presets::ethernet100(), ids.clone());
+    (b.build(), ids)
+}
+
+/// The acceptance scenario: a GridCCM parallel invocation with 20%
+/// seeded frame drops on the socket fabric plus a forced SAN mapping
+/// death, completing via socket failover. Returns everything a
+/// determinism comparison needs.
+fn run_failover_scenario(seed: u64) -> (Vec<f64>, Vec<RecoverySnapshot>, u64) {
+    let (topo, ids) = sci_cluster(3);
+    let grid = Grid::boot_with_config(
+        topo,
+        OrbProfile::omniorb3(),
+        FabricChoice::Auto,
+        chaos_config(),
+    )
+    .unwrap();
+    let par = shift_handle(&grid, 0, &[1, 2]);
+    let values: Vec<f64> = (0..96).map(|i| i as f64).collect();
+
+    // Warm-up over the healthy SAN.
+    assert_shifted(&invoke_shift(&par, &values, 0.5).unwrap(), &values, 0.5);
+
+    // The SAN mapping hardware dies on the client node and on server
+    // replica 0 (mapping tables are per-sender, so this takes out both
+    // directions), and the Ethernet fallback drops 20% of frames.
+    for fabric in grid.topology().fabrics() {
+        match fabric.kind() {
+            FabricKind::Sci => {
+                fabric.kill_mappings(ids[0]);
+                fabric.kill_mappings(ids[1]);
+            }
+            FabricKind::Ethernet => fabric.set_fault_plan(FaultPlan::drops(seed, 20)),
+            _ => {}
+        }
+    }
+
+    let mut got = Vec::new();
+    for round in 1..=5 {
+        let delta = f64::from(round) * 2.0;
+        got = invoke_shift(&par, &values, delta).unwrap();
+        assert_shifted(&got, &values, delta);
+    }
+
+    let recovery: Vec<RecoverySnapshot> = (0..grid.len())
+        .map(|i| grid.node(i).env.tm.recovery().snapshot())
+        .collect();
+    let dropped = grid
+        .topology()
+        .fabrics()
+        .iter()
+        .map(|f| f.fault_stats().dropped)
+        .sum();
+    (got, recovery, dropped)
+}
+
+#[test]
+fn san_mapping_death_fails_over_to_socket_with_seeded_drops() {
+    let (got, recovery, dropped) = run_failover_scenario(42);
+
+    // The run actually exercised recovery: frames were dropped, the
+    // SAN death forced at least one route failover, and retries backed
+    // off on the virtual clock.
+    assert!(dropped > 0, "no frames dropped");
+    let total: u64 = recovery.iter().map(|r| r.total_retries()).sum();
+    let failovers: u64 = recovery
+        .iter()
+        .map(|r| r.route_failovers + r.mapping_remaps)
+        .sum();
+    let backoff: u64 = recovery.iter().map(|r| r.backoff_ns).sum();
+    assert!(total > 0, "no retries recorded: {recovery:?}");
+    assert!(failovers > 0, "no failover recorded: {recovery:?}");
+    assert!(backoff > 0, "no backoff charged: {recovery:?}");
+
+    // Bounded retries: the e2e recovery fits inside the configured
+    // per-layer budgets rather than spiralling.
+    assert!(total < 500, "retry storm: {total} retries");
+
+    // Same seed ⇒ identical injected faults ⇒ identical retry counts
+    // and recovery time (backoff_ns), per node.
+    let (got2, recovery2, dropped2) = run_failover_scenario(42);
+    assert_eq!(got, got2, "results diverged between same-seed runs");
+    assert_eq!(dropped, dropped2, "fault streams diverged");
+    assert_eq!(
+        recovery, recovery2,
+        "recovery counters diverged between same-seed runs"
+    );
+}
+
+#[test]
+fn invocation_completes_through_flapping_wan_within_retry_budget() {
+    let (topo, a, b) = padico::fabric::topology::two_clusters_wan(2);
+    let grid = Grid::boot_with_config(
+        topo,
+        OrbProfile::omniorb3(),
+        FabricChoice::Auto,
+        chaos_config(),
+    )
+    .unwrap();
+    // Client on cluster A, both server replicas across the WAN on
+    // cluster B.
+    let client_node = 0;
+    assert_eq!(grid.node(0).env.tm.node(), a[0]);
+    let server_nodes: Vec<usize> = (0..grid.len())
+        .filter(|&i| b.contains(&grid.node(i).env.tm.node()))
+        .collect();
+    let par = shift_handle(&grid, client_node, &server_nodes);
+    let values: Vec<f64> = (0..64).map(|i| i as f64).collect();
+    assert_shifted(&invoke_shift(&par, &values, 1.0).unwrap(), &values, 1.0);
+
+    // The WAN starts flapping: down for a 5 ms virtual window starting
+    // now, and dropping 10% of the frames it does carry.
+    let now = grid.node(client_node).env.tm.clock().now();
+    for fabric in grid.topology().fabrics() {
+        if fabric.kind() == FabricKind::Wan {
+            fabric.set_fault_plan(FaultPlan {
+                seed: 7,
+                drop_pct: 10,
+                down_windows: vec![(now, now + 5 * MS)],
+                ..FaultPlan::default()
+            });
+        }
+    }
+
+    let got = invoke_shift(&par, &values, -3.0).unwrap();
+    assert_shifted(&got, &values, -3.0);
+
+    // The flap was survived by charging backoff to the virtual clock
+    // until the window passed — bounded retries, no wall-clock spin.
+    let recovery: Vec<RecoverySnapshot> = (0..grid.len())
+        .map(|i| grid.node(i).env.tm.recovery().snapshot())
+        .collect();
+    let total: u64 = recovery.iter().map(|r| r.total_retries()).sum();
+    assert!(total > 0, "flap never hit the send path: {recovery:?}");
+    assert!(total < 500, "retry storm: {total} retries");
+    assert!(
+        grid.node(client_node).env.tm.clock().now() >= now + 5 * MS,
+        "virtual clock never crossed the flap window"
+    );
+}
+
+#[test]
+fn partitioned_replica_degrades_to_surviving_ranks() {
+    let (topo, ids) = sci_cluster(3);
+    let grid = Grid::boot_with_config(
+        topo,
+        OrbProfile::omniorb3(),
+        FabricChoice::Auto,
+        chaos_config(),
+    )
+    .unwrap();
+    let par = shift_handle(&grid, 0, &[1, 2]).with_quorum(1).unwrap();
+    let values: Vec<f64> = (0..48).map(|i| i as f64).collect();
+    assert_shifted(&invoke_shift(&par, &values, 1.0).unwrap(), &values, 1.0);
+
+    // Replica 1 (node 2) falls off the net entirely.
+    for fabric in grid.topology().fabrics() {
+        fabric.faults().partition_pair(ids[0], ids[2]);
+    }
+
+    // The scatter re-routes through the survivor; the data is intact
+    // because the client still holds all of it.
+    let got = invoke_shift(&par, &values, 4.0).unwrap();
+    assert_shifted(&got, &values, 4.0);
+    assert_eq!(
+        par.dead_replicas().into_iter().collect::<Vec<_>>(),
+        vec![1],
+        "replica 1 should be marked dead"
+    );
+
+    // And it keeps working on the degraded group.
+    let got = invoke_shift(&par, &values, 5.0).unwrap();
+    assert_shifted(&got, &values, 5.0);
+}
+
+#[test]
+fn quorum_loss_is_an_error_not_a_hang() {
+    let (topo, ids) = sci_cluster(3);
+    let grid = Grid::boot_with_config(
+        topo,
+        OrbProfile::omniorb3(),
+        FabricChoice::Auto,
+        chaos_config(),
+    )
+    .unwrap();
+    // Default quorum: all replicas — any death is quorum loss.
+    let par = shift_handle(&grid, 0, &[1, 2]);
+    let values: Vec<f64> = (0..16).map(|i| i as f64).collect();
+    assert_shifted(&invoke_shift(&par, &values, 1.0).unwrap(), &values, 1.0);
+
+    for fabric in grid.topology().fabrics() {
+        fabric.faults().partition_pair(ids[0], ids[2]);
+    }
+
+    match invoke_shift(&par, &values, 2.0) {
+        Err(GridCcmError::QuorumLost { alive: 1, total: 2 }) => {}
+        other => panic!("expected QuorumLost, got {other:?}"),
+    }
+}
