@@ -1,5 +1,5 @@
 //! Real wall-time cost of the GridCCM redistribution machinery: schedule
-//! computation for the three distribution kinds and block reassembly.
+//! computation for the four distribution pairings and block reassembly.
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -17,8 +17,9 @@ fn bench_schedule(c: &mut Criterion) {
             Distribution::Block,
             "blockcyclic_to_block",
         ),
+        (Distribution::Cyclic, Distribution::Cyclic, "cyclic_to_cyclic"),
     ] {
-        for (m, n) in [(4usize, 4usize), (8, 16)] {
+        for (m, n) in [(4usize, 4usize), (8, 16), (64, 64)] {
             group.bench_with_input(
                 BenchmarkId::new(label, format!("{m}x{n}")),
                 &(m, n),
@@ -39,6 +40,9 @@ fn bench_assemble(c: &mut Criterion) {
         let chunks: Vec<Chunk> = (0..pieces)
             .map(|i| Chunk {
                 dst_offset: (i * piece_len) as u64,
+                chunk_elems: piece_len as u64,
+                dst_stride: 0,
+                count: 1,
                 data: Bytes::from(vec![1u8; piece_len]),
             })
             .collect();
@@ -51,6 +55,29 @@ fn bench_assemble(c: &mut Criterion) {
             },
         );
     }
+    // Strided scatter: one chunk per source whose pieces interleave, the
+    // shape the strided wire format produces for cyclic destinations.
+    let total = 1usize << 20;
+    let sources = 8usize;
+    let piece = 1usize << 10;
+    let count = total / (sources * piece);
+    let strided: Vec<Chunk> = (0..sources)
+        .map(|s| Chunk {
+            dst_offset: (s * piece) as u64,
+            chunk_elems: piece as u64,
+            dst_stride: (sources * piece) as u64,
+            count: count as u64,
+            data: Bytes::from(vec![1u8; piece * count]),
+        })
+        .collect();
+    group.throughput(Throughput::Bytes(total as u64));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("strided_8x128"),
+        &strided,
+        |b, chunks| {
+            b.iter(|| assemble_block(1, total as u64, chunks).unwrap());
+        },
+    );
     group.finish();
 }
 
@@ -60,6 +87,14 @@ fn bench_owned_ranges(c: &mut Criterion) {
     });
     c.bench_function("block_owned_ranges_64k", |b| {
         b.iter(|| Distribution::Block.owned_ranges(1 << 16, 3, 8))
+    });
+    // The closed-form descriptor and O(1) local length the hot paths use
+    // instead of materialized ranges.
+    c.bench_function("cyclic_strided_run_64k", |b| {
+        b.iter(|| Distribution::Cyclic.strided_run(1 << 16, 3, 8))
+    });
+    c.bench_function("cyclic_local_len_64k", |b| {
+        b.iter(|| Distribution::Cyclic.local_len(1 << 16, 3, 8))
     });
 }
 

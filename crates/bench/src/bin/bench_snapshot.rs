@@ -32,7 +32,7 @@ fn main() {
         256 << 10,
         4,
     );
-    let (hits, misses) = schedule_cache_stats();
+    let cache = schedule_cache_stats();
 
     let sections = vec![
         ("fig7_bandwidth", report::series_json(&fig7_series)),
@@ -58,7 +58,10 @@ fn main() {
         ),
         (
             "schedule_cache",
-            format!("{{\"hits\":{hits},\"misses\":{misses}}}"),
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"evictions\":{}}}",
+                cache.hits, cache.misses, cache.evictions
+            ),
         ),
         // Retry/failover work done across every run above — shows the
         // recovery overhead next to the latency/bandwidth numbers (all

@@ -26,6 +26,56 @@ pub enum Distribution {
     BlockCyclic(u64),
 }
 
+/// Compact ownership descriptor: `count` chunks of `chunk_len` elements,
+/// `stride` apart, starting at global index `start`, plus an optional
+/// final chunk of `tail_len < chunk_len` elements at
+/// `start + count * stride` (the chunk a Cyclic/BlockCyclic layout clips
+/// against the end of the sequence).
+///
+/// This is the O(1) replacement for materialized per-element range lists:
+/// a Block layout is one chunk, Cyclic is `BlockCyclic(1)`, and
+/// BlockCyclic is closed-form in `(rank, size, global)`. Every hot path
+/// (schedule construction, local length, local slicing) works off this
+/// descriptor or its [`StridedRun::ranges`] iterator; nothing allocates
+/// one entry per element any more (see DESIGN.md §9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StridedRun {
+    /// Global index of the first element of the first chunk.
+    pub start: u64,
+    /// Elements per full chunk.
+    pub chunk_len: u64,
+    /// Distance between consecutive chunk starts.
+    pub stride: u64,
+    /// Number of full chunks.
+    pub count: u64,
+    /// Elements in the clipped final chunk (0 = none).
+    pub tail_len: u64,
+}
+
+impl StridedRun {
+    /// Total elements covered.
+    pub fn len(&self) -> u64 {
+        self.count * self.chunk_len + self.tail_len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The chunks as `[start, end)` global ranges, ascending.
+    pub fn ranges(self) -> impl Iterator<Item = (u64, u64)> {
+        let full = (0..self.count).map(move |j| {
+            let s = self.start + j * self.stride;
+            (s, s + self.chunk_len)
+        });
+        let tail = (self.tail_len > 0).then(|| {
+            let s = self.start + self.count * self.stride;
+            (s, s + self.tail_len)
+        });
+        full.chain(tail)
+    }
+}
+
 impl Distribution {
     /// Encode for wire headers.
     pub fn code(&self) -> (u8, u64) {
@@ -80,49 +130,88 @@ impl Distribution {
     }
 
     /// Number of elements rank `r` of `size` owns in a sequence of
-    /// `global` elements.
+    /// `global` elements. Closed form — O(1) for every distribution
+    /// (this sits on the assemble path of every adapter/client call).
     pub fn local_len(&self, global: u64, r: usize, size: usize) -> u64 {
-        self.owned_ranges(global, r, size).iter().map(|(s, e)| e - s).sum()
+        self.strided_run(global, r, size).len()
     }
 
-    /// The global index ranges `[start, end)` owned by rank `r` of `size`,
-    /// in ascending order.
-    pub fn owned_ranges(&self, global: u64, r: usize, size: usize) -> Vec<(u64, u64)> {
+    /// The cyclic block length: `Some(b)` for the periodic layouts
+    /// (Cyclic is block-cyclic with `b = 1`), `None` for Block.
+    pub fn cyclic_block(&self) -> Option<u64> {
+        match self {
+            Distribution::Block => None,
+            Distribution::Cyclic => Some(1),
+            Distribution::BlockCyclic(b) => Some(*b),
+        }
+    }
+
+    /// The [`StridedRun`] describing everything rank `r` of `size` owns,
+    /// computed in O(1): Block is a single chunk, Cyclic/BlockCyclic are
+    /// `count` full chunks every `stride` elements plus an optional
+    /// clipped tail chunk.
+    pub fn strided_run(&self, global: u64, r: usize, size: usize) -> StridedRun {
         assert!(r < size, "rank out of range");
         let size_u = size as u64;
         let r_u = r as u64;
-        match self {
-            Distribution::Block => {
+        match self.cyclic_block() {
+            None => {
                 let base = global / size_u;
                 let extra = global % size_u;
                 let start = r_u * base + r_u.min(extra);
                 let len = base + u64::from(r_u < extra);
-                if len == 0 {
-                    vec![]
+                StridedRun {
+                    start,
+                    chunk_len: len,
+                    stride: len.max(1),
+                    count: u64::from(len > 0),
+                    tail_len: 0,
+                }
+            }
+            Some(b) => {
+                let stride = size_u * b;
+                let start = r_u * b;
+                if start >= global {
+                    return StridedRun {
+                        start,
+                        chunk_len: b,
+                        stride,
+                        count: 0,
+                        tail_len: 0,
+                    };
+                }
+                // Chunks with start < global; only the last can be clipped.
+                let n = (global - start - 1) / stride + 1;
+                let last_start = start + (n - 1) * stride;
+                let last_len = (global - last_start).min(b);
+                let (count, tail_len) = if last_len == b {
+                    (n, 0)
                 } else {
-                    vec![(start, start + len)]
+                    (n - 1, last_len)
+                };
+                StridedRun {
+                    start,
+                    chunk_len: b,
+                    stride,
+                    count,
+                    tail_len,
                 }
-            }
-            Distribution::Cyclic => {
-                let mut out = Vec::new();
-                let mut i = r_u;
-                while i < global {
-                    out.push((i, i + 1));
-                    i += size_u;
-                }
-                out
-            }
-            Distribution::BlockCyclic(b) => {
-                let mut out = Vec::new();
-                let mut block_start = r_u * b;
-                while block_start < global {
-                    let end = (block_start + b).min(global);
-                    out.push((block_start, end));
-                    block_start += size_u * b;
-                }
-                out
             }
         }
+    }
+
+    /// Iterator over the global index ranges `[start, end)` owned by rank
+    /// `r` of `size`, ascending — the hot-path form (no allocation).
+    pub fn ranges(&self, global: u64, r: usize, size: usize) -> impl Iterator<Item = (u64, u64)> {
+        self.strided_run(global, r, size).ranges()
+    }
+
+    /// The global index ranges `[start, end)` owned by rank `r` of `size`,
+    /// in ascending order, materialized (tests and cold paths; use
+    /// [`Distribution::ranges`] or [`Distribution::strided_run`] on hot
+    /// paths).
+    pub fn owned_ranges(&self, global: u64, r: usize, size: usize) -> Vec<(u64, u64)> {
+        self.ranges(global, r, size).collect()
     }
 
     /// Rank owning global element `i` (for Block this is a closed form;
@@ -185,7 +274,7 @@ impl DistSeq {
         }
         let global_elems = (global.len() / elem_size as usize) as u64;
         let mut data = Vec::new();
-        for (s, e) in distribution.owned_ranges(global_elems, rank, size) {
+        for (s, e) in distribution.ranges(global_elems, rank, size) {
             let byte_start = (s * u64::from(elem_size)) as usize;
             let byte_end = (e * u64::from(elem_size)) as usize;
             data.extend_from_slice(&global[byte_start..byte_end]);
@@ -422,6 +511,41 @@ mod tests {
                 .map(|r| Distribution::Block.local_len(global, r, size))
                 .sum();
             prop_assert_eq!(total, global);
+        }
+
+        /// The O(1) strided run agrees element-for-element with a brute
+        /// force ownership scan, and local_len with the range sum.
+        #[test]
+        fn strided_run_matches_brute_force(
+            global in 0u64..300,
+            size in 1usize..9,
+            which in 0u8..3,
+            bc in 1u64..7,
+        ) {
+            let dist = match which {
+                0 => Distribution::Block,
+                1 => Distribution::Cyclic,
+                _ => Distribution::BlockCyclic(bc),
+            };
+            for r in 0..size {
+                let brute: Vec<u64> = (0..global)
+                    .filter(|&i| dist.owner(global, i, size) == r)
+                    .collect();
+                let run = dist.strided_run(global, r, size);
+                let from_run: Vec<u64> =
+                    run.ranges().flat_map(|(s, e)| s..e).collect();
+                prop_assert_eq!(&from_run, &brute, "{:?} rank {}/{}", dist, r, size);
+                prop_assert_eq!(run.len(), brute.len() as u64);
+                prop_assert_eq!(dist.local_len(global, r, size), brute.len() as u64);
+                prop_assert_eq!(run.is_empty(), brute.is_empty());
+                // The tail chunk, when present, is strictly shorter than a
+                // full chunk and the ranges come out ascending + disjoint.
+                prop_assert!(run.tail_len < run.chunk_len.max(1) || run.tail_len == 0);
+                let ranges: Vec<(u64, u64)> = run.ranges().collect();
+                for w in ranges.windows(2) {
+                    prop_assert!(w[0].1 <= w[1].0);
+                }
+            }
         }
     }
 }

@@ -140,9 +140,8 @@ impl DistMatrix {
     pub fn global_row_indices(&self) -> Vec<u64> {
         self.seq
             .distribution
-            .owned_ranges(self.rows, self.seq.rank, self.seq.size)
-            .iter()
-            .flat_map(|&(s, e)| s..e)
+            .ranges(self.rows, self.seq.rank, self.seq.size)
+            .flat_map(|(s, e)| s..e)
             .collect()
     }
 }

@@ -369,8 +369,8 @@ impl ParallelAdapter {
                 )
                 .map_err(to_orb)?;
                 let mine: Vec<_> = sends_of(&transfers, header.target_rank as usize)
-                    .into_iter()
                     .filter(|t| t.dst_rank == header.client_rank as usize)
+                    .copied()
                     .collect();
                 write_reply_dist(reply, local, crate::dist::Distribution::Block, &mine)
                     .map_err(to_orb)

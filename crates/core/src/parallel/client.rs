@@ -44,7 +44,7 @@ use crate::parallel::wire::{
     WireReply,
 };
 use crate::parallel::GRIDCCM_CLIENT_NS;
-use crate::redistribute::{schedule_cached, sends_of, Transfer};
+use crate::redistribute::{schedule_cached, sends_of, TransferRun};
 use crate::dist::DistSeq;
 
 /// Client-rank handle to a parallel component.
@@ -258,7 +258,7 @@ impl ParallelRef {
 
         // Schedules and routing metadata for the distributed arguments,
         // over the degraded server group.
-        let mut schedules: Vec<Option<std::sync::Arc<Vec<Transfer>>>> =
+        let mut schedules: Vec<Option<std::sync::Arc<Vec<TransferRun>>>> =
             Vec::with_capacity(args.len());
         let mut metas = Vec::new();
         for (arg, dist) in args.iter().zip(&op.arg_dists) {
@@ -419,7 +419,7 @@ impl ParallelRef {
         derived: &str,
         op: &OpPlan,
         args: &[ParValue],
-        schedules: &[Option<std::sync::Arc<Vec<Transfer>>>],
+        schedules: &[Option<std::sync::Arc<Vec<TransferRun>>>],
         server_rank: usize,
         server_size: usize,
         inv_id: u64,
@@ -442,9 +442,9 @@ impl ParallelRef {
         for (index, (arg, sched)) in args.iter().zip(schedules).enumerate() {
             match (arg, sched) {
                 (ParValue::Dist(d), Some(transfers)) => {
-                    let mine: Vec<Transfer> = sends_of(transfers, self.my_rank)
-                        .into_iter()
+                    let mine: Vec<TransferRun> = sends_of(transfers, self.my_rank)
                         .filter(|t| t.dst_rank == server_rank)
+                        .copied()
                         .collect();
                     let server_dist = op.arg_dists[index].expect("validated as distributed");
                     write_dist_chunks(w, d, server_dist, &mine)?;

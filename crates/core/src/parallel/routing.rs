@@ -62,9 +62,9 @@ pub fn targets_of(
         }
     }
     // Control coverage: block-map servers over clients, plus the floor
-    // mapping so clients outnumbering servers still each send one.
-    for (s_start, s_end) in Distribution::Block.owned_ranges(server_size as u64, r, client_size)
-    {
+    // mapping so clients outnumbering servers still each send one. The
+    // range iterator never materializes a Vec on this per-request path.
+    for (s_start, s_end) in Distribution::Block.ranges(server_size as u64, r, client_size) {
         for s in s_start..s_end {
             targets.insert(s as usize);
         }

@@ -144,6 +144,37 @@ impl CdrWriter {
         }
     }
 
+    /// `sequence<octet>` assembled from multiple parts under one length
+    /// prefix: u32 `total_len`, then each part in order. Strided
+    /// redistribution runs marshal this way — the source's pieces are
+    /// not contiguous in its local block, but the wire sequence is one
+    /// logical octet sequence. Each part takes the strategy's fast path
+    /// independently, so bulk pieces still splice zero-copy.
+    pub fn write_octet_gather<I>(&mut self, total_len: usize, parts: I)
+    where
+        I: IntoIterator<Item = Bytes>,
+    {
+        self.write_u32(total_len as u32);
+        let mut written = 0usize;
+        for part in parts {
+            written += part.len();
+            match self.strategy {
+                MarshalStrategy::ZeroCopy if part.len() >= ZERO_COPY_THRESHOLD => {
+                    if !self.buf.is_empty() {
+                        let flushed = std::mem::take(&mut self.buf);
+                        self.out.push_segment(Bytes::from(flushed));
+                    }
+                    self.offset += part.len();
+                    self.out.push_segment(part);
+                }
+                _ => {
+                    self.push(&part);
+                }
+            }
+        }
+        debug_assert_eq!(written, total_len, "gather parts must sum to the declared length");
+    }
+
     /// `sequence<octet>` from a borrowed slice (always copies once).
     pub fn write_octet_slice(&mut self, data: &[u8]) {
         self.write_u32(data.len() as u32);
@@ -472,6 +503,39 @@ mod tests {
         w.write_u8(3); // offset 9
         w.write_f64(4.0); // pads to 16
         assert_eq!(w.len(), 24);
+    }
+
+    #[test]
+    fn octet_gather_reads_back_as_one_sequence() {
+        for strategy in [MarshalStrategy::Copying, MarshalStrategy::ZeroCopy] {
+            let parts = [
+                Bytes::from(vec![1u8; 16]),
+                Bytes::from(vec![2u8; ZERO_COPY_THRESHOLD]),
+                Bytes::from(vec![3u8; 8]),
+            ];
+            let total: usize = parts.iter().map(Bytes::len).sum();
+            let mut w = CdrWriter::new(strategy);
+            w.write_u8(42);
+            w.write_octet_gather(total, parts.iter().cloned());
+            w.write_u32(7);
+            let payload = w.finish();
+
+            let mut r = CdrReader::new(&payload);
+            assert_eq!(r.read_u8().unwrap(), 42);
+            let seq = r.read_octet_seq().unwrap();
+            assert_eq!(seq.len(), total);
+            assert_eq!(&seq[..16], &[1u8; 16]);
+            assert_eq!(&seq[16..16 + ZERO_COPY_THRESHOLD], vec![2u8; ZERO_COPY_THRESHOLD]);
+            assert_eq!(&seq[16 + ZERO_COPY_THRESHOLD..], &[3u8; 8]);
+            assert_eq!(r.read_u32().unwrap(), 7);
+            if strategy == MarshalStrategy::ZeroCopy {
+                assert!(
+                    payload.segment_count() >= 3,
+                    "bulk middle part must splice: {} segments",
+                    payload.segment_count()
+                );
+            }
+        }
     }
 
     #[test]

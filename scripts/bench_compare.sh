@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Compare two benchmark snapshots and flag regressions.
+#
+# Usage: scripts/bench_compare.sh OLD.json NEW.json [threshold]
+#
+# Diffs the criterion sections of two BENCH_<date>.json files by bench
+# id. A bench whose median slows down by more than the threshold factor
+# (default 1.25x) is a regression and fails the script with exit 1 —
+# suitable as a CI gate next to the tier-1 test suite. Benches present
+# in only one snapshot are listed but never fail the gate (new benches
+# appear, old ones get renamed).
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+  echo "usage: $0 OLD.json NEW.json [threshold]" >&2
+  exit 2
+fi
+
+OLD=$1 NEW=$2 THRESHOLD=${3:-1.25} python3 - <<'PY'
+import json, os, sys
+
+old_path, new_path = os.environ["OLD"], os.environ["NEW"]
+threshold = float(os.environ["THRESHOLD"])
+
+def load(path):
+    with open(path) as f:
+        snap = json.load(f)
+    return {row["id"]: row["median_ns"] for row in snap.get("criterion", [])}
+
+old, new = load(old_path), load(new_path)
+regressions, improvements, steady = [], [], 0
+
+for bench_id in sorted(old.keys() & new.keys()):
+    before, after = old[bench_id], new[bench_id]
+    if before <= 0:
+        continue
+    ratio = after / before
+    if ratio > threshold:
+        regressions.append((bench_id, before, after, ratio))
+    elif ratio < 1 / threshold:
+        improvements.append((bench_id, before, after, ratio))
+    else:
+        steady += 1
+
+for bench_id in sorted(old.keys() - new.keys()):
+    print(f"  gone: {bench_id}")
+for bench_id in sorted(new.keys() - old.keys()):
+    print(f"   new: {bench_id} ({new[bench_id]:.1f} ns)")
+
+for bench_id, before, after, ratio in improvements:
+    print(f"faster: {bench_id}  {before:.1f} -> {after:.1f} ns  ({1/ratio:.2f}x)")
+print(f"{steady} benches within {threshold}x, "
+      f"{len(improvements)} faster, {len(regressions)} regressed "
+      f"({old_path} -> {new_path})")
+
+if regressions:
+    print(f"\nREGRESSIONS (median slower than {threshold}x):", file=sys.stderr)
+    for bench_id, before, after, ratio in regressions:
+        print(f"  {bench_id}  {before:.1f} -> {after:.1f} ns  ({ratio:.2f}x)",
+              file=sys.stderr)
+    sys.exit(1)
+PY
