@@ -34,6 +34,22 @@ fn main() {
     );
     let cache = schedule_cache_stats();
 
+    // Everything the runs above left in the observability layer: span
+    // latency histograms, per-fabric byte counters, recovery totals.
+    let obs = padico_core::observability::ObservabilitySnapshot::capture();
+    // Critical-path breakdown of the latest parallel invocation's trace.
+    let critical_path = obs
+        .spans
+        .iter()
+        .filter(|s| s.layer == "ccm.invoke")
+        .max_by_key(|s| (s.start, s.span_id))
+        .and_then(|root| obs.critical_path(root.trace_id, root.span_id))
+        .map(|cp| {
+            eprint!("{}", cp.render());
+            report::critical_path_json(&cp)
+        })
+        .unwrap_or_else(|| "null".to_string());
+
     let sections = vec![
         ("fig7_bandwidth", report::series_json(&fig7_series)),
         (
@@ -68,6 +84,10 @@ fn main() {
         // zero on a healthy grid; nonzero means a bench hit the
         // fault-injection or failover paths).
         ("recovery", report::recovery_json()),
+        // Per-layer latency histograms and byte counters accumulated by
+        // the span/metrics registry over every run above.
+        ("metrics", report::metrics_json(&obs.metrics)),
+        ("critical_path", critical_path),
     ];
     let json = report::snapshot_json(&date, &criterion_jsonl, &sections);
     std::fs::write(&out_path, &json).expect("write snapshot file");

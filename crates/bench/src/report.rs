@@ -102,6 +102,50 @@ pub fn recovery_json() -> String {
     )
 }
 
+/// A metrics snapshot as a JSON object: every counter verbatim, every
+/// histogram reduced to its summary statistics (the full bucket vectors
+/// stay in the in-process registry; a regression diff wants the summary).
+pub fn metrics_json(snap: &padico_util::metrics::MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json_escape(name), v));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.1}}}",
+            json_escape(name),
+            h.count,
+            h.sum,
+            if h.count == 0 { 0 } else { h.min },
+            h.max,
+            h.mean()
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// A critical-path breakdown as a JSON object:
+/// `{"total_ns": ..., "self_ns": {"layer": ns, ...}}`.
+pub fn critical_path_json(cp: &padico_util::span::CriticalPath) -> String {
+    let mut out = format!("{{\"total_ns\":{},\"self_ns\":{{", cp.total);
+    for (i, (layer, ns)) in cp.self_ns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json_escape(layer), ns));
+    }
+    out.push_str("}}");
+    out
+}
+
 /// Convert criterion's JSONL dump (one JSON object per line, as written
 /// when `CRITERION_JSON` is set) into one JSON array, dropping lines
 /// that are not plausible objects.
@@ -189,6 +233,38 @@ mod tests {
             assert!(doc.contains(&format!("\"{field}\":")), "{doc}");
         }
         assert!(doc.starts_with('{') && doc.ends_with('}'));
+    }
+
+    #[test]
+    fn metrics_and_critical_path_json_are_wellformed() {
+        let mut snap = padico_util::metrics::MetricsSnapshot::default();
+        snap.counters.insert("bytes.myrinet".into(), 4096);
+        let h = padico_util::metrics::Histogram {
+            count: 2,
+            sum: 10,
+            min: 3,
+            max: 7,
+            ..Default::default()
+        };
+        snap.histograms.insert("latency.orb.giop".into(), h);
+        let doc = metrics_json(&snap);
+        assert!(doc.contains("\"bytes.myrinet\":4096"));
+        assert!(doc.contains("\"latency.orb.giop\":{\"count\":2,\"sum\":10"));
+
+        let mut cp = padico_util::span::CriticalPath {
+            total: 100,
+            ..Default::default()
+        };
+        cp.self_ns.insert("fabric.link", 60);
+        cp.self_ns.insert("orb.giop", 40);
+        let doc = critical_path_json(&cp);
+        assert_eq!(
+            doc,
+            "{\"total_ns\":100,\"self_ns\":{\"fabric.link\":60,\"orb.giop\":40}}"
+        );
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(doc.matches(open).count(), doc.matches(close).count());
+        }
     }
 
     #[test]

@@ -29,12 +29,16 @@
 //!   connection wiring);
 //! * [`padico`] — the top-level façade ([`padico::Grid`]): boot a whole
 //!   simulated grid (topology → PadicoTM → ORBs → containers → daemons →
-//!   naming) in one call.
+//!   naming) in one call;
+//! * [`observability`] — one merged snapshot of spans, latency
+//!   histograms, byte counters, recovery totals and schedule-cache
+//!   stats, with Perfetto export and critical-path analysis.
 
 pub mod dist;
 pub mod dist2d;
 pub mod error;
 pub mod grid_deploy;
+pub mod observability;
 pub mod padico;
 pub mod paridl;
 pub mod parallel;

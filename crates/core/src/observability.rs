@@ -1,0 +1,108 @@
+//! One-stop observability snapshot for a whole grid run.
+//!
+//! The lower layers each keep their own books: spans land in the
+//! process-global span buffers ([`padico_util::span`]), latency
+//! histograms and byte counters in the metrics registry
+//! ([`padico_util::metrics`]), retry/failover totals in the recovery
+//! stats ([`padico_util::stats`]), and schedule reuse in the
+//! redistribution cache ([`crate::redistribute::schedule_cache_stats`]).
+//! This module folds all of them into a single [`MetricsSnapshot`] so a
+//! bench harness or an example dumps one coherent picture.
+
+use padico_util::metrics::MetricsSnapshot;
+use padico_util::span::{self, CriticalPath, Span};
+
+use crate::redistribute::schedule_cache_stats;
+
+/// The metrics registry plus recovery counters plus schedule-cache
+/// counters, merged under deterministic names.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let mut snap = padico_util::metrics::snapshot_with_recovery();
+    let cache = schedule_cache_stats();
+    for (name, v) in [
+        ("schedule_cache.hits", cache.hits),
+        ("schedule_cache.misses", cache.misses),
+        ("schedule_cache.evictions", cache.evictions),
+    ] {
+        snap.counters.insert(name.to_string(), v);
+    }
+    snap
+}
+
+/// Everything observable about a run: the merged metrics and the merged
+/// span buffers of every node.
+pub struct ObservabilitySnapshot {
+    pub metrics: MetricsSnapshot,
+    pub spans: Vec<Span>,
+    /// Spans discarded because a per-node buffer overflowed.
+    pub dropped_spans: u64,
+}
+
+impl ObservabilitySnapshot {
+    pub fn capture() -> Self {
+        ObservabilitySnapshot {
+            metrics: metrics_snapshot(),
+            spans: span::snapshot(),
+            dropped_spans: span::dropped(),
+        }
+    }
+
+    /// The spans of one trace (one logical GridCCM invocation).
+    pub fn trace(&self, trace_id: u64) -> Vec<Span> {
+        self.spans
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
+    /// Critical path through the given trace's root span.
+    pub fn critical_path(&self, trace_id: u64, root_span_id: u64) -> Option<CriticalPath> {
+        let spans = self.trace(trace_id);
+        span::critical_path(&spans, root_span_id)
+    }
+
+    /// Chrome-trace (Perfetto) JSON for every captured span.
+    pub fn chrome_trace_json(&self) -> String {
+        span::chrome_trace_json(&self.spans)
+    }
+
+    /// Deterministic text rendering: metrics first, then one line per
+    /// span in canonical order.
+    pub fn render(&self) -> String {
+        let mut out = self.metrics.render();
+        out.push_str(&format!(
+            "spans: {} captured, {} dropped\n",
+            self.spans.len(),
+            self.dropped_spans
+        ));
+        out.push_str(&span::canonical_dump(&self.spans));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_folds_cache_and_recovery_counters() {
+        let _iso = padico_util::trace::isolated();
+        // Force at least one schedule-cache lookup so the counters move.
+        let _ = crate::redistribute::schedule_cached(
+            64,
+            crate::dist::Distribution::Block,
+            2,
+            crate::dist::Distribution::Block,
+            2,
+        )
+        .unwrap();
+        let snap = ObservabilitySnapshot::capture();
+        assert!(snap.metrics.counters.contains_key("schedule_cache.hits"));
+        assert!(snap.metrics.counters.contains_key("schedule_cache.misses"));
+        assert!(snap.metrics.counters.contains_key("recovery.giop_retries"));
+        let rendered = snap.render();
+        assert!(rendered.contains("counter schedule_cache.misses"));
+        assert!(rendered.contains("spans: "));
+    }
+}

@@ -154,6 +154,10 @@ enum Outcome {
 struct InvState {
     expected: BTreeSet<u32>,
     arrived: HashMap<u32, Vec<WireArg>>,
+    /// Trace context shipped in each arrived chunk's header, by client
+    /// rank: the upcall span is parented on the lowest expected rank's
+    /// context so the tree shape does not depend on arrival order.
+    ctxs: HashMap<u32, (u64, u64)>,
     outcome: Option<Result<Arc<Outcome>, String>>,
     replies_sent: usize,
 }
@@ -228,6 +232,7 @@ impl ParallelAdapter {
     /// the invocation's (possibly degraded) view* — equal to
     /// `cfg.rank`/`cfg.size` on a healthy invocation, and the client's
     /// renumbering of the survivors otherwise.
+    #[allow(clippy::too_many_arguments)]
     fn run_invocation(
         &self,
         cfg: &Configured,
@@ -236,9 +241,23 @@ impl ParallelAdapter {
         op_plan: &OpPlan,
         state: &InvState,
         clock: &SimClock,
+        node: u32,
     ) -> Result<Outcome, GridCcmError> {
         let client_size = state.arrived.len();
         debug_assert_eq!(client_size, state.expected.len());
+        // Whichever dispatch thread happens to arrive last runs the
+        // upcall; parent its span on the lowest expected client rank's
+        // shipped context so the tree is identical across runs.
+        let run_ctx = state
+            .expected
+            .iter()
+            .next()
+            .and_then(|r| state.ctxs.get(r))
+            .filter(|(trace_id, _)| *trace_id != 0)
+            .map(|&(trace_id, span_id)| padico_util::span::SpanCtx { trace_id, span_id });
+        let _adopt = run_ctx.map(padico_util::span::adopt);
+        let _run_span =
+            padico_util::span::child(clock, node, "ccm.run", format!("run:{}", op_plan.name));
         let arity = op_plan.arg_dists.len();
         // Assemble the argument list.
         let mut values = Vec::with_capacity(arity);
@@ -412,6 +431,23 @@ impl Servant for ParallelAdapter {
 
         ctx.clock.advance(GRIDCCM_SERVER_NS);
         let header = InvHeader::read(args).map_err(to_orb)?;
+        // Requests arriving through the ORB already carry an ambient
+        // span (the orb.dispatch span adopted the wire context); adopt
+        // the header's context only when dispatched directly, as unit
+        // tests do.
+        let _hdr_adopt = (padico_util::span::current().is_none() && header.trace_id != 0)
+            .then(|| {
+                padico_util::span::adopt(padico_util::span::SpanCtx {
+                    trace_id: header.trace_id,
+                    span_id: header.parent_span,
+                })
+            });
+        let _chunk_span = padico_util::span::child(
+            &ctx.clock,
+            ctx.node.0,
+            "ccm.dispatch",
+            format!("dispatch:rank{}", header.client_rank),
+        );
         // The client may address this replica under a degraded view
         // (surviving replicas renumbered 0..target_size); the view can
         // only shrink the configured group.
@@ -492,6 +528,7 @@ impl Servant for ParallelAdapter {
                             mu: Mutex::new(InvState {
                                 expected: expected.clone(),
                                 arrived: HashMap::new(),
+                                ctxs: HashMap::new(),
                                 outcome: None,
                                 replies_sent: 0,
                             }),
@@ -520,10 +557,21 @@ impl Servant for ParallelAdapter {
             let duplicate = state.arrived.contains_key(&header.client_rank);
             if !duplicate {
                 state.arrived.insert(header.client_rank, wire_args);
+                state
+                    .ctxs
+                    .insert(header.client_rank, (header.trace_id, header.parent_span));
                 if state.arrived.len() == state.expected.len() {
                     // Last chunk in: this thread runs the user operation.
                     let outcome = self
-                        .run_invocation(&cfg, eff_rank, eff_size, &op_plan, &state, &ctx.clock)
+                        .run_invocation(
+                            &cfg,
+                            eff_rank,
+                            eff_size,
+                            &op_plan,
+                            &state,
+                            &ctx.clock,
+                            ctx.node.0,
+                        )
                         .map(Arc::new)
                         .map_err(|e| e.to_string());
                     state.outcome = Some(outcome);

@@ -202,7 +202,20 @@ impl ParallelRef {
             .wrapping_add(self.seq.fetch_add(1, Ordering::Relaxed));
         let derived = InterceptionPlan::derived_op(op_name);
 
+        // Root of the invocation's span tree: the deterministic
+        // invocation id doubles as the trace id, so every rank of the
+        // client group roots its spans in the same tree.
+        let tm = self.replicas[0].orb().tm();
+        let _root = padico_util::span::root(
+            tm.clock(),
+            tm.node().0,
+            inv_id,
+            "ccm.invoke",
+            format!("invoke:{op_name}:rank{}", self.my_rank),
+        );
+
         let mut round: u32 = 0;
+        let mut prev_round_span = 0u64;
         loop {
             let dead = self.dead.lock().clone();
             let survivors: Vec<usize> = (0..self.replicas.len())
@@ -218,7 +231,17 @@ impl ParallelRef {
             // servers are concerned (the degraded view may differ), so it
             // gets its own deterministic id.
             let round_id = inv_id.wrapping_add(u64::from(round) << 48);
-            match self.invoke_round(&op, &derived, &args, &survivors, round_id) {
+            let round_span = padico_util::span::child_retry(
+                tm.clock(),
+                tm.node().0,
+                "ccm.round",
+                format!("round{round}"),
+                prev_round_span,
+            );
+            let outcome = self.invoke_round(&op, &derived, &args, &survivors, round_id);
+            prev_round_span = round_span.id();
+            drop(round_span);
+            match outcome {
                 Ok(replies) => return self.assemble(&op, replies),
                 Err(e) if round + 1 < max_rounds && is_transport_failure(&e) => {
                     self.probe_replicas();
@@ -258,6 +281,13 @@ impl ParallelRef {
 
         // Schedules and routing metadata for the distributed arguments,
         // over the degraded server group.
+        let tm = self.replicas[0].orb().tm();
+        let redist_span = padico_util::span::child(
+            tm.clock(),
+            tm.node().0,
+            "ccm.redistribute",
+            format!("schedule:{}", op.name),
+        );
         let mut schedules: Vec<Option<std::sync::Arc<Vec<TransferRun>>>> =
             Vec::with_capacity(args.len());
         let mut metas = Vec::new();
@@ -287,9 +317,13 @@ impl ParallelRef {
             op.result_dist.is_some(),
             &metas,
         )?;
+        drop(redist_span);
 
         // One derived invocation per target server, concurrently — every
-        // client node participates in inter-component communication.
+        // client node participates in inter-component communication. The
+        // span context does not cross thread spawns on its own: capture
+        // it here and adopt it inside each fan-out thread.
+        let ctx = padico_util::span::current();
         let mut replies: Vec<(usize, Result<WireReply, GridCcmError>)> =
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
@@ -300,6 +334,14 @@ impl ParallelRef {
                     handles.push((
                         v,
                         scope.spawn(move || {
+                            let _adopt = ctx.map(padico_util::span::adopt);
+                            let tm = target.orb().tm();
+                            let _target_span = padico_util::span::child(
+                                tm.clock(),
+                                tm.node().0,
+                                "ccm.target",
+                                format!("target:{v}"),
+                            );
                             self.invoke_one(
                                 target,
                                 derived,
@@ -429,6 +471,10 @@ impl ParallelRef {
         // Derived requests are idempotent: the adapter de-duplicates by
         // (inv_id, op), so the ORB may re-issue them after a lost frame.
         let mut request = target.request(derived).idempotent();
+        // Ship the current span context in the chunk header: the adapter
+        // parents its gather/run spans on the sending rank's span.
+        let (trace_id, parent_span) =
+            padico_util::span::current().map_or((0, 0), |c| (c.trace_id, c.span_id));
         let w = request.writer();
         InvHeader {
             inv_id,
@@ -437,6 +483,8 @@ impl ParallelRef {
             target_rank: server_rank as u32,
             target_size: server_size as u32,
             arg_count: args.len() as u32,
+            trace_id,
+            parent_span,
         }
         .write(w);
         for (index, (arg, sched)) in args.iter().zip(schedules).enumerate() {

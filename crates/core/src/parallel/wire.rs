@@ -72,6 +72,12 @@ pub struct InvHeader {
     /// replica count; equal in the healthy case).
     pub target_size: u32,
     pub arg_count: u32,
+    /// Span-trace id of the invocation's causal tree; 0 when the caller
+    /// is untraced. Rides in the chunk header so the server-side gather
+    /// and upcall join the client's span tree.
+    pub trace_id: u64,
+    /// Span id of the sending client rank's span; 0 when untraced.
+    pub parent_span: u64,
 }
 
 impl InvHeader {
@@ -82,6 +88,8 @@ impl InvHeader {
         w.write_u32(self.target_rank);
         w.write_u32(self.target_size);
         w.write_u32(self.arg_count);
+        w.write_u64(self.trace_id);
+        w.write_u64(self.parent_span);
     }
 
     pub fn read(r: &mut CdrReader) -> Result<InvHeader, GridCcmError> {
@@ -92,6 +100,8 @@ impl InvHeader {
             target_rank: r.read_u32()?,
             target_size: r.read_u32()?,
             arg_count: r.read_u32()?,
+            trace_id: r.read_u64()?,
+            parent_span: r.read_u64()?,
         })
     }
 }
@@ -438,6 +448,8 @@ mod tests {
             target_rank: 2,
             target_size: 3,
             arg_count: values.len() as u32,
+            trace_id: 0xabcd,
+            parent_span: 0x1234,
         };
         header.write(&mut w);
         for v in &values {

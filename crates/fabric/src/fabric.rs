@@ -416,7 +416,41 @@ impl SimFabric {
         dst: EndpointAddr,
         channel: ChannelId,
         payload: Payload,
-    ) -> Result<(), FabricError> {
+    ) -> Result<Vt, FabricError> {
+        // The span wraps the whole driver-level send, failures included:
+        // a trace of a failover shows the refused attempt on the dead
+        // fabric next to the retry on the surviving one.
+        let mut span = padico_util::span::child(
+            clock,
+            src.node.0,
+            "fabric.link",
+            format!("tx:{}", self.kind()),
+        );
+        let len = payload.len();
+        let result = self.send_from_inner(src, clock, dst, channel, payload);
+        match &result {
+            Ok(done) => {
+                span.end_at(*done);
+                // Bytes that occupied the wire (a fault-dropped message
+                // still did — the sender paid in full).
+                padico_util::metrics::counter_add(&format!("bytes.{}", self.kind()), len as u64);
+            }
+            // Refused sends charge no time: the span is a zero-length
+            // mark of the failed attempt.
+            Err(_) => span.end_at(0),
+        }
+        drop(span);
+        result
+    }
+
+    fn send_from_inner(
+        &self,
+        src: EndpointAddr,
+        clock: &SimClock,
+        dst: EndpointAddr,
+        channel: ChannelId,
+        payload: Payload,
+    ) -> Result<Vt, FabricError> {
         if !self.has_member(dst.node) {
             return Err(FabricError::NotMember(dst.node));
         }
@@ -474,20 +508,21 @@ impl SimFabric {
         // 3. The sender is occupied until the receiving NIC has accepted
         // the message: Myrinet has link-level flow control and TCP a
         // bounded window, so a busy receiver back-pressures the sender.
-        clock.merge_to(tx_res.end.max(rx_res.end));
+        let done = tx_res.end.max(rx_res.end);
+        clock.merge_to(done);
         // 4. Stamp and enqueue (unless the fault stream ate the message).
         if verdict == Verdict::Drop {
-            return Ok(()); // silently lost on the wire; sender paid in full
+            return Ok(done); // silently lost on the wire; sender paid in full
         }
         let msg = Message {
             src,
             channel,
-            arrival: rx_res.end.max(tx_res.end) + self.model.latency_ns + extra_delay,
+            arrival: done + self.model.latency_ns + extra_delay,
             recv_cost: self.model.recv_cost(len),
             corrupted: verdict == Verdict::Corrupt,
             payload,
         };
-        inbox.send(msg).map_err(|_| FabricError::Unreachable {
+        inbox.send(msg).map(|_| done).map_err(|_| FabricError::Unreachable {
             to: dst.node,
             port: dst.port,
         })
@@ -534,13 +569,15 @@ impl FabricEndpoint {
     }
 
     /// Send `payload` to `dst` on logical `channel`, charging `clock`.
+    /// Returns the virtual time at which the sender's NIC is free again
+    /// (the send-completion stamp, a pure function of the traffic so far).
     pub fn send(
         &self,
         clock: &SimClock,
         dst: EndpointAddr,
         channel: ChannelId,
         payload: Payload,
-    ) -> Result<(), FabricError> {
+    ) -> Result<Vt, FabricError> {
         self.fabric.send_from(self.addr, clock, dst, channel, payload)
     }
 

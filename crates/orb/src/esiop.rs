@@ -13,9 +13,14 @@
 //! and a client chooses per connection.
 //!
 //! ```text
-//! [0xE5][type:1][request_id:4][key:8][op_len:2][op bytes][body …]   Request
-//! [0xE5][type:1][request_id:4][status:1][body …]                    Reply
+//! [0xE5][type:1][request_id:4][key:8][trace_id:8][parent_span:8]
+//!       [op_len:2][op bytes][pad to 8][body …]                       Request
+//! [0xE5][type:1][request_id:4][status:1][body …]                     Reply
 //! ```
+//!
+//! `trace_id`/`parent_span` carry the caller's span context (both 0 for
+//! an untraced request) — ESIOP has no service-context list, so the two
+//! words live at fixed offsets in the head.
 
 use bytes::Bytes;
 use padico_fabric::Payload;
@@ -42,10 +47,12 @@ pub fn encode_request(
     response_expected: bool,
     object_key: ObjectKey,
     operation: &str,
+    trace_id: u64,
+    parent_span: u64,
     args: Payload,
 ) -> Payload {
     debug_assert!(operation.len() <= u16::MAX as usize);
-    let mut head = Vec::with_capacity(16 + operation.len());
+    let mut head = Vec::with_capacity(32 + operation.len());
     head.push(MAGIC);
     head.push(if response_expected {
         TYPE_REQUEST
@@ -54,6 +61,8 @@ pub fn encode_request(
     });
     head.extend_from_slice(&request_id.to_le_bytes());
     head.extend_from_slice(&object_key.0.to_le_bytes());
+    head.extend_from_slice(&trace_id.to_le_bytes());
+    head.extend_from_slice(&parent_span.to_le_bytes());
     head.extend_from_slice(&(operation.len() as u16).to_le_bytes());
     head.extend_from_slice(operation.as_bytes());
     // Pad the head to 8 bytes so CDR argument alignment is preserved.
@@ -102,20 +111,22 @@ pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
     let request_id = u32::from_le_bytes(prefix[2..6].try_into().expect("4"));
     match msg_type {
         TYPE_REQUEST | TYPE_REQUEST_ONEWAY => {
-            if total < 16 {
+            if total < 32 {
                 return Err(OrbError::Marshal("ESIOP request too short".into()));
             }
-            let fixed = frame.split_at(16).0.to_contiguous();
+            let fixed = frame.split_at(32).0.to_contiguous();
             let object_key = ObjectKey(u64::from_le_bytes(fixed[6..14].try_into().expect("8")));
-            let op_len = u16::from_le_bytes(fixed[14..16].try_into().expect("2")) as usize;
-            if total < 16 + op_len {
+            let trace_id = u64::from_le_bytes(fixed[14..22].try_into().expect("8"));
+            let parent_span = u64::from_le_bytes(fixed[22..30].try_into().expect("8"));
+            let op_len = u16::from_le_bytes(fixed[30..32].try_into().expect("2")) as usize;
+            if total < 32 + op_len {
                 return Err(OrbError::Marshal("ESIOP operation overruns frame".into()));
             }
-            let head = frame.split_at(16 + op_len).0.to_contiguous();
-            let operation = std::str::from_utf8(&head[16..16 + op_len])
+            let head = frame.split_at(32 + op_len).0.to_contiguous();
+            let operation = std::str::from_utf8(&head[32..32 + op_len])
                 .map_err(|_| OrbError::Marshal("ESIOP operation is not UTF-8".into()))?
                 .to_string();
-            let mut body_start = 16 + op_len;
+            let mut body_start = 32 + op_len;
             while !body_start.is_multiple_of(8) {
                 body_start += 1;
             }
@@ -127,6 +138,8 @@ pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
                 response_expected: msg_type == TYPE_REQUEST,
                 object_key,
                 operation,
+                trace_id,
+                parent_span,
                 body: frame.split_at(body_start).1,
             })
         }
@@ -164,7 +177,7 @@ mod tests {
         let mut args = CdrWriter::new(MarshalStrategy::ZeroCopy);
         args.write_u64(0xdead_beef);
         args.write_octet_seq(Bytes::from(vec![7u8; 4096]));
-        let frame = encode_request(9, true, ObjectKey(42), "density", args.finish());
+        let frame = encode_request(9, true, ObjectKey(42), "density", 0x1111, 0x2222, args.finish());
         assert!(is_esiop(frame.to_vec()[0]));
         match decode(&frame).unwrap() {
             GiopMessage::Request {
@@ -172,12 +185,16 @@ mod tests {
                 response_expected,
                 object_key,
                 operation,
+                trace_id,
+                parent_span,
                 body,
             } => {
                 assert_eq!(request_id, 9);
                 assert!(response_expected);
                 assert_eq!(object_key, ObjectKey(42));
                 assert_eq!(operation, "density");
+                assert_eq!(trace_id, 0x1111);
+                assert_eq!(parent_span, 0x2222);
                 let mut r = CdrReader::new(&body);
                 assert_eq!(r.read_u64().unwrap(), 0xdead_beef);
                 assert_eq!(r.read_octet_seq().unwrap(), Bytes::from(vec![7u8; 4096]));
@@ -188,7 +205,7 @@ mod tests {
 
     #[test]
     fn oneway_flag_and_reply_statuses() {
-        let frame = encode_request(1, false, ObjectKey(1), "fire", Payload::new());
+        let frame = encode_request(1, false, ObjectKey(1), "fire", 0, 0, Payload::new());
         match decode(&frame).unwrap() {
             GiopMessage::Request {
                 response_expected, ..
@@ -221,8 +238,8 @@ mod tests {
 
     #[test]
     fn esiop_header_is_smaller_than_giop() {
-        let giop = crate::giop::encode_request(1, true, ObjectKey(1), "op", Payload::new());
-        let esiop = encode_request(1, true, ObjectKey(1), "op", Payload::new());
+        let giop = crate::giop::encode_request(1, true, ObjectKey(1), "op", 0, 0, Payload::new());
+        let esiop = encode_request(1, true, ObjectKey(1), "op", 0, 0, Payload::new());
         assert!(
             esiop.len() < giop.len(),
             "ESIOP head {} vs GIOP head {}",
@@ -237,8 +254,9 @@ mod tests {
         assert!(decode(&Payload::from_vec(vec![0x47, 0, 0, 0, 0, 0])).is_err());
         assert!(decode(&Payload::from_vec(vec![MAGIC, 9, 0, 0, 0, 0, 0, 0])).is_err());
         // Truncated operation.
-        let mut bad = encode_request(1, true, ObjectKey(1), "operation", Payload::new()).to_vec();
-        bad.truncate(18);
+        let mut bad =
+            encode_request(1, true, ObjectKey(1), "operation", 0, 0, Payload::new()).to_vec();
+        bad.truncate(34);
         assert!(decode(&Payload::from_vec(bad)).is_err());
     }
 }

@@ -81,6 +81,11 @@ pub enum GiopMessage {
         response_expected: bool,
         object_key: ObjectKey,
         operation: String,
+        /// Trace id of the caller's span tree (service context); 0 when
+        /// the caller is not traced.
+        trace_id: u64,
+        /// Span id of the caller's in-flight request span; 0 when untraced.
+        parent_span: u64,
         /// CDR-encoded arguments, still the sender's gather list.
         body: Payload,
     },
@@ -118,12 +123,16 @@ fn header(msg_type: MsgType, body_len: usize) -> Bytes {
 
 /// Frame a Request. `args` is the already-CDR-encoded argument payload —
 /// appended as segments, so a zero-copy marshaller's splices survive all
-/// the way to the fabric.
+/// the way to the fabric. `trace_id`/`parent_span` carry the caller's
+/// span context (the GIOP service-context equivalent); pass 0/0 for an
+/// untraced request.
 pub fn encode_request(
     request_id: u32,
     response_expected: bool,
     object_key: ObjectKey,
     operation: &str,
+    trace_id: u64,
+    parent_span: u64,
     args: Payload,
 ) -> Payload {
     let mut head = CdrWriter::new(MarshalStrategy::Copying);
@@ -131,6 +140,8 @@ pub fn encode_request(
     head.write_bool(response_expected);
     head.write_u64(object_key.0);
     head.write_string(operation);
+    head.write_u64(trace_id);
+    head.write_u64(parent_span);
     // Align the body start to 8 so argument encoding is self-consistent
     // regardless of the operation-name length.
     head.write_u64(args.len() as u64);
@@ -243,6 +254,8 @@ pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
             let response_expected = r.read_bool()?;
             let object_key = ObjectKey(r.read_u64()?);
             let operation = r.read_string()?;
+            let trace_id = r.read_u64()?;
+            let parent_span = r.read_u64()?;
             let args_len = r.read_u64()? as usize;
             let consumed = rest.len() - r.remaining();
             if r.remaining() != args_len {
@@ -256,6 +269,8 @@ pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
                 response_expected,
                 object_key,
                 operation,
+                trace_id,
+                parent_span,
                 body: rest.split_at(consumed).1,
             })
         }
@@ -306,7 +321,15 @@ mod tests {
         let blob_ptr = blob.as_ptr();
         let mut args = CdrWriter::new(MarshalStrategy::ZeroCopy);
         args.write_octet_seq(blob);
-        let frame = encode_request(42, true, ObjectKey(7), "compute_density", args.finish());
+        let frame = encode_request(
+            42,
+            true,
+            ObjectKey(7),
+            "compute_density",
+            0xfeed,
+            0xbeef,
+            args.finish(),
+        );
         assert!(frame.segment_count() > 1, "splice survives framing");
         match decode(&frame).unwrap() {
             GiopMessage::Request {
@@ -314,12 +337,16 @@ mod tests {
                 response_expected,
                 object_key,
                 operation,
+                trace_id,
+                parent_span,
                 body,
             } => {
                 assert_eq!(request_id, 42);
                 assert!(response_expected);
                 assert_eq!(object_key, ObjectKey(7));
                 assert_eq!(operation, "compute_density");
+                assert_eq!(trace_id, 0xfeed);
+                assert_eq!(parent_span, 0xbeef);
                 let mut r = CdrReader::new(&body);
                 let seq = r.read_octet_seq().unwrap();
                 assert_eq!(seq, Bytes::from(vec![3u8; 4096]));

@@ -343,6 +343,8 @@ impl Orb {
                     response_expected,
                     object_key,
                     operation,
+                    trace_id,
+                    parent_span,
                     body,
                 } => {
                     let orb = Arc::clone(&self);
@@ -358,6 +360,8 @@ impl Orb {
                             response_expected,
                             object_key,
                             operation,
+                            trace_id,
+                            parent_span,
                             body,
                         );
                     });
@@ -407,9 +411,25 @@ impl Orb {
         response_expected: bool,
         object_key: crate::ior::ObjectKey,
         operation: String,
+        trace_id: u64,
+        parent_span: u64,
         body: Payload,
     ) {
         let clock = self.tm.clock().share();
+        // Adopt the caller's wire context so the servant's work (and any
+        // nested invocations it makes) joins the caller's trace tree.
+        let ctx_guard = (trace_id != 0).then(|| {
+            padico_util::span::adopt(padico_util::span::SpanCtx {
+                trace_id,
+                span_id: parent_span,
+            })
+        });
+        let dispatch_span = padico_util::span::child(
+            &clock,
+            self.tm.node().0,
+            "orb.dispatch",
+            format!("dispatch:{operation}:req{request_id}"),
+        );
         self.profile
             .charge_server_scaled(&clock, body.len(), wire.fixed_cost_factor());
         let mut reply_writer = CdrWriter::new(self.profile.strategy);
@@ -469,6 +489,11 @@ impl Orb {
                     crate::esiop::encode_reply(request_id, status, reply_payload)
                 }
             };
+            // Close the dispatch span *before* the reply goes out: the
+            // instant the client sees the reply it may snapshot the span
+            // buffers, and everything server-side must already be there.
+            drop(dispatch_span);
+            drop(ctx_guard);
             let _w = write_lock.lock();
             let _ = stream.write_payload(frame);
         }
@@ -740,7 +765,21 @@ impl RequestBuilder {
         };
         let deadline = orb.tm.config().default_deadline;
         let mut retry = 0u32;
+        let mut prev_attempt_span = 0u64;
         let msg = loop {
+            // One span per GIOP attempt; a re-issue links back to the
+            // attempt it replaces so the trace shows the recovery story.
+            let attempt_span = padico_util::span::child_retry(
+                clock,
+                orb.tm.node().0,
+                "orb.giop",
+                format!("request:{}:attempt{}", self.operation, retry + 1),
+                prev_attempt_span,
+            );
+            // The wire carries (trace id, this attempt's span id) so the
+            // server parents its dispatch span on this exact attempt.
+            let (wire_trace, wire_parent) = padico_util::span::current()
+                .map_or((0, 0), |c| (c.trace_id, c.span_id));
             let attempt = || -> Result<Option<GiopMessage>, OrbError> {
                 let request_id = orb.request_ids.next() as u32;
                 let frame = match orb.protocol {
@@ -749,6 +788,8 @@ impl RequestBuilder {
                         response_expected,
                         ior.key,
                         &self.operation,
+                        wire_trace,
+                        wire_parent,
                         args.clone(),
                     ),
                     WireProtocol::Esiop => crate::esiop::encode_request(
@@ -756,6 +797,8 @@ impl RequestBuilder {
                         response_expected,
                         ior.key,
                         &self.operation,
+                        wire_trace,
+                        wire_parent,
                         args.clone(),
                     ),
                 };
@@ -765,7 +808,10 @@ impl RequestBuilder {
                     None => Ok(None),
                 }
             };
-            match attempt() {
+            let outcome = attempt();
+            prev_attempt_span = attempt_span.id();
+            drop(attempt_span);
+            match outcome {
                 Ok(Some(msg)) => break msg,
                 Ok(None) => return Ok(None),
                 Err(err) => {

@@ -35,7 +35,7 @@
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use padico_fabric::{EndpointAddr, FabricEndpoint, FabricError, Message, Payload, SimFabric, Topology};
 use padico_util::ids::{ChannelId, FabricId, IdGen, NodeId};
-use padico_util::simtime::SimClock;
+use padico_util::simtime::{SimClock, Vt};
 use padico_util::stats::RecoveryStats;
 use padico_util::{trace_info, trace_warn};
 use parking_lot::Mutex;
@@ -342,7 +342,9 @@ impl NetAccess {
     }
 
     /// Send `payload` on logical `channel` to the arbitration layer of
-    /// `dst` over the given fabric, charging this node's clock.
+    /// `dst` over the given fabric, charging this node's clock. Returns
+    /// the fabric's send-completion stamp (the virtual time at which the
+    /// sender's NIC is free again).
     ///
     /// On mapping-table hardware, a missing mapping (never established at
     /// boot, or lost when the hardware died and revived) is transparently
@@ -354,7 +356,7 @@ impl NetAccess {
         dst: NodeId,
         channel: ChannelId,
         payload: Payload,
-    ) -> Result<(), TmError> {
+    ) -> Result<Vt, TmError> {
         let att = self
             .attachments
             .iter()

@@ -150,10 +150,24 @@ impl Circuit {
         }
         let policy = self.tm.config().retry;
         let mut attempt = 1u32;
+        let mut prev_span = 0u64;
         loop {
             let fabric = self.route.lock().fabric.id();
-            match self.tm.net().send(fabric, dst_node, channel, wire.clone()) {
-                Ok(()) => return Ok(()),
+            // Per-attempt span, retry-linked, mirroring the VLink path.
+            let mut span = padico_util::span::child_retry(
+                self.tm.clock(),
+                self.tm.node().0,
+                "tm.circuit",
+                format!("send:rank{dst_rank}:attempt{attempt}"),
+                prev_span,
+            );
+            let outcome = self.tm.net().send(fabric, dst_node, channel, wire.clone());
+            // Deterministic end stamp, same reasoning as the VLink path.
+            span.end_at(*outcome.as_ref().unwrap_or(&0));
+            prev_span = span.id();
+            drop(span);
+            match outcome {
+                Ok(_) => return Ok(()),
                 Err(err) if attempt < policy.max_attempts && is_retryable(&err) => {
                     let rec = self.tm.recovery();
                     faults::note(rec, |r| &r.send_retries);

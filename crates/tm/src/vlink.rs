@@ -263,8 +263,19 @@ impl VLinkStream {
         // `timeout` bounds the whole handshake, retries included: a dead
         // service costs one connect_timeout total, not one per attempt.
         let per_attempt = timeout / policy.max_attempts.max(1);
+        let mut prev_span = 0u64;
         loop {
-            match VLinkStream::connect_once(&tm, dst, service, choice, &route, per_attempt) {
+            let span = padico_util::span::child_retry(
+                tm.clock(),
+                tm.node().0,
+                "tm.vlink",
+                format!("connect:attempt{attempt}"),
+                prev_span,
+            );
+            let outcome = VLinkStream::connect_once(&tm, dst, service, choice, &route, per_attempt);
+            prev_span = span.id();
+            drop(span);
+            match outcome {
                 Ok(stream) => return Ok(stream),
                 Err(err) if attempt < policy.max_attempts && is_retryable(&err) => {
                     let rec = tm.recovery();
@@ -361,14 +372,29 @@ impl VLinkStream {
         }
         let policy = self.tm.config().retry;
         let mut attempt = 1u32;
+        let mut prev_span = 0u64;
         loop {
             let fabric = self.route.lock().fabric.id();
-            match self
+            // One span per transmission attempt; a retry links back to
+            // the attempt it replaces, so a trace shows the failover.
+            let mut span = padico_util::span::child_retry(
+                self.tm.clock(),
+                self.tm.node().0,
+                "tm.vlink",
+                format!("send:attempt{attempt}"),
+                prev_span,
+            );
+            let outcome = self
                 .tm
                 .net()
-                .send(fabric, self.peer, self.tx_channel, wire.clone())
-            {
-                Ok(()) => return Ok(()),
+                .send(fabric, self.peer, self.tx_channel, wire.clone());
+            // Pin the span end to the deterministic send-completion stamp:
+            // a receive thread may merge our clock forward concurrently.
+            span.end_at(*outcome.as_ref().unwrap_or(&0));
+            prev_span = span.id();
+            drop(span);
+            match outcome {
+                Ok(_) => return Ok(()),
                 Err(err) if attempt < policy.max_attempts && is_retryable(&err) => {
                     let rec = self.tm.recovery();
                     faults::note(rec, |r| &r.send_retries);

@@ -8,6 +8,11 @@
 //!   function of the modelled mechanisms, not of the host machine.
 //! * [`trace`] — a lightweight, lock-cheap event tracer used by the runtime
 //!   layers (arbitration decisions, module loads, fabric selection).
+//! * [`span`] — causally-linked, virtual-time-stamped spans with cross-node
+//!   context propagation, a critical-path analyzer and a Chrome-trace
+//!   (Perfetto) exporter.
+//! * [`metrics`] — a process-global registry of named counters and
+//!   virtual-time histograms (per-layer latency, bytes on the wire).
 //! * [`stats`] — small statistics helpers for the benchmark harness
 //!   (mean, percentiles, throughput conversion).
 //! * [`xml`] — a minimal XML parser/writer. CCM deployment descriptors are
@@ -17,8 +22,10 @@
 //! * [`ids`] — small typed identifier helpers used across the workspace.
 
 pub mod ids;
+pub mod metrics;
 pub mod rng;
 pub mod simtime;
+pub mod span;
 pub mod stats;
 pub mod trace;
 pub mod xml;

@@ -131,11 +131,72 @@ pub fn clear() {
     *guard = None;
 }
 
-/// Record an [`Level::Info`] event.
+static ISOLATION: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    // Nesting depth of isolation scopes on this thread; only the
+    // outermost scope takes the serialization lock (the shim's Mutex is
+    // not reentrant).
+    static ISO_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Scoped isolation for every piece of global observability state: the
+/// trace ring, the minimum level, the span buffers and the metrics
+/// registry. Taking the guard serializes against guards on other threads
+/// (so concurrently-running tests cannot interleave), swaps all state out
+/// to a clean slate, and restores the captured state on drop — the
+/// surrounding process never observes the scope's events. Nesting on one
+/// thread is allowed; drop guards in LIFO order.
+pub struct Isolated {
+    _serial: Option<parking_lot::MutexGuard<'static, ()>>,
+    ring: Option<Ring>,
+    min_level: Level,
+    spans: Vec<crate::span::Span>,
+    metrics: crate::metrics::MetricsSnapshot,
+}
+
+/// Enter an isolated observability scope (see [`Isolated`]).
+pub fn isolated() -> Isolated {
+    let serial = ISO_DEPTH.with(|d| {
+        let depth = d.get();
+        let serial = if depth == 0 {
+            Some(ISOLATION.lock())
+        } else {
+            None
+        };
+        d.set(depth + 1);
+        serial
+    });
+    let ring = RING.lock().take();
+    let prev_level = min_level();
+    set_min_level(Level::Info);
+    Isolated {
+        _serial: serial,
+        ring,
+        min_level: prev_level,
+        spans: crate::span::take(),
+        metrics: crate::metrics::take(),
+    }
+}
+
+impl Drop for Isolated {
+    fn drop(&mut self) {
+        *RING.lock() = self.ring.take();
+        set_min_level(self.min_level);
+        crate::span::restore(std::mem::take(&mut self.spans));
+        crate::metrics::restore(std::mem::take(&mut self.metrics));
+        ISO_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Record an [`Level::Info`] event. The format arguments are only
+/// evaluated when the level clears the current minimum.
 #[macro_export]
 macro_rules! trace_info {
     ($target:expr, $($arg:tt)*) => {
-        $crate::trace::record($crate::trace::Level::Info, $target, format!($($arg)*))
+        if $crate::trace::min_level() <= $crate::trace::Level::Info {
+            $crate::trace::record($crate::trace::Level::Info, $target, format!($($arg)*))
+        }
     };
 }
 
@@ -149,19 +210,25 @@ macro_rules! trace_debug {
     };
 }
 
-/// Record a [`Level::Warn`] event.
+/// Record a [`Level::Warn`] event. Format arguments are lazily
+/// evaluated, as in [`trace_info!`].
 #[macro_export]
 macro_rules! trace_warn {
     ($target:expr, $($arg:tt)*) => {
-        $crate::trace::record($crate::trace::Level::Warn, $target, format!($($arg)*))
+        if $crate::trace::min_level() <= $crate::trace::Level::Warn {
+            $crate::trace::record($crate::trace::Level::Warn, $target, format!($($arg)*))
+        }
     };
 }
 
-/// Record a [`Level::Error`] event.
+/// Record a [`Level::Error`] event. Format arguments are lazily
+/// evaluated, as in [`trace_info!`].
 #[macro_export]
 macro_rules! trace_error {
     ($target:expr, $($arg:tt)*) => {
-        $crate::trace::record($crate::trace::Level::Error, $target, format!($($arg)*))
+        if $crate::trace::min_level() <= $crate::trace::Level::Error {
+            $crate::trace::record($crate::trace::Level::Error, $target, format!($($arg)*))
+        }
     };
 }
 
@@ -169,11 +236,9 @@ macro_rules! trace_error {
 mod tests {
     use super::*;
 
-    // The ring is global, so the tests here run in one #[test] body to avoid
-    // interleaving with each other.
     #[test]
     fn record_snapshot_filter_clear() {
-        clear();
+        let _iso = isolated();
         set_min_level(Level::Debug);
         record(Level::Info, "tm.arbitration", "selected myrinet".into());
         record(Level::Debug, "orb", "request id 1".into());
@@ -192,6 +257,45 @@ mod tests {
         set_min_level(Level::Info);
         clear();
         assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn filtered_macros_skip_format_arguments() {
+        let _iso = isolated();
+        set_min_level(Level::Error);
+        let evaluated = std::cell::Cell::new(false);
+        let probe = || {
+            evaluated.set(true);
+            "x"
+        };
+        trace_info!("lazy", "{}", probe());
+        assert!(!evaluated.get(), "info format args must not run below min level");
+        trace_warn!("lazy", "{}", probe());
+        assert!(!evaluated.get(), "warn format args must not run below min level");
+        set_min_level(Level::Info);
+        trace_info!("lazy", "{}", probe());
+        assert!(evaluated.get(), "info format args run once the level clears");
+        assert_eq!(snapshot_target("lazy").len(), 1);
+    }
+
+    #[test]
+    fn isolation_guard_captures_and_restores() {
+        let outer = isolated();
+        record(Level::Info, "outer", "before".into());
+        set_min_level(Level::Warn);
+        {
+            let _inner = isolated();
+            // Clean slate inside the scope, default level restored.
+            assert!(snapshot().is_empty());
+            assert_eq!(min_level(), Level::Info);
+            record(Level::Info, "inner", "scoped".into());
+            assert_eq!(snapshot_target("inner").len(), 1);
+        }
+        // Inner events gone, outer state back (including the level).
+        assert!(snapshot_target("inner").is_empty());
+        assert_eq!(snapshot_target("outer").len(), 1);
+        assert_eq!(min_level(), Level::Warn);
+        drop(outer);
     }
 
     #[test]

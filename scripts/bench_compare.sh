@@ -16,6 +16,13 @@ if [ $# -lt 2 ]; then
   exit 2
 fi
 
+# A missing baseline is not a failure: first runs (fresh checkouts, CI
+# before any snapshot is published) have nothing to compare against.
+if [ ! -f "$1" ]; then
+  echo "bench_compare: no baseline snapshot at '$1' — skipping comparison" >&2
+  exit 0
+fi
+
 OLD=$1 NEW=$2 THRESHOLD=${3:-1.25} python3 - <<'PY'
 import json, os, sys
 

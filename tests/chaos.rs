@@ -187,8 +187,103 @@ fn run_failover_scenario(seed: u64) -> (Vec<f64>, Vec<RecoverySnapshot>, u64) {
     (got, recovery, dropped)
 }
 
+/// The traced failover scenario, sized for byte-identical replay: one
+/// client rank and one server replica, so every request is sequential
+/// and every virtual-time stamp is a pure function of the seed. Returns
+/// the canonical span dump, the rendered metrics registry, and the
+/// fabric-span names of the warm-up and post-failover invocations.
+fn run_traced_failover(seed: u64) -> (String, String, Vec<String>, Vec<String>, u64) {
+    let _iso = padico::util::trace::isolated();
+    let (topo, ids) = sci_cluster(2);
+    let grid = Grid::boot_with_config(
+        topo,
+        OrbProfile::omniorb3(),
+        FabricChoice::Auto,
+        chaos_config(),
+    )
+    .unwrap();
+    let par = shift_handle(&grid, 0, &[1]);
+    let values: Vec<f64> = (0..32).map(|i| i as f64).collect();
+
+    // Warm-up over the healthy SAN.
+    assert_shifted(&invoke_shift(&par, &values, 0.5).unwrap(), &values, 0.5);
+
+    // The SAN dies, the socket fallback drops 20% of frames.
+    for fabric in grid.topology().fabrics() {
+        match fabric.kind() {
+            FabricKind::Sci => {
+                fabric.kill_mappings(ids[0]);
+                fabric.kill_mappings(ids[1]);
+            }
+            FabricKind::Ethernet => fabric.set_fault_plan(FaultPlan::drops(seed, 20)),
+            _ => {}
+        }
+    }
+    for round in 1..=3 {
+        let delta = f64::from(round) * 2.0;
+        assert_shifted(&invoke_shift(&par, &values, delta).unwrap(), &values, delta);
+    }
+
+    let retries: u64 = (0..grid.len())
+        .map(|i| grid.node(i).env.tm.recovery().snapshot().total_retries())
+        .sum();
+    let spans = padico::util::span::snapshot();
+    let mut roots: Vec<_> = spans.iter().filter(|s| s.layer == "ccm.invoke").collect();
+    roots.sort_by_key(|s| s.start);
+    assert_eq!(roots.len(), 4, "four invocations, four roots");
+    let fabric_names = |trace_id: u64| -> Vec<String> {
+        spans
+            .iter()
+            .filter(|s| s.trace_id == trace_id && s.layer == "fabric.link")
+            .map(|s| s.name.clone())
+            .collect()
+    };
+    let warmup = fabric_names(roots[0].trace_id);
+    let failover = fabric_names(roots[roots.len() - 1].trace_id);
+    (
+        padico::util::span::canonical_dump(&spans),
+        padico::util::metrics::snapshot().render(),
+        warmup,
+        failover,
+        retries,
+    )
+}
+
+#[test]
+fn same_seed_chaos_yields_byte_identical_trace_trees() {
+    let (dump1, metrics1, _, _, retries) = run_traced_failover(42);
+    let (dump2, metrics2, _, _, _) = run_traced_failover(42);
+    assert!(!dump1.is_empty(), "no spans captured");
+    assert!(
+        retries > 0,
+        "the scenario never hit the retry paths — the comparison proves nothing"
+    );
+    assert_eq!(dump1, dump2, "span trees diverged between same-seed runs");
+    assert_eq!(metrics1, metrics2, "metrics diverged between same-seed runs");
+}
+
+#[test]
+fn failover_trace_shows_the_san_to_socket_route_change() {
+    let (_, _, warmup, failover, _) = run_traced_failover(42);
+    // The healthy invocation rode the SAN; after the mapping death the
+    // same invocation path shows up on the socket fabric instead.
+    assert!(
+        warmup.iter().any(|n| n == "tx:sci"),
+        "warm-up never used the SAN: {warmup:?}"
+    );
+    assert!(
+        !warmup.iter().any(|n| n == "tx:ethernet"),
+        "warm-up should not touch the fallback: {warmup:?}"
+    );
+    assert!(
+        failover.iter().any(|n| n == "tx:ethernet"),
+        "failover never reached the socket fabric: {failover:?}"
+    );
+}
+
 #[test]
 fn san_mapping_death_fails_over_to_socket_with_seeded_drops() {
+    let _iso = padico::util::trace::isolated();
     let (got, recovery, dropped) = run_failover_scenario(42);
 
     // The run actually exercised recovery: frames were dropped, the
@@ -222,6 +317,7 @@ fn san_mapping_death_fails_over_to_socket_with_seeded_drops() {
 
 #[test]
 fn invocation_completes_through_flapping_wan_within_retry_budget() {
+    let _iso = padico::util::trace::isolated();
     let (topo, a, b) = padico::fabric::topology::two_clusters_wan(2);
     let grid = Grid::boot_with_config(
         topo,
@@ -274,6 +370,7 @@ fn invocation_completes_through_flapping_wan_within_retry_budget() {
 
 #[test]
 fn partitioned_replica_degrades_to_surviving_ranks() {
+    let _iso = padico::util::trace::isolated();
     let (topo, ids) = sci_cluster(3);
     let grid = Grid::boot_with_config(
         topo,
@@ -308,6 +405,7 @@ fn partitioned_replica_degrades_to_surviving_ranks() {
 
 #[test]
 fn quorum_loss_is_an_error_not_a_hang() {
+    let _iso = padico::util::trace::isolated();
     let (topo, ids) = sci_cluster(3);
     let grid = Grid::boot_with_config(
         topo,

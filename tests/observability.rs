@@ -1,0 +1,220 @@
+//! Observability acceptance: one GridCCM parallel invocation over the
+//! simulated fabric yields exactly one connected span tree that crosses
+//! the whole stack (ccm → orb → tm → fabric) and more than one node,
+//! exports as valid Chrome-trace JSON, and has a critical-path
+//! breakdown that sums exactly to the end-to-end virtual latency.
+
+use padico::core::observability::ObservabilitySnapshot;
+use padico::core::parallel::adapter::{ParArgs, ParCtx, ParallelServant};
+use padico::core::parallel::{ParValue, ParallelAdapter, ParallelRef};
+use padico::core::paridl::{ArgDef, InterfaceDef, OpDef, ParamKind};
+use padico::core::{DistSeq, Distribution, Grid, GridCcmError, InterceptionPlan};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn shift_interface() -> InterfaceDef {
+    InterfaceDef {
+        repo_id: "IDL:Obs/Shift:1.0".into(),
+        ops: vec![OpDef::new(
+            "shift",
+            vec![
+                ArgDef::new("v", ParamKind::Sequence),
+                ArgDef::new("delta", ParamKind::Double),
+            ],
+            Some(ParamKind::Sequence),
+        )],
+    }
+}
+
+fn shift_plan() -> Arc<InterceptionPlan> {
+    let xml = r#"<parallelism interface="IDL:Obs/Shift:1.0">
+        <operation name="shift">
+          <argument index="0" distribution="block"/>
+          <result distribution="block"/>
+        </operation>
+    </parallelism>"#;
+    Arc::new(InterceptionPlan::compile(&shift_interface(), xml).unwrap())
+}
+
+struct ShiftServant;
+
+impl ParallelServant for ShiftServant {
+    fn repository_id(&self) -> &str {
+        "IDL:Obs/Shift:1.0"
+    }
+
+    fn invoke_parallel(
+        &self,
+        op: &str,
+        args: &ParArgs,
+        ctx: &ParCtx,
+    ) -> Result<Option<ParValue>, GridCcmError> {
+        assert_eq!(op, "shift");
+        let local = args.dist(0)?;
+        let delta = args.f64(1)?;
+        let shifted: Vec<f64> = local.as_f64()?.iter().map(|v| v + delta).collect();
+        Ok(Some(ParValue::Dist(DistSeq::from_f64_local(
+            local.global_elems,
+            local.distribution,
+            ctx.rank,
+            ctx.size,
+            &shifted,
+        )?)))
+    }
+}
+
+fn shift_handle(grid: &Grid, client_node: usize, server_nodes: &[usize]) -> ParallelRef {
+    let plan = shift_plan();
+    let mut refs = Vec::new();
+    for (rank, &node) in server_nodes.iter().enumerate() {
+        let adapter = ParallelAdapter::new(Arc::new(ShiftServant), Arc::clone(&plan));
+        adapter.configure(rank, server_nodes.len(), None);
+        let ior = grid.node(node).env.orb.activate(adapter);
+        refs.push(grid.node(client_node).env.orb.object_ref(ior));
+    }
+    ParallelRef::new("obs-shift", plan, refs, 0, 1).unwrap()
+}
+
+fn invoke_shift(par: &ParallelRef, values: &[f64], delta: f64) -> Vec<f64> {
+    let arg =
+        DistSeq::from_f64_local(values.len() as u64, Distribution::Block, 0, 1, values).unwrap();
+    match par
+        .invoke("shift", vec![ParValue::Dist(arg), ParValue::F64(delta)])
+        .unwrap()
+    {
+        Some(ParValue::Dist(d)) => d.as_f64().unwrap(),
+        other => panic!("unexpected shift result {other:?}"),
+    }
+}
+
+#[test]
+fn parallel_invocation_yields_one_connected_multilayer_tree() {
+    let _iso = padico::util::trace::isolated();
+    let grid = Grid::single_cluster(3).unwrap();
+    let par = shift_handle(&grid, 0, &[1, 2]);
+    let values: Vec<f64> = (0..64).map(|i| i as f64).collect();
+    let got = invoke_shift(&par, &values, 1.5);
+    assert!((got[10] - 11.5).abs() < 1e-9);
+
+    let obs = ObservabilitySnapshot::capture();
+    assert_eq!(obs.dropped_spans, 0);
+
+    // Exactly one root: everything the grid did — boot, connection
+    // setup, the scatter, the upcalls, the gather — either belongs to
+    // this invocation's trace or was untraced.
+    let roots: Vec<_> = obs
+        .spans
+        .iter()
+        .filter(|s| s.layer == "ccm.invoke")
+        .collect();
+    assert_eq!(roots.len(), 1, "one invocation, one root span");
+    let root = roots[0].clone();
+    assert_eq!(root.parent, 0);
+    assert!(
+        obs.spans.iter().all(|s| s.trace_id == root.trace_id),
+        "stray spans outside the invocation's trace"
+    );
+
+    // The tree is connected: every non-root span's parent exists.
+    let trace = obs.trace(root.trace_id);
+    let ids: BTreeSet<u64> = trace.iter().map(|s| s.span_id).collect();
+    for s in &trace {
+        assert!(s.span_id != 0, "span ids are nonzero");
+        if s.span_id != root.span_id {
+            assert!(
+                ids.contains(&s.parent),
+                "orphan span {} ({}/{})",
+                s.name,
+                s.layer,
+                s.parent
+            );
+        }
+        assert!(s.end >= s.start, "span {} ends before it starts", s.name);
+    }
+
+    // It crosses the whole stack and more than one node.
+    let layers: BTreeSet<&str> = trace.iter().map(|s| s.layer).collect();
+    for needed in ["ccm.invoke", "orb.giop", "tm.vlink", "fabric.link"] {
+        assert!(layers.contains(needed), "missing layer {needed}: {layers:?}");
+    }
+    let subsystems: BTreeSet<&str> = layers
+        .iter()
+        .map(|l| l.split('.').next().unwrap())
+        .collect();
+    assert!(subsystems.len() >= 4, "subsystems {subsystems:?}");
+    let nodes: BTreeSet<u32> = trace.iter().map(|s| s.node).collect();
+    assert!(nodes.len() >= 2, "single-node trace: {nodes:?}");
+
+    // The critical-path breakdown attributes every virtual nanosecond of
+    // the end-to-end latency to exactly one layer.
+    let cp = obs
+        .critical_path(root.trace_id, root.span_id)
+        .expect("critical path");
+    assert_eq!(cp.total, root.duration());
+    assert_eq!(
+        cp.self_ns.values().sum::<u64>(),
+        cp.total,
+        "breakdown must sum to the end-to-end latency: {}",
+        cp.render()
+    );
+
+    // The Perfetto export is well-formed Chrome-trace JSON.
+    let json = obs.chrome_trace_json();
+    assert!(json.starts_with("{\"displayTimeUnit\""));
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"ph\":\"X\""));
+    assert!(json.contains("\"ph\":\"M\""));
+    for (open, close) in [('{', '}'), ('[', ']')] {
+        assert_eq!(
+            json.matches(open).count(),
+            json.matches(close).count(),
+            "unbalanced {open}{close}"
+        );
+    }
+
+    // Span ends fed the per-layer latency histograms, and the fabric fed
+    // the byte counters.
+    let h = obs
+        .metrics
+        .histogram("latency.ccm.invoke")
+        .expect("invoke latency histogram");
+    assert_eq!(h.count, 1);
+    assert_eq!(h.sum, root.duration());
+    let wire_bytes: u64 = obs
+        .metrics
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("bytes."))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(wire_bytes > 0, "no bytes counted on any fabric");
+}
+
+#[test]
+fn separate_invocations_get_separate_traces() {
+    let _iso = padico::util::trace::isolated();
+    let grid = Grid::single_cluster(3).unwrap();
+    let par = shift_handle(&grid, 0, &[1, 2]);
+    let values: Vec<f64> = (0..32).map(|i| i as f64).collect();
+    invoke_shift(&par, &values, 1.0);
+    invoke_shift(&par, &values, 2.0);
+
+    let obs = ObservabilitySnapshot::capture();
+    let roots: Vec<_> = obs
+        .spans
+        .iter()
+        .filter(|s| s.layer == "ccm.invoke")
+        .collect();
+    assert_eq!(roots.len(), 2);
+    assert_ne!(roots[0].trace_id, roots[1].trace_id);
+    // Every span belongs to exactly one of the two traces.
+    for s in &obs.spans {
+        assert!(
+            s.trace_id == roots[0].trace_id || s.trace_id == roots[1].trace_id,
+            "span {} in neither trace",
+            s.name
+        );
+    }
+    assert!(!obs.trace(roots[0].trace_id).is_empty());
+    assert!(!obs.trace(roots[1].trace_id).is_empty());
+}
