@@ -26,6 +26,16 @@ pub enum GridCcmError {
     QuorumLost { alive: usize, total: usize },
 }
 
+impl GridCcmError {
+    /// Whether an invocation error came from the arbitrated transport
+    /// (and a degraded re-plan or retry may help) rather than from the
+    /// GridCCM protocol itself. Delegates to [`OrbError::is_transport`],
+    /// which in turn rests on the transport's own classification.
+    pub fn is_transport_failure(&self) -> bool {
+        matches!(self, GridCcmError::Orb(e) if e.is_transport())
+    }
+}
+
 impl fmt::Display for GridCcmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -90,5 +100,18 @@ mod tests {
         assert!(GridCcmError::Distribution("size".into())
             .to_string()
             .contains("distribution"));
+    }
+
+    #[test]
+    fn transport_failures_are_classified_through_the_orb_layer() {
+        let transient = GridCcmError::Orb(OrbError::Transient(padico_tm::TmError::Timeout(
+            "reply".into(),
+        )));
+        let hard = GridCcmError::from(padico_tm::TmError::Closed);
+        assert!(transient.is_transport_failure());
+        assert!(hard.is_transport_failure());
+        assert!(!GridCcmError::Protocol("bad header".into()).is_transport_failure());
+        assert!(!GridCcmError::Orb(OrbError::Marshal("short".into())).is_transport_failure());
+        assert!(!GridCcmError::QuorumLost { alive: 1, total: 4 }.is_transport_failure());
     }
 }

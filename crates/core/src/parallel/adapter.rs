@@ -618,7 +618,14 @@ impl Servant for ParallelAdapter {
 }
 
 fn to_orb(e: GridCcmError) -> OrbError {
-    OrbError::System(format!("GridCCM: {e}"))
+    match e {
+        // A transport failure underneath a nested call keeps its CORBA
+        // class (TRANSIENT / COMM_FAILURE) so the client's retry logic
+        // still sees it; everything else is server-side state and
+        // surfaces as an opaque system exception.
+        GridCcmError::Orb(inner) if inner.is_transport() => inner,
+        other => OrbError::System(format!("GridCCM: {other}")),
+    }
 }
 
 // Integration-level behaviour (gather, upcall-once, result routing) is

@@ -243,7 +243,7 @@ impl ParallelRef {
             drop(round_span);
             match outcome {
                 Ok(replies) => return self.assemble(&op, replies),
-                Err(e) if round + 1 < max_rounds && is_transport_failure(&e) => {
+                Err(e) if round + 1 < max_rounds && e.is_transport_failure() => {
                     self.probe_replicas();
                     round += 1;
                 }
@@ -369,7 +369,7 @@ impl ParallelRef {
         for (_v, reply) in replies {
             match reply {
                 Ok(r) => good.push(r),
-                Err(e) if is_transport_failure(&e) => {
+                Err(e) if e.is_transport_failure() => {
                     transport.get_or_insert(e);
                 }
                 Err(e) => return Err(e),
@@ -504,17 +504,6 @@ impl ParallelRef {
         let mut reply = request.invoke()?;
         read_reply(&mut reply)
     }
-}
-
-/// Whether an invocation error came from the transport (and a degraded
-/// re-plan may help) rather than from the GridCCM protocol itself.
-fn is_transport_failure(e: &GridCcmError) -> bool {
-    matches!(
-        e,
-        GridCcmError::Orb(
-            padico_orb::OrbError::Transient(_) | padico_orb::OrbError::CommFailure(_)
-        )
-    )
 }
 
 impl std::fmt::Debug for ParallelRef {

@@ -145,10 +145,25 @@ struct NicState {
     rx: ResourceTimeline,
 }
 
+/// Delivery target installed by a sink attachment: invoked once per
+/// inbound [`Message`] instead of queuing into a per-endpoint inbox.
+/// The callee must only *enqueue* (it runs on the sender's thread).
+pub type MessageSink = Arc<dyn Fn(Message) + Send + Sync>;
+
+/// Where inbound traffic for one (node, port) goes.
+enum PortTarget {
+    /// Classic per-endpoint inbox (raw clients poll their own receiver).
+    Queue(Sender<Message>),
+    /// Caller-supplied sink — the arbitration layer hands in one sink per
+    /// fabric, all feeding a single per-node event queue, so one progress
+    /// thread interleaves every attachment.
+    Sink(MessageSink),
+}
+
 #[derive(Default)]
 struct FabricState {
-    /// Live endpoints: (node, port) → inbox producer.
-    ports: HashMap<(NodeId, u16), Sender<Message>>,
+    /// Live endpoints: (node, port) → delivery target.
+    ports: HashMap<(NodeId, u16), PortTarget>,
     /// For exclusive fabrics: which client holds the NIC on each node.
     exclusive_holder: HashMap<NodeId, String>,
     /// Next ephemeral port per node.
@@ -262,7 +277,7 @@ impl SimFabric {
         node: NodeId,
         client: &str,
     ) -> Result<FabricEndpoint, FabricError> {
-        self.attach_inner(node, None, client)
+        self.attach_inner(node, None, client, None)
     }
 
     /// Attach at a well-known service port (< [`EPHEMERAL_PORT_BASE`]).
@@ -276,7 +291,27 @@ impl SimFabric {
             port < EPHEMERAL_PORT_BASE,
             "service ports must be < {EPHEMERAL_PORT_BASE}"
         );
-        self.attach_inner(node, Some(port), client)
+        self.attach_inner(node, Some(port), client, None)
+    }
+
+    /// Attach at a well-known service port, delivering inbound messages
+    /// through `sink` instead of a per-endpoint inbox. This is how the
+    /// arbitration layer drains *all* of a node's fabrics from one event
+    /// queue (one progress thread per node, not one per attachment). The
+    /// returned endpoint has no inbox: its receive methods report
+    /// [`FabricError::Closed`].
+    pub fn attach_service_sink(
+        self: &Arc<Self>,
+        node: NodeId,
+        port: u16,
+        client: &str,
+        sink: MessageSink,
+    ) -> Result<FabricEndpoint, FabricError> {
+        assert!(
+            port < EPHEMERAL_PORT_BASE,
+            "service ports must be < {EPHEMERAL_PORT_BASE}"
+        );
+        self.attach_inner(node, Some(port), client, Some(sink))
     }
 
     fn attach_inner(
@@ -284,6 +319,7 @@ impl SimFabric {
         node: NodeId,
         port: Option<u16>,
         client: &str,
+        sink: Option<MessageSink>,
     ) -> Result<FabricEndpoint, FabricError> {
         if !self.has_member(node) {
             return Err(FabricError::NotMember(node));
@@ -314,15 +350,24 @@ impl SimFabric {
                 candidate
             }
         };
-        let (tx, rx) = unbounded();
-        st.ports.insert((node, port), tx);
+        let inbox = match sink {
+            Some(sink) => {
+                st.ports.insert((node, port), PortTarget::Sink(sink));
+                None
+            }
+            None => {
+                let (tx, rx) = unbounded();
+                st.ports.insert((node, port), PortTarget::Queue(tx));
+                Some(rx)
+            }
+        };
         if self.access == AccessMode::Exclusive {
             st.exclusive_holder.insert(node, client.to_string());
         }
         Ok(FabricEndpoint {
             fabric: Arc::clone(self),
             addr: EndpointAddr { node, port },
-            inbox: rx,
+            inbox,
             client: client.to_string(),
         })
     }
@@ -470,17 +515,20 @@ impl SimFabric {
                 });
             }
         }
-        // Look up the destination inbox up front so no time is charged for
-        // a failed send.
-        let inbox = {
+        // Look up the destination's delivery target up front so no time is
+        // charged for a failed send.
+        let target = {
             let st = self.state.lock();
-            st.ports
-                .get(&(dst.node, dst.port))
-                .cloned()
-                .ok_or(FabricError::Unreachable {
-                    to: dst.node,
-                    port: dst.port,
-                })?
+            match st.ports.get(&(dst.node, dst.port)) {
+                Some(PortTarget::Queue(tx)) => PortTarget::Queue(tx.clone()),
+                Some(PortTarget::Sink(sink)) => PortTarget::Sink(Arc::clone(sink)),
+                None => {
+                    return Err(FabricError::Unreachable {
+                        to: dst.node,
+                        port: dst.port,
+                    })
+                }
+            }
         };
 
         let len = payload.len();
@@ -522,10 +570,18 @@ impl SimFabric {
             corrupted: verdict == Verdict::Corrupt,
             payload,
         };
-        inbox.send(msg).map(|_| done).map_err(|_| FabricError::Unreachable {
-            to: dst.node,
-            port: dst.port,
-        })
+        match target {
+            PortTarget::Queue(tx) => tx.send(msg).map(|_| done).map_err(|_| {
+                FabricError::Unreachable {
+                    to: dst.node,
+                    port: dst.port,
+                }
+            }),
+            PortTarget::Sink(sink) => {
+                sink(msg);
+                Ok(done)
+            }
+        }
     }
 
     fn detach(&self, addr: EndpointAddr) {
@@ -541,7 +597,8 @@ impl SimFabric {
 pub struct FabricEndpoint {
     fabric: Arc<SimFabric>,
     addr: EndpointAddr,
-    inbox: Receiver<Message>,
+    /// `None` for sink attachments (inbound traffic goes to the sink).
+    inbox: Option<Receiver<Message>>,
     client: String,
 }
 
@@ -582,22 +639,20 @@ impl FabricEndpoint {
     }
 
     /// Blocking receive **without** charging a clock — used by forwarding
-    /// layers (the arbitration I/O loop); the final consumer must call
-    /// [`Message::deliver`].
+    /// layers; the final consumer must call [`Message::deliver`]. Reports
+    /// [`FabricError::Closed`] on a sink attachment (its traffic goes to
+    /// the sink, never to an inbox).
     pub fn recv_raw(&self) -> Result<Message, FabricError> {
-        self.inbox.recv().map_err(|_| FabricError::Closed)
-    }
-
-    /// A clone of the inbox receiver, for multiplexed `select` loops (the
-    /// arbitration layer polls all fabrics of a node from one thread).
-    /// Receiving on the clone does not charge a clock either.
-    pub fn inbox_handle(&self) -> Receiver<Message> {
-        self.inbox.clone()
+        self.inbox
+            .as_ref()
+            .ok_or(FabricError::Closed)?
+            .recv()
+            .map_err(|_| FabricError::Closed)
     }
 
     /// Non-blocking receive without charging a clock.
     pub fn try_recv_raw(&self) -> Result<Option<Message>, FabricError> {
-        match self.inbox.try_recv() {
+        match self.inbox.as_ref().ok_or(FabricError::Closed)?.try_recv() {
             Ok(m) => Ok(Some(m)),
             Err(TryRecvError::Empty) => Ok(None),
             Err(TryRecvError::Disconnected) => Err(FabricError::Closed),
@@ -960,6 +1015,30 @@ mod tests {
         a.map_remote(NodeId(1)).unwrap();
         a.send(&ca, b.addr(), ChannelId(0), Payload::from_vec(vec![1]))
             .unwrap();
+    }
+
+    #[test]
+    fn sink_attachment_delivers_through_the_sink() {
+        let fab = two_node_myrinet();
+        let (tx, rx) = unbounded();
+        let sink: MessageSink = Arc::new(move |m| {
+            let _ = tx.send(m);
+        });
+        let ep = fab
+            .attach_service_sink(NodeId(1), 1, "tm", sink)
+            .unwrap();
+        assert!(
+            matches!(ep.try_recv_raw(), Err(FabricError::Closed)),
+            "sink endpoints have no inbox"
+        );
+        let a = fab.attach(NodeId(0), "t").unwrap();
+        let ca = SimClock::new();
+        a.send(&ca, ep.addr(), ChannelId(3), Payload::from_vec(vec![7]))
+            .unwrap();
+        let msg = rx.recv().unwrap();
+        assert_eq!(msg.channel, ChannelId(3));
+        assert_eq!(msg.src, a.addr());
+        assert_eq!(msg.payload.to_vec(), vec![7]);
     }
 
     #[test]

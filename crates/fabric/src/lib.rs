@@ -34,7 +34,8 @@ pub mod topology;
 
 pub use error::FabricError;
 pub use fabric::{
-    AccessMode, EndpointAddr, FabricEndpoint, FabricKind, Message, Paradigm, SimFabric,
+    AccessMode, EndpointAddr, FabricEndpoint, FabricKind, Message, MessageSink, Paradigm,
+    SimFabric,
 };
 pub use faults::{FaultInjector, FaultPlan, FaultSnapshot};
 pub use model::LinkModel;

@@ -13,6 +13,7 @@
 
 use padico_fabric::Payload;
 use padico_tm::circuit::Circuit;
+use padico_tm::driver::ArbitratedDriver;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;

@@ -27,6 +27,23 @@ pub enum OrbError {
     BadIor(String),
 }
 
+impl OrbError {
+    /// True when the failure happened in the arbitrated transport below
+    /// the ORB (either CORBA flavour, `TRANSIENT` or `COMM_FAILURE`),
+    /// as opposed to a marshalling, addressing or servant-side error.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, OrbError::Transient(_) | OrbError::CommFailure(_))
+    }
+
+    /// True when the request may safely be re-issued: the transport
+    /// classified the failure as transient (delegates to
+    /// [`TmError::is_transient`], the stack's single classification
+    /// point).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, OrbError::Transient(_))
+    }
+}
+
 impl fmt::Display for OrbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -61,7 +78,7 @@ impl From<TmError> for OrbError {
 /// peer may come back, another route may work) surface as `TRANSIENT`,
 /// hard failures as `COMM_FAILURE`.
 pub fn classify_transport(e: TmError) -> OrbError {
-    if padico_tm::is_retryable(&e) {
+    if e.is_transient() {
         OrbError::Transient(e)
     } else {
         OrbError::CommFailure(e)
@@ -94,6 +111,10 @@ mod tests {
         assert!(t.source().is_some(), "TRANSIENT keeps its source");
         let hard = classify_transport(TmError::Closed);
         assert!(matches!(hard, OrbError::CommFailure(_)), "{hard}");
+        assert!(t.is_transport() && t.is_retryable());
+        assert!(hard.is_transport() && !hard.is_retryable());
+        let marshal = OrbError::Marshal("short read".into());
+        assert!(!marshal.is_transport() && !marshal.is_retryable());
         // Source chains reach the fabric layer through TmError.
         let deep = OrbError::from(TmError::from(padico_fabric::FabricError::Closed));
         assert!(deep.source().unwrap().source().is_some());

@@ -547,7 +547,7 @@ impl Orb {
     /// exceptions, and hard closes are final.
     fn transport_retryable(&self, err: &OrbError) -> bool {
         match err {
-            OrbError::CommFailure(e) | OrbError::Transient(e) => padico_tm::is_retryable(e),
+            OrbError::CommFailure(e) | OrbError::Transient(e) => e.is_transient(),
             _ => false,
         }
     }

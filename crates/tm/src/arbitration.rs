@@ -8,9 +8,10 @@
 //! arbitration layer fixes this by being **the only client** of the
 //! low-level drivers: it attaches exactly once per node to every fabric,
 //! multiplexes an arbitrary number of *logical channels* over each
-//! attachment, and runs the node's I/O progress threads (one per fabric
-//! attachment) that demultiplex inbound traffic by channel id instead of
-//! letting middleware systems spin competing polling threads.
+//! attachment, and runs the node's **progress engine** — one cooperative
+//! I/O thread per node, regardless of how many fabrics are attached —
+//! that demultiplexes inbound traffic by channel id instead of letting
+//! middleware systems spin competing polling threads.
 //!
 //! Middleware (and the abstraction layer) interact with [`NetAccess`]:
 //!
@@ -22,6 +23,25 @@
 //! Messages that arrive before their channel is subscribed are parked, so
 //! higher layers need no rendezvous dance at startup.
 //!
+//! ## The progress engine
+//!
+//! Every fabric attachment delivers into **one per-node event queue** (a
+//! fabric-side sink hands each inbound [`Message`] to the queue as an
+//! [`IoEvent::Inbound`]); a single `padico-io-<node>` thread drains the
+//! queue and dispatches by channel id. Shutdown and wake-ups are typed
+//! [`ControlEvent`]s on the *same* queue — ordered after all traffic that
+//! preceded them — not reserved channel ids, so the entire `ChannelId`
+//! space (including `u64::MAX`) belongs to users.
+//!
+//! ## Bounded queues and the parked budget
+//!
+//! Per-channel subscriber queues are created with a bounded capacity
+//! ([`CHANNEL_QUEUE_CAP`]) and messages parked for not-yet-subscribed
+//! channels draw from a per-node budget ([`PARKED_BUDGET`]). Beyond the
+//! budget, parked messages are *dropped* (counted in the
+//! `tm.parked.dropped` metric and warned about) — an unsubscribed channel
+//! must not grow the node's memory without bound.
+//!
 //! ## Concurrency structure
 //!
 //! The channel registry is a **sharded** map: channel ids hash to one of
@@ -32,15 +52,17 @@
 //! sharing experiment) therefore never serialize on a single global
 //! mutex.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use padico_fabric::{EndpointAddr, FabricEndpoint, FabricError, Message, Payload, SimFabric, Topology};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use padico_fabric::{
+    EndpointAddr, FabricEndpoint, FabricError, Message, MessageSink, Payload, SimFabric, Topology,
+};
 use padico_util::ids::{ChannelId, FabricId, IdGen, NodeId};
 use padico_util::simtime::{SimClock, Vt};
 use padico_util::stats::RecoveryStats;
 use padico_util::{trace_info, trace_warn};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -52,15 +74,19 @@ use crate::error::TmError;
 /// exclusive hardware — that is the conflict PadicoTM exists to solve).
 pub const TM_SERVICE_PORT: u16 = 1;
 
-/// Reserved channel id used internally to wake an I/O thread at shutdown.
-/// Outside both the [`fresh_channel`] range and the (FNV | 1<<63) range of
-/// practically all [`named_channel`] values; never delivered to
-/// subscribers.
-const SHUTDOWN_CHANNEL: ChannelId = ChannelId(u64::MAX);
-
 /// Number of independently locked shards in the channel registry. Spreads
 /// unrelated channels (CORBA vs MPI flows) over distinct locks.
 const SHARD_COUNT: usize = 16;
+
+/// Capacity hint of one subscriber's channel queue. The shim's bounded
+/// channels reserve this up front and spill past it rather than blocking
+/// the progress engine, so the bound is a sizing statement, not a
+/// deadlock risk.
+const CHANNEL_QUEUE_CAP: usize = 1024;
+
+/// Per-node budget of messages parked for not-yet-subscribed channels.
+/// Beyond it, further parked messages are dropped (counted + warned).
+const PARKED_BUDGET: usize = 8192;
 
 /// Process-wide generator for logical channel ids. The whole simulated
 /// grid lives in one OS process, so these are grid-unique.
@@ -83,6 +109,31 @@ pub fn named_channel(name: &str) -> ChannelId {
     ChannelId(h | (1 << 63))
 }
 
+/// Registry shard a channel id lands in: Fibonacci hash of the id. Ids
+/// from [`fresh_channel`] are sequential, so a plain modulo would also
+/// spread fine, but named channels are FNV values and benefit from the
+/// mix.
+fn shard_index(channel: ChannelId) -> usize {
+    let h = channel.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> 32) as usize % SHARD_COUNT
+}
+
+/// One unit of work for a node's progress engine.
+enum IoEvent {
+    /// Inbound traffic from one of the node's fabric attachments.
+    Inbound(Message),
+    /// First-class control event (the former reserved-channel-id hack).
+    Control(ControlEvent),
+}
+
+/// Control events understood by the progress engine. Delivered through
+/// the same event queue as traffic, so they order *after* everything the
+/// engine was already asked to deliver.
+enum ControlEvent {
+    /// Stop the engine.
+    Shutdown,
+}
+
 enum ChannelEntry {
     /// A subscriber is listening.
     Live(Sender<Message>),
@@ -93,21 +144,38 @@ enum ChannelEntry {
 /// The sharded channel registry of one node (see module docs).
 struct ChannelMap {
     shards: Vec<Mutex<HashMap<ChannelId, ChannelEntry>>>,
+    /// Messages currently parked across all shards, bounded by `budget`.
+    parked_total: AtomicUsize,
+    parked_budget: usize,
 }
 
 impl ChannelMap {
-    fn new() -> ChannelMap {
+    fn new(parked_budget: usize) -> ChannelMap {
         ChannelMap {
             shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+            parked_total: AtomicUsize::new(0),
+            parked_budget,
         }
     }
 
     fn shard(&self, channel: ChannelId) -> &Mutex<HashMap<ChannelId, ChannelEntry>> {
-        // Fibonacci hash of the id picks the shard; ids from IdGen are
-        // sequential, so a plain modulo would also spread fine, but named
-        // channels are FNV values and benefit from the mix.
-        let h = channel.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(h >> 32) as usize % SHARD_COUNT]
+        &self.shards[shard_index(channel)]
+    }
+
+    /// Reserve one slot of the parked budget; on exhaustion the message is
+    /// accounted as dropped and `false` is returned.
+    fn try_park(&self, channel: ChannelId) -> bool {
+        if self.parked_total.load(Ordering::Relaxed) >= self.parked_budget {
+            padico_util::metrics::counter_add("tm.parked.dropped", 1);
+            trace_warn!(
+                "tm.arbitration",
+                "parked budget ({}) exhausted; dropping message for {channel}",
+                self.parked_budget
+            );
+            return false;
+        }
+        self.parked_total.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Route one inbound message: hand to the live subscriber or park it.
@@ -119,11 +187,15 @@ impl ChannelMap {
             match entries.get_mut(&channel) {
                 Some(ChannelEntry::Live(tx)) => tx.clone(),
                 Some(ChannelEntry::Parked(v)) => {
-                    v.push(msg);
+                    if self.try_park(channel) {
+                        v.push(msg);
+                    }
                     return;
                 }
                 None => {
-                    entries.insert(channel, ChannelEntry::Parked(vec![msg]));
+                    if self.try_park(channel) {
+                        entries.insert(channel, ChannelEntry::Parked(vec![msg]));
+                    }
                     return;
                 }
             }
@@ -131,16 +203,44 @@ impl ChannelMap {
         if let Err(err) = tx.send(msg) {
             // Subscriber dropped without unsubscribing; repark.
             let mut entries = shard.lock();
-            if let Some(ChannelEntry::Live(_)) = entries.get(&channel) {
-                entries.insert(channel, ChannelEntry::Parked(vec![err.0]));
-            } else if let Some(ChannelEntry::Parked(v)) = entries.get_mut(&channel) {
+            if !self.try_park(channel) {
+                return;
+            }
+            if let Some(ChannelEntry::Parked(v)) = entries.get_mut(&channel) {
                 v.push(err.0);
+            } else {
+                entries.insert(channel, ChannelEntry::Parked(vec![err.0]));
             }
         }
     }
 
+    /// Install a live subscriber, replaying parked messages (if any) into
+    /// the returned bounded receiver in arrival order.
+    fn subscribe(&self, channel: ChannelId, node: NodeId) -> Result<Receiver<Message>, TmError> {
+        let (tx, rx) = bounded(CHANNEL_QUEUE_CAP);
+        let mut entries = self.shard(channel).lock();
+        match entries.get_mut(&channel) {
+            Some(ChannelEntry::Live(_)) => {
+                return Err(TmError::Protocol(format!(
+                    "channel {channel} already subscribed on {node}"
+                )))
+            }
+            Some(ChannelEntry::Parked(parked)) => {
+                self.parked_total.fetch_sub(parked.len(), Ordering::Relaxed);
+                for msg in parked.drain(..) {
+                    let _ = tx.send(msg);
+                }
+            }
+            None => {}
+        }
+        entries.insert(channel, ChannelEntry::Live(tx));
+        Ok(rx)
+    }
+
     fn remove(&self, channel: ChannelId) {
-        self.shard(channel).lock().remove(&channel);
+        if let Some(ChannelEntry::Parked(v)) = self.shard(channel).lock().remove(&channel) {
+            self.parked_total.fetch_sub(v.len(), Ordering::Relaxed);
+        }
     }
 }
 
@@ -205,7 +305,7 @@ impl Drop for ChannelRx {
 
 struct Attachment {
     fabric: Arc<SimFabric>,
-    endpoint: Arc<FabricEndpoint>,
+    endpoint: FabricEndpoint,
 }
 
 /// The arbitration layer of one node.
@@ -214,15 +314,18 @@ pub struct NetAccess {
     clock: SimClock,
     attachments: Vec<Attachment>,
     map: Arc<ChannelMap>,
-    stopping: Arc<AtomicBool>,
-    io_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Producer side of the node's event queue; fabric sinks hold clones.
+    events_tx: Sender<IoEvent>,
+    /// The node's single progress thread (`None` once shut down).
+    io_thread: Mutex<Option<JoinHandle<()>>>,
     /// Per-node recovery bookkeeping; the runtime façade exposes it.
     recovery: RecoveryStats,
 }
 
 impl NetAccess {
     /// Attach to every fabric `node` is wired to and start the node's
-    /// I/O progress threads (one per attachment).
+    /// progress engine: a single I/O thread draining one event queue fed
+    /// by *all* attachments.
     ///
     /// Fails with [`TmError::Fabric`] if some exclusive NIC is already held
     /// by a raw client — the very conflict the paper describes.
@@ -231,9 +334,16 @@ impl NetAccess {
         node: NodeId,
         clock: SimClock,
     ) -> Result<Arc<NetAccess>, TmError> {
+        let (events_tx, events_rx) = unbounded::<IoEvent>();
         let mut attachments = Vec::new();
         for fabric in topology.fabrics_of(node) {
-            let endpoint = fabric.attach_service(node, TM_SERVICE_PORT, "PadicoTM")?;
+            let queue = events_tx.clone();
+            let sink: MessageSink = Arc::new(move |msg| {
+                // Engine gone (node shut down): inbound traffic is dropped
+                // on the floor, exactly like a powered-off NIC.
+                let _ = queue.send(IoEvent::Inbound(msg));
+            });
+            let endpoint = fabric.attach_service_sink(node, TM_SERVICE_PORT, "PadicoTM", sink)?;
             // On mapping-table hardware, the arbitration layer owns the
             // table and maps the whole member set up front (it is the
             // single client, so the table is not fragmented by competing
@@ -259,34 +369,24 @@ impl NetAccess {
                 fabric.id(),
                 fabric.model().name
             );
-            attachments.push(Attachment {
-                fabric,
-                endpoint: Arc::new(endpoint),
-            });
+            attachments.push(Attachment { fabric, endpoint });
         }
-        let map = Arc::new(ChannelMap::new());
-        let stopping = Arc::new(AtomicBool::new(false));
-
-        let io_threads = attachments
-            .iter()
-            .map(|a| {
-                let inbox = a.endpoint.inbox_handle();
-                let map = Arc::clone(&map);
-                let stopping = Arc::clone(&stopping);
-                std::thread::Builder::new()
-                    .name(format!("padico-io-{node}-{}", a.fabric.id()))
-                    .spawn(move || io_loop(inbox, map, stopping))
-                    .expect("spawn io thread")
-            })
-            .collect();
+        let map = Arc::new(ChannelMap::new(PARKED_BUDGET));
+        let io_thread = {
+            let map = Arc::clone(&map);
+            std::thread::Builder::new()
+                .name(format!("padico-io-{node}"))
+                .spawn(move || progress_loop(events_rx, map))
+                .expect("spawn progress engine")
+        };
 
         Ok(Arc::new(NetAccess {
             node,
             clock,
             attachments,
             map,
-            stopping,
-            io_threads: Mutex::new(io_threads),
+            events_tx,
+            io_thread: Mutex::new(Some(io_thread)),
             recovery: RecoveryStats::new(),
         }))
     }
@@ -307,27 +407,16 @@ impl NetAccess {
             .collect()
     }
 
+    /// Number of live I/O progress threads. The engine invariant: `1`
+    /// regardless of how many fabrics are attached, `0` after shutdown.
+    pub fn io_thread_count(&self) -> usize {
+        usize::from(self.io_thread.lock().is_some())
+    }
+
     /// Subscribe a logical channel; parked messages (if any) are replayed
     /// into the returned receiver in arrival order.
     pub fn subscribe(&self, channel: ChannelId) -> Result<ChannelRx, TmError> {
-        let (tx, rx) = unbounded();
-        let mut entries = self.map.shard(channel).lock();
-        match entries.get_mut(&channel) {
-            Some(ChannelEntry::Live(_)) => {
-                return Err(TmError::Protocol(format!(
-                    "channel {channel} already subscribed on {}",
-                    self.node
-                )))
-            }
-            Some(ChannelEntry::Parked(parked)) => {
-                for msg in parked.drain(..) {
-                    let _ = tx.send(msg);
-                }
-            }
-            None => {}
-        }
-        entries.insert(channel, ChannelEntry::Live(tx));
-        drop(entries);
+        let rx = self.map.subscribe(channel, self.node)?;
         Ok(ChannelRx {
             channel,
             rx,
@@ -405,26 +494,13 @@ impl NetAccess {
         self.map.dispatch(channel, msg);
     }
 
-    /// Tear down the I/O threads and release all NICs. Idempotent; also
-    /// runs on drop.
+    /// Tear down the progress engine and release all NICs. Idempotent;
+    /// also runs on drop. The shutdown request is a typed control event on
+    /// the engine's own queue, so it orders after all traffic the engine
+    /// was already asked to deliver.
     pub fn shutdown(&self) {
-        self.stopping.store(true, Ordering::Release);
-        // Wake each I/O thread promptly with a self-addressed sentinel; the
-        // recv_timeout in io_loop bounds the wait if a sentinel cannot be
-        // delivered.
-        for att in &self.attachments {
-            let _ = att.endpoint.send(
-                &self.clock.fork_independent(),
-                EndpointAddr {
-                    node: self.node,
-                    port: TM_SERVICE_PORT,
-                },
-                SHUTDOWN_CHANNEL,
-                Payload::new(),
-            );
-        }
-        let mut threads = self.io_threads.lock();
-        for handle in threads.drain(..) {
+        let _ = self.events_tx.send(IoEvent::Control(ControlEvent::Shutdown));
+        if let Some(handle) = self.io_thread.lock().take() {
             let _ = handle.join();
         }
     }
@@ -436,25 +512,20 @@ impl Drop for NetAccess {
     }
 }
 
-/// Progress loop of one fabric attachment: demultiplex inbound messages
-/// into the sharded channel registry until asked to stop.
-fn io_loop(inbox: Receiver<Message>, map: Arc<ChannelMap>, stopping: Arc<AtomicBool>) {
+/// The progress engine of one node: drain the shared event queue —
+/// inbound traffic from every fabric attachment, interleaved with typed
+/// control events — until told to stop. Blocking receive, no polling:
+/// the queue *is* the readiness notification.
+fn progress_loop(events: Receiver<IoEvent>, map: Arc<ChannelMap>) {
     loop {
-        match inbox.recv_timeout(Duration::from_millis(200)) {
-            Ok(msg) => {
-                if msg.channel == SHUTDOWN_CHANNEL {
-                    return;
-                }
+        match events.recv() {
+            Ok(IoEvent::Inbound(msg)) => {
                 let channel = msg.channel;
                 map.dispatch(channel, msg);
             }
-            Err(RecvTimeoutError::Timeout) => {
-                if stopping.load(Ordering::Acquire) {
-                    return;
-                }
-            }
-            // The endpoint vanished (process teardown).
-            Err(RecvTimeoutError::Disconnected) => return,
+            Ok(IoEvent::Control(ControlEvent::Shutdown)) => return,
+            // All senders vanished (process teardown).
+            Err(_) => return,
         }
     }
 }
@@ -475,6 +546,7 @@ mod tests {
     use super::*;
     use padico_fabric::topology::single_cluster;
     use padico_fabric::FabricKind;
+    use proptest::prelude::*;
 
     fn myrinet_id(net: &NetAccess) -> FabricId {
         net.fabrics()
@@ -490,6 +562,18 @@ mod tests {
         let net = NetAccess::bring_up(&topo, ids[0], SimClock::new()).unwrap();
         assert_eq!(net.fabrics().len(), 3);
         assert_eq!(net.node(), ids[0]);
+    }
+
+    #[test]
+    fn one_progress_thread_regardless_of_fabric_count() {
+        // The tentpole invariant: a node attached to three fabrics runs
+        // exactly ONE I/O thread, and shutdown retires it.
+        let (topo, ids) = single_cluster(2);
+        let net = NetAccess::bring_up(&topo, ids[0], SimClock::new()).unwrap();
+        assert_eq!(net.fabrics().len(), 3, "precondition: multiple fabrics");
+        assert_eq!(net.io_thread_count(), 1, "one engine per node");
+        net.shutdown();
+        assert_eq!(net.io_thread_count(), 0, "engine retired");
     }
 
     #[test]
@@ -510,6 +594,27 @@ mod tests {
     }
 
     #[test]
+    fn top_range_channel_ids_are_deliverable() {
+        // Regression for the removed SHUTDOWN_CHANNEL sentinel: u64::MAX
+        // used to be reserved and silently undeliverable. Now the whole id
+        // space belongs to users — including the very top of the named
+        // range — and shutdown still works (it is a control event, not a
+        // channel id).
+        let (topo, ids) = single_cluster(2);
+        let a = NetAccess::bring_up(&topo, ids[0], SimClock::new()).unwrap();
+        let b = NetAccess::bring_up(&topo, ids[1], SimClock::new()).unwrap();
+        let fid = myrinet_id(&a);
+        for ch in [ChannelId(u64::MAX), ChannelId(u64::MAX - 1)] {
+            let rx = b.subscribe(ch).unwrap();
+            a.send(fid, ids[1], ch, Payload::from_vec(vec![0xEE])).unwrap();
+            let msg = rx.recv(b.clock()).unwrap();
+            assert_eq!(msg.payload.to_vec(), vec![0xEE], "{ch} deliverable");
+        }
+        b.shutdown();
+        a.shutdown();
+    }
+
+    #[test]
     fn early_messages_are_parked_until_subscription() {
         let (topo, ids) = single_cluster(2);
         let a = NetAccess::bring_up(&topo, ids[0], SimClock::new()).unwrap();
@@ -517,11 +622,40 @@ mod tests {
         let ch = fresh_channel();
         let fid = myrinet_id(&a);
         a.send(fid, ids[1], ch, Payload::from_vec(vec![42])).unwrap();
-        // Give the I/O loop a moment to park it.
+        // Give the progress engine a moment to park it.
         std::thread::sleep(Duration::from_millis(20));
         let rx = b.subscribe(ch).unwrap();
         let msg = rx.recv(b.clock()).unwrap();
         assert_eq!(msg.payload.to_vec(), vec![42]);
+    }
+
+    #[test]
+    fn parked_messages_beyond_budget_are_dropped() {
+        // Unit-level: a registry with a budget of 2 parks two messages and
+        // drops the third; subscribing replays exactly the survivors and
+        // returns the budget.
+        let map = ChannelMap::new(2);
+        let ch = ChannelId(7777);
+        let msg = |n: u8| Message {
+            src: EndpointAddr {
+                node: NodeId(0),
+                port: TM_SERVICE_PORT,
+            },
+            channel: ch,
+            arrival: 0,
+            recv_cost: 0,
+            corrupted: false,
+            payload: Payload::from_vec(vec![n]),
+        };
+        map.dispatch(ch, msg(1));
+        map.dispatch(ch, msg(2));
+        map.dispatch(ch, msg(3)); // over budget: dropped
+        assert_eq!(map.parked_total.load(Ordering::Relaxed), 2);
+        let rx = map.subscribe(ch, NodeId(0)).unwrap();
+        assert_eq!(rx.try_recv().unwrap().payload.to_vec(), vec![1]);
+        assert_eq!(rx.try_recv().unwrap().payload.to_vec(), vec![2]);
+        assert!(rx.try_recv().is_err(), "third message was dropped");
+        assert_eq!(map.parked_total.load(Ordering::Relaxed), 0, "budget returned");
     }
 
     #[test]
@@ -594,6 +728,42 @@ mod tests {
         // Named channels live in the high range, fresh ones in the low.
         assert!(named_channel("x").0 >= (1 << 63));
         assert!(fresh_channel().0 < (1 << 63));
+    }
+
+    proptest! {
+        #[test]
+        fn named_and_fresh_ranges_never_collide(name in "[a-z0-9:@./-]{1,48}") {
+            // Named ids always carry the top bit; fresh ids are sequential
+            // allocations that live far below it — the two ranges are
+            // disjoint for any service name whatsoever.
+            let named = named_channel(&name);
+            prop_assert!(named.0 >= (1 << 63), "named id {named} below top bit");
+            let fresh = fresh_channel();
+            prop_assert!(fresh.0 < (1 << 63), "fresh id {fresh} in the named range");
+            prop_assert_ne!(named.0, fresh.0);
+        }
+
+        #[test]
+        fn channel_ids_spread_across_all_shards(seed in any::<u64>()) {
+            // 10k random service names must land on all 16 registry shards
+            // with no shard taking more than 2× the mean — the Fibonacci
+            // mix over FNV ids is what keeps CORBA and MPI flows off each
+            // other's locks.
+            const NAMES: usize = 10_000;
+            let mut counts = [0usize; SHARD_COUNT];
+            for i in 0..NAMES {
+                let name = format!("svc:{seed:x}:{i}");
+                counts[shard_index(named_channel(&name))] += 1;
+            }
+            let mean = NAMES / SHARD_COUNT;
+            for (shard, &count) in counts.iter().enumerate() {
+                prop_assert!(count > 0, "shard {shard} never hit");
+                prop_assert!(
+                    count <= 2 * mean,
+                    "shard {shard} took {count} of {NAMES} (mean {mean})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -7,25 +7,27 @@
 //! and the middleware built on it cannot tell which — it never names a
 //! network.
 //!
+//! The circuit is a thin paradigm adapter over [`LinkCore`]: rank
+//! bookkeeping, the wire header and the rank-directed stash live here;
+//! route selection, retry, failover and span emission are the core's.
+//!
 //! Wire format per message: a 12-byte header segment
 //! `[src_rank: u32 LE][user_header: u64 LE]` prepended (as a separate
-//! zero-copy segment) to the payload. The `user_header` is opaque
-//! transport space for the layer above (padico-mpi packs communicator and
-//! tag into it).
+//! zero-copy segment) to the payload; `user_header` is opaque transport
+//! space for the layer above (padico-mpi packs communicator+tag into it).
 
 use padico_fabric::{Paradigm, Payload};
-use padico_util::ids::NodeId;
-use padico_util::simtime::SimClock;
+use padico_util::ids::{ChannelId, NodeId};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use crate::arbitration::{named_channel, ChannelRx};
+use crate::arbitration::named_channel;
+use crate::driver::{ArbitratedDriver, LinkCore};
 use crate::error::TmError;
-use crate::faults::{self, is_retryable};
 use crate::runtime::PadicoTM;
 use crate::security::{protect, SessionKey};
-use crate::selector::{FabricChoice, Route};
+use crate::selector::FabricChoice;
 
 /// Group-wide description of a circuit. Every member must build from an
 /// identical spec (same name, same group order, same fabric choice).
@@ -60,18 +62,19 @@ impl CircuitSpec {
 /// [`Circuit::recv`] / [`Circuit::recv_from`] (the MPI layer above
 /// serializes naturally, since each rank is one logical process).
 pub struct Circuit {
-    tm: Arc<PadicoTM>,
+    core: LinkCore,
     spec: CircuitSpec,
     my_rank: usize,
-    /// Current route; replaced in place when the group's fabric fails and
-    /// another one connects the whole group (Circuit failover is
-    /// group-wide: each member re-selects independently but
-    /// deterministically, so the group converges on the same fabric).
-    route: Mutex<Route>,
+    channel: ChannelId,
     key: SessionKey,
-    rx: Mutex<ChannelRx>,
     /// Messages received while waiting for a specific rank.
     stash: Mutex<VecDeque<(u32, u64, Payload)>>,
+}
+
+impl ArbitratedDriver for Circuit {
+    fn core(&self) -> &LinkCore {
+        &self.core
+    }
 }
 
 const HEADER_LEN: usize = 12;
@@ -89,17 +92,22 @@ impl Circuit {
                     spec.name
                 ))
             })?;
-        let route = tm.select(&spec.group, Paradigm::Parallel, spec.choice)?;
         let channel = named_channel(&format!("circuit:{}", spec.name));
-        let rx = tm.net().subscribe(channel)?;
+        let core = LinkCore::establish(
+            tm,
+            spec.group.clone(),
+            Paradigm::Parallel,
+            spec.choice,
+            "tm.circuit",
+            channel,
+        )?;
         let key = SessionKey::derive(channel.0, spec.group.len() as u64);
         Ok(Circuit {
-            tm,
+            core,
             spec,
             my_rank,
-            route: Mutex::new(route),
+            channel,
             key,
-            rx: Mutex::new(rx),
             stash: Mutex::new(VecDeque::new()),
         })
     }
@@ -114,17 +122,6 @@ impl Circuit {
         self.spec.group.len()
     }
 
-    /// The route currently carrying the circuit (owned because failover
-    /// may swap it concurrently).
-    pub fn route(&self) -> Route {
-        self.route.lock().clone()
-    }
-
-    /// The node's clock (shared with the runtime).
-    pub fn clock(&self) -> &SimClock {
-        self.tm.clock()
-    }
-
     /// Send `payload` to `dst_rank` with an opaque transport header.
     pub fn send(&self, dst_rank: usize, header: u64, payload: Payload) -> Result<(), TmError> {
         let dst_node = *self
@@ -137,74 +134,14 @@ impl Circuit {
         hdr[..4].copy_from_slice(&(self.my_rank as u32).to_le_bytes());
         hdr[4..].copy_from_slice(&header.to_le_bytes());
         wire.push_segment(bytes::Bytes::copy_from_slice(&hdr));
-        let body = if self.route.lock().encrypt {
-            protect(self.key, &payload, self.tm.clock())
+        let body = if self.core.encrypt() {
+            protect(self.key, &payload, self.core.clock())
         } else {
             payload
         };
         wire.append(body);
-        let channel = named_channel(&format!("circuit:{}", self.spec.name));
-        if dst_node == self.tm.node() {
-            self.tm.net().send_local(channel, wire);
-            return Ok(());
-        }
-        let policy = self.tm.config().retry;
-        let mut attempt = 1u32;
-        let mut prev_span = 0u64;
-        loop {
-            let fabric = self.route.lock().fabric.id();
-            // Per-attempt span, retry-linked, mirroring the VLink path.
-            let mut span = padico_util::span::child_retry(
-                self.tm.clock(),
-                self.tm.node().0,
-                "tm.circuit",
-                format!("send:rank{dst_rank}:attempt{attempt}"),
-                prev_span,
-            );
-            let outcome = self.tm.net().send(fabric, dst_node, channel, wire.clone());
-            // Deterministic end stamp, same reasoning as the VLink path.
-            span.end_at(*outcome.as_ref().unwrap_or(&0));
-            prev_span = span.id();
-            drop(span);
-            match outcome {
-                Ok(_) => return Ok(()),
-                Err(err) if attempt < policy.max_attempts && is_retryable(&err) => {
-                    let rec = self.tm.recovery();
-                    faults::note(rec, |r| &r.send_retries);
-                    let charged = policy.charge_backoff(self.tm.clock(), attempt);
-                    faults::note_backoff(rec, charged);
-                    self.try_failover(&err);
-                    attempt += 1;
-                }
-                Err(err) => return Err(err),
-            }
-        }
-    }
-
-    /// On a link-level failure, re-select a fabric connecting the whole
-    /// group, excluding the one that just failed.
-    fn try_failover(&self, err: &TmError) {
-        use padico_fabric::FabricError;
-        let link_level = matches!(
-            err,
-            TmError::LinkDown { .. }
-                | TmError::Fabric(
-                    FabricError::NoMapping { .. } | FabricError::MappingLimit { .. }
-                )
-        );
-        if !link_level {
-            return;
-        }
-        let current = self.route.lock().fabric.id();
-        if let Ok(next) = self.tm.select_excluding(
-            &self.spec.group,
-            Paradigm::Parallel,
-            FabricChoice::Auto,
-            &[current],
-        ) {
-            faults::note(self.tm.recovery(), |r| &r.route_failovers);
-            *self.route.lock() = next;
-        }
+        self.core
+            .send_wire(dst_node, self.channel, wire, &format!("send:rank{dst_rank}"))
     }
 
     fn decode(&self, msg: padico_fabric::Message) -> Result<(u32, u64, Payload), TmError> {
@@ -219,27 +156,12 @@ impl Circuit {
         let hdr = head.to_contiguous();
         let src = u32::from_le_bytes(hdr[..4].try_into().expect("4 bytes"));
         let user = u64::from_le_bytes(hdr[4..].try_into().expect("8 bytes"));
-        let body = if self.route.lock().encrypt {
-            protect(self.key, &tail, self.tm.clock())
+        let body = if self.core.encrypt() {
+            protect(self.key, &tail, self.core.clock())
         } else {
             tail
         };
         Ok((src, user, body))
-    }
-
-    /// Pull the next intact (non-corrupted) delivery off the wire, bounded
-    /// by the runtime's default deadline so a dead peer surfaces
-    /// [`TmError::Timeout`] instead of hanging the rank forever.
-    fn recv_intact(&self) -> Result<padico_fabric::Message, TmError> {
-        let deadline = self.tm.config().default_deadline;
-        loop {
-            let msg = self.rx.lock().recv_timeout(self.tm.clock(), deadline)?;
-            if msg.corrupted {
-                faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
-                continue;
-            }
-            return Ok(msg);
-        }
     }
 
     /// Receive the next message from any rank: `(src_rank, header, body)`.
@@ -247,7 +169,7 @@ impl Circuit {
         if let Some(entry) = self.stash.lock().pop_front() {
             return Ok(entry);
         }
-        let msg = self.recv_intact()?;
+        let msg = self.core.recv_intact(None)?;
         self.decode(msg)
     }
 
@@ -262,7 +184,7 @@ impl Circuit {
                     return Ok((h, p));
                 }
             }
-            let msg = self.recv_intact()?;
+            let msg = self.core.recv_intact(None)?;
             let entry = self.decode(msg)?;
             if entry.0 as usize == src_rank {
                 return Ok((entry.1, entry.2));
@@ -276,14 +198,9 @@ impl Circuit {
         if let Some(entry) = self.stash.lock().pop_front() {
             return Ok(Some(entry));
         }
-        loop {
-            match self.rx.lock().try_recv(self.tm.clock())? {
-                Some(msg) if msg.corrupted => {
-                    faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
-                }
-                Some(msg) => return Ok(Some(self.decode(msg)?)),
-                None => return Ok(None),
-            }
+        match self.core.try_recv_intact()? {
+            Some(msg) => Ok(Some(self.decode(msg)?)),
+            None => Ok(None),
         }
     }
 }
@@ -296,15 +213,18 @@ impl std::fmt::Debug for Circuit {
             self.spec.name,
             self.my_rank,
             self.size(),
-            self.route.lock().fabric.model().name
+            self.route().fabric.model().name
         )
     }
 }
 
 #[cfg(test)]
 mod tests {
+    //! Rank/header/stash semantics and zero-copy invariants. Core-owned
+    //! behavior — failover, timeouts, encryption — is tested once in
+    //! [`crate::driver`], through both adapters.
     use super::*;
-    use padico_fabric::topology::{single_cluster, two_clusters_wan};
+    use padico_fabric::topology::single_cluster;
     use padico_fabric::FabricKind;
 
     fn cluster_circuits(n: usize) -> Vec<Circuit> {
@@ -358,16 +278,6 @@ mod tests {
     }
 
     #[test]
-    fn self_send_uses_loopback() {
-        let circuits = cluster_circuits(2);
-        let before = circuits[0].clock().now();
-        circuits[0].send(0, 7, Payload::from_vec(vec![9])).unwrap();
-        let (src, h, p) = circuits[0].recv().unwrap();
-        assert_eq!((src, h, p.to_vec()), (0, 7, vec![9]));
-        assert_eq!(circuits[0].clock().now(), before);
-    }
-
-    #[test]
     fn out_of_range_rank_rejected() {
         let circuits = cluster_circuits(2);
         assert!(matches!(
@@ -388,78 +298,11 @@ mod tests {
     }
 
     #[test]
-    fn cross_paradigm_circuit_over_wan_encrypts_transparently() {
-        // A circuit spanning two clusters runs over the WAN (the only
-        // common fabric) and encrypts — the middleware above sees nothing.
-        let (topo, a, b) = two_clusters_wan(1);
-        let group = vec![a[0], b[0]];
-        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
-        let c0 = tms[a[0].0 as usize]
-            .circuit(CircuitSpec::new("wan", group.clone()))
-            .unwrap();
-        let c1 = tms[b[0].0 as usize]
-            .circuit(CircuitSpec::new("wan", group))
-            .unwrap();
-        assert_eq!(c0.route().fabric.kind(), FabricKind::Wan);
-        assert!(c0.route().encrypt);
-        assert!(!c0.route().straight);
-        let data = padico_util::rng::payload(5, "wan-circuit", 512);
-        c0.send(1, 11, Payload::from_vec(data.clone())).unwrap();
-        let (src, h, body) = c1.recv().unwrap();
-        assert_eq!((src, h), (0, 11));
-        assert_eq!(body.to_vec(), data, "decrypted transparently");
-    }
-
-    #[test]
-    fn recv_times_out_instead_of_hanging() {
-        use crate::runtime::TmConfig;
-        let (topo, ids) = single_cluster(2);
-        let cfg = TmConfig {
-            default_deadline: std::time::Duration::from_millis(40),
-            ..TmConfig::default()
-        };
-        let tms = PadicoTM::boot_all_with_config(Arc::new(topo), cfg).unwrap();
-        let c0 = tms[0]
-            .circuit(CircuitSpec::new("quiet", ids.clone()))
-            .unwrap();
-        let _c1 = tms[1].circuit(CircuitSpec::new("quiet", ids)).unwrap();
-        // Rank 1 never sends: the barrier-ish wait surfaces a typed
-        // timeout instead of deadlocking the rank.
-        let err = c0.recv_from(1).unwrap_err();
-        assert!(matches!(err, TmError::Timeout(_)), "{err}");
-    }
-
-    #[test]
-    fn circuit_fails_over_when_group_fabric_dies() {
-        let (topo, ids) = single_cluster(2);
-        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
-        let circuits: Vec<Circuit> = tms
-            .iter()
-            .map(|tm| tm.circuit(CircuitSpec::new("fo", ids.clone())).unwrap())
-            .collect();
-        let original = circuits[0].route().fabric.id();
-        circuits[0]
-            .route()
-            .fabric
-            .faults()
-            .partition_pair(ids[0], ids[1]);
-        circuits[0]
-            .send(1, 9, Payload::from_vec(vec![4, 2]))
-            .unwrap();
-        let (src, h, body) = circuits[1].recv().unwrap();
-        assert_eq!((src, h, body.to_vec()), (0, 9, vec![4, 2]));
-        assert_ne!(circuits[0].route().fabric.id(), original, "failed over");
-        let snap = tms[0].recovery().snapshot();
-        assert!(snap.route_failovers >= 1, "{snap:?}");
-        assert!(snap.backoff_ns > 0, "{snap:?}");
-    }
-
-    #[test]
     fn try_recv_returns_none_when_idle() {
         let circuits = cluster_circuits(2);
         assert!(circuits[0].try_recv().unwrap().is_none());
         circuits[1].send(0, 3, Payload::from_vec(vec![8])).unwrap();
-        // Poll until the I/O loop delivers.
+        // Poll until the progress engine delivers.
         let mut got = None;
         for _ in 0..200 {
             if let Some(entry) = circuits[0].try_recv().unwrap() {
@@ -472,87 +315,4 @@ mod tests {
         assert_eq!((src, h, p.to_vec()), (1, 3, vec![8]));
     }
 
-    #[test]
-    fn send_over_shmem_preserves_segment_identity() {
-        // The end-to-end zero-copy invariant at the Circuit layer: on a
-        // trusted no-kernel-copy fabric the receiver's body segment is the
-        // *same allocation* the sender handed in — the whole send path is
-        // reference counting, never memcpy.
-        let (topo, ids) = single_cluster(2);
-        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
-        let circuits: Vec<Circuit> = tms
-            .iter()
-            .map(|tm| {
-                tm.circuit(
-                    CircuitSpec::new("shm", ids.clone())
-                        .with_choice(FabricChoice::Kind(FabricKind::Shmem)),
-                )
-                .unwrap()
-            })
-            .collect();
-        let blob = bytes::Bytes::from(padico_util::rng::payload(21, "zc", 64 * 1024));
-        let sent_ptr = blob.as_ptr();
-        circuits[0]
-            .send(1, 5, Payload::from_bytes(blob))
-            .unwrap();
-        let (src, h, body) = circuits[1].recv().unwrap();
-        assert_eq!((src, h), (0, 5));
-        assert!(body.is_contiguous(), "body arrives as one segment");
-        let got = body.segments().next().unwrap();
-        assert_eq!(got.len(), 64 * 1024);
-        assert_eq!(
-            got.as_ptr(),
-            sent_ptr,
-            "receiver aliases the sender's buffer: zero physical copies"
-        );
-    }
-
-    #[test]
-    fn circuit_roundtrip_is_zero_copy_for_any_shape() {
-        // Multi-segment gather lists of varying shapes survive a circuit
-        // hop bit-exactly and every received segment still aliases sender
-        // storage (no layer flattened the iovec).
-        let (topo, ids) = single_cluster(2);
-        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
-        let circuits: Vec<Circuit> = tms
-            .iter()
-            .map(|tm| {
-                tm.circuit(
-                    CircuitSpec::new("shm-shapes", ids.clone())
-                        .with_choice(FabricChoice::Kind(FabricKind::Shmem)),
-                )
-                .unwrap()
-            })
-            .collect();
-        let shapes: &[&[usize]] = &[
-            &[1],
-            &[13, 1999],
-            &[1024, 1, 4096, 7],
-            &[500, 500, 500],
-            &[1, 1, 1, 1, 1],
-        ];
-        for (case, shape) in shapes.iter().enumerate() {
-            let mut payload = Payload::new();
-            let mut ranges = Vec::new();
-            for (i, len) in shape.iter().enumerate() {
-                let seg = bytes::Bytes::from(vec![i as u8; *len]);
-                ranges.push((seg.as_ptr() as usize, *len));
-                payload.push_segment(seg);
-            }
-            let expect = payload.to_vec();
-            circuits[0].send(1, case as u64, payload).unwrap();
-            let (_, h, body) = circuits[1].recv().unwrap();
-            assert_eq!(h, case as u64);
-            assert_eq!(body.to_vec(), expect, "case {case}");
-            for seg in body.segments() {
-                let start = seg.as_ptr() as usize;
-                assert!(
-                    ranges.iter().any(|&(r_start, r_len)| {
-                        r_start <= start && start + seg.len() <= r_start + r_len
-                    }),
-                    "case {case}: received segment does not alias sender storage"
-                );
-            }
-        }
-    }
 }

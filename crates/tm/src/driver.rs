@@ -1,0 +1,721 @@
+//! The unified arbitrated-driver core.
+//!
+//! Circuit (parallel paradigm) and VLink (distributed paradigm) used to
+//! each carry a private copy of the same machinery: route selection,
+//! budgeted retry with virtual-clock backoff, cross-paradigm failover,
+//! corrupt-frame discard, and per-attempt span emission. This module owns
+//! that machinery **exactly once**:
+//!
+//! * [`LinkCore`] — the link state machine both abstractions embed. It
+//!   holds the current [`Route`] (swapped in place on failover, invisibly
+//!   to the peer: channel ids are fabric-independent), the subscribed
+//!   [`ChannelRx`], and the peer set + [`Paradigm`] needed to re-select.
+//! * [`ArbitratedDriver`] — the capability trait of "something built on an
+//!   arbitrated driver". Circuit and VLink streams implement it by
+//!   exposing their core; route/clock accessors come for free, so layers
+//!   above (personalities, MPI, the ORB) program against the trait rather
+//!   than against one concrete paradigm.
+//!
+//! ## Retry, failover, spans
+//!
+//! [`LinkCore::send_wire`] is the one transmit loop: each attempt gets a
+//! retry-linked span named `{label}:attempt{n}` (the adapter picks the
+//! label, so traces keep their historical names), the span end is pinned
+//! to the deterministic send-completion stamp, transient errors charge
+//! exponential backoff to the **virtual** clock (recovery shows up in
+//! measured virtual latencies, never in host time), and *link-level*
+//! errors ([`TmError::is_link_level`]) additionally re-select the route
+//! excluding the failed fabric — the paper's cross-paradigm fallback: when
+//! the SAN mapping dies, the flow transparently continues over sockets.
+//!
+//! [`LinkCore::connect_with_retry`] is the same shape for handshakes: the
+//! caller supplies one attempt as a closure; the core budgets attempts,
+//! splits the caller's total timeout across them, and moves later attempts
+//! to the next-best fabric when the link itself is indicted.
+
+use padico_fabric::{Message, Paradigm, Payload};
+use padico_util::ids::{ChannelId, NodeId};
+use padico_util::simtime::SimClock;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::arbitration::ChannelRx;
+use crate::error::TmError;
+use crate::faults;
+use crate::runtime::PadicoTM;
+use crate::selector::{FabricChoice, Route};
+
+/// The shared link state machine under every abstraction-layer driver.
+pub struct LinkCore {
+    tm: Arc<PadicoTM>,
+    /// The node set this link spans (both ends of a stream, the whole
+    /// group of a circuit) — what failover re-selection must connect.
+    peers: Vec<NodeId>,
+    paradigm: Paradigm,
+    /// Span layer tag ("tm.vlink" / "tm.circuit") so traces keep their
+    /// per-abstraction identity even though the machinery is shared.
+    layer: &'static str,
+    /// Current route; replaced in place on failover. The peer never
+    /// notices: channel ids are fabric-independent and the encrypt
+    /// decision depends only on the peers' trust, not the carrying fabric.
+    route: Mutex<Route>,
+    rx: Mutex<ChannelRx>,
+}
+
+impl LinkCore {
+    /// Select a route for `peers` and subscribe `channel`: the common
+    /// establishment path (circuits, listener-side streams).
+    pub fn establish(
+        tm: Arc<PadicoTM>,
+        peers: Vec<NodeId>,
+        paradigm: Paradigm,
+        choice: FabricChoice,
+        layer: &'static str,
+        channel: ChannelId,
+    ) -> Result<LinkCore, TmError> {
+        let route = tm.select(&peers, paradigm, choice)?;
+        let rx = tm.net().subscribe(channel)?;
+        Ok(LinkCore::adopt(tm, peers, paradigm, layer, route, rx))
+    }
+
+    /// Wrap an already-selected route and already-subscribed receiver
+    /// (handshake protocols pick both before the stream exists).
+    pub fn adopt(
+        tm: Arc<PadicoTM>,
+        peers: Vec<NodeId>,
+        paradigm: Paradigm,
+        layer: &'static str,
+        route: Route,
+        rx: ChannelRx,
+    ) -> LinkCore {
+        LinkCore {
+            tm,
+            peers,
+            paradigm,
+            layer,
+            route: Mutex::new(route),
+            rx: Mutex::new(rx),
+        }
+    }
+
+    pub fn tm(&self) -> &Arc<PadicoTM> {
+        &self.tm
+    }
+
+    pub fn clock(&self) -> &SimClock {
+        self.tm.clock()
+    }
+
+    /// The route currently carrying the link (owned: failover may swap it
+    /// concurrently).
+    pub fn route(&self) -> Route {
+        self.route.lock().clone()
+    }
+
+    /// Whether frames on this link are encrypted (trust decision made at
+    /// selection time; stable across failover).
+    pub fn encrypt(&self) -> bool {
+        self.route.lock().encrypt
+    }
+
+    /// The nodes this link spans.
+    pub fn peers(&self) -> &[NodeId] {
+        &self.peers
+    }
+
+    /// Transmit `wire` on logical `channel` to `dst` — THE send loop.
+    ///
+    /// Loopback goes straight to local dispatch. Otherwise each attempt
+    /// emits a retry-linked span `{label}:attempt{n}` under this link's
+    /// layer, transient failures charge backoff to the virtual clock, and
+    /// link-level failures fail the route over before the next attempt.
+    pub fn send_wire(
+        &self,
+        dst: NodeId,
+        channel: ChannelId,
+        wire: Payload,
+        label: &str,
+    ) -> Result<(), TmError> {
+        if dst == self.tm.node() {
+            self.tm.net().send_local(channel, wire);
+            return Ok(());
+        }
+        let policy = self.tm.config().retry;
+        let mut attempt = 1u32;
+        let mut prev_span = 0u64;
+        loop {
+            let fabric = self.route.lock().fabric.id();
+            let mut span = padico_util::span::child_retry(
+                self.tm.clock(),
+                self.tm.node().0,
+                self.layer,
+                format!("{label}:attempt{attempt}"),
+                prev_span,
+            );
+            let outcome = self.tm.net().send(fabric, dst, channel, wire.clone());
+            // Pin the span end to the deterministic send-completion stamp:
+            // a receive thread may merge our clock forward concurrently.
+            span.end_at(*outcome.as_ref().unwrap_or(&0));
+            prev_span = span.id();
+            drop(span);
+            match outcome {
+                Ok(_) => return Ok(()),
+                Err(err) if attempt < policy.max_attempts && err.is_transient() => {
+                    let rec = self.tm.recovery();
+                    faults::note(rec, |r| &r.send_retries);
+                    let charged = policy.charge_backoff(self.tm.clock(), attempt);
+                    faults::note_backoff(rec, charged);
+                    self.try_failover(&err);
+                    attempt += 1;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// On a link-level failure, re-select a fabric connecting the peer
+    /// set, excluding the one that just failed — the cross-paradigm
+    /// fallback. Channel ids stay, so the far side just keeps receiving.
+    fn try_failover(&self, err: &TmError) {
+        if !err.is_link_level() {
+            return;
+        }
+        let current = self.route.lock().fabric.id();
+        if let Ok(next) = self.tm.select_excluding(
+            &self.peers,
+            self.paradigm,
+            FabricChoice::Auto,
+            &[current],
+        ) {
+            faults::note(self.tm.recovery(), |r| &r.route_failovers);
+            *self.route.lock() = next;
+        }
+    }
+
+    /// Pull the next intact (non-corrupted) delivery, bounded by `timeout`
+    /// or the runtime's default deadline — a dead peer surfaces
+    /// [`TmError::Timeout`] instead of hanging the caller forever.
+    /// Corrupted deliveries are discarded (CRC model) and the wait
+    /// continues.
+    pub fn recv_intact(&self, timeout: Option<Duration>) -> Result<Message, TmError> {
+        let timeout = timeout.unwrap_or(self.tm.config().default_deadline);
+        loop {
+            let msg = {
+                let rx = self.rx.lock();
+                rx.recv_timeout(self.tm.clock(), timeout)?
+            };
+            if msg.corrupted {
+                faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
+                continue;
+            }
+            return Ok(msg);
+        }
+    }
+
+    /// Like [`LinkCore::recv_intact`] but deliberately deadline-free:
+    /// long-lived reader threads (the ORB's per-connection readers) idle
+    /// here legitimately between requests; request liveness is the
+    /// caller's business.
+    pub fn recv_intact_blocking(&self) -> Result<Message, TmError> {
+        loop {
+            let msg = {
+                let rx = self.rx.lock();
+                rx.recv(self.tm.clock())?
+            };
+            if msg.corrupted {
+                faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
+                continue;
+            }
+            return Ok(msg);
+        }
+    }
+
+    /// Non-blocking intact receive.
+    pub fn try_recv_intact(&self) -> Result<Option<Message>, TmError> {
+        loop {
+            match self.rx.lock().try_recv(self.tm.clock())? {
+                Some(msg) if msg.corrupted => {
+                    faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Budgeted-retry handshake driver — THE connect loop. `attempt_fn`
+    /// performs one attempt against the given route with a per-attempt
+    /// timeout (the caller's `timeout` bounds the whole handshake, retries
+    /// included: a dead service costs one timeout total, not one per
+    /// attempt). Between attempts: backoff charged to the virtual clock;
+    /// if the link itself is indicted, the next attempt moves to the
+    /// next-best fabric honouring `choice`.
+    pub fn connect_with_retry<T>(
+        tm: &Arc<PadicoTM>,
+        peers: &[NodeId],
+        paradigm: Paradigm,
+        choice: FabricChoice,
+        layer: &'static str,
+        timeout: Duration,
+        mut attempt_fn: impl FnMut(&Route, Duration) -> Result<T, TmError>,
+    ) -> Result<T, TmError> {
+        let policy = tm.config().retry;
+        let mut route = tm.select(peers, paradigm, choice)?;
+        let per_attempt = timeout / policy.max_attempts.max(1);
+        let mut attempt = 1u32;
+        let mut prev_span = 0u64;
+        loop {
+            let span = padico_util::span::child_retry(
+                tm.clock(),
+                tm.node().0,
+                layer,
+                format!("connect:attempt{attempt}"),
+                prev_span,
+            );
+            let outcome = attempt_fn(&route, per_attempt);
+            prev_span = span.id();
+            drop(span);
+            match outcome {
+                Ok(v) => return Ok(v),
+                Err(err) if attempt < policy.max_attempts && err.is_transient() => {
+                    let rec = tm.recovery();
+                    faults::note(rec, |r| &r.connect_retries);
+                    let charged = policy.charge_backoff(tm.clock(), attempt);
+                    faults::note_backoff(rec, charged);
+                    if err.is_link_level() {
+                        if let Ok(next) =
+                            tm.select_excluding(peers, paradigm, choice, &[route.fabric.id()])
+                        {
+                            faults::note(rec, |r| &r.route_failovers);
+                            route = next;
+                        }
+                    }
+                    attempt += 1;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for LinkCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LinkCore({} peers, {} on {})",
+            self.peers.len(),
+            self.layer,
+            self.route.lock().fabric.model().name
+        )
+    }
+}
+
+/// Anything built on an arbitrated driver: exposes its [`LinkCore`] and
+/// gets the common accessors for free. Layers above the abstraction layer
+/// (personalities, MPI collectives, the ORB) program against this trait.
+pub trait ArbitratedDriver {
+    /// The shared link state machine under this driver.
+    fn core(&self) -> &LinkCore;
+
+    /// The route currently carrying the link.
+    fn route(&self) -> Route {
+        self.core().route()
+    }
+
+    /// The node's virtual clock (shared with the runtime).
+    fn clock(&self) -> &SimClock {
+        self.core().clock()
+    }
+
+    /// The nodes this link spans.
+    fn link_peers(&self) -> &[NodeId] {
+        self.core().peers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Behavior owned by the core, exercised through BOTH paradigm
+    //! adapters: failover, timeout surfacing, transparent encryption.
+    use super::*;
+    use crate::circuit::CircuitSpec;
+    use crate::runtime::{PadicoTM, TmConfig};
+    use crate::vlink::VLinkStream;
+    use padico_fabric::topology::{single_cluster, two_clusters_wan};
+    use padico_fabric::FabricKind;
+
+    fn pair() -> (Arc<PadicoTM>, Arc<PadicoTM>) {
+        let (topo, _ids) = single_cluster(2);
+        let mut tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let b = tms.pop().unwrap();
+        let a = tms.pop().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn stream_fails_over_when_link_dies() {
+        let (a, b) = pair();
+        let listener = b.vlink_listen("fo").unwrap();
+        let bt = std::thread::spawn(move || listener.accept().unwrap());
+        let s = a.vlink_connect(b.node(), "fo", FabricChoice::Auto).unwrap();
+        let server = bt.join().unwrap();
+        let original = s.route().fabric.id();
+        // The fabric carrying the stream dies between the two nodes; the
+        // next write must retry, fail over, and still deliver.
+        s.route().fabric.faults().partition_pair(a.node(), b.node());
+        s.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        assert_ne!(s.route().fabric.id(), original, "route failed over");
+        let snap = a.recovery().snapshot();
+        assert!(snap.route_failovers >= 1, "{snap:?}");
+        assert!(snap.send_retries >= 1, "{snap:?}");
+        assert!(snap.backoff_ns > 0, "backoff charged to virtual clock");
+    }
+
+    #[test]
+    fn circuit_fails_over_when_group_fabric_dies() {
+        let (topo, ids) = single_cluster(2);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let circuits: Vec<_> = tms
+            .iter()
+            .map(|tm| tm.circuit(CircuitSpec::new("fo", ids.clone())).unwrap())
+            .collect();
+        let original = circuits[0].route().fabric.id();
+        circuits[0]
+            .route()
+            .fabric
+            .faults()
+            .partition_pair(ids[0], ids[1]);
+        circuits[0]
+            .send(1, 9, Payload::from_vec(vec![4, 2]))
+            .unwrap();
+        let (src, h, body) = circuits[1].recv().unwrap();
+        assert_eq!((src, h, body.to_vec()), (0, 9, vec![4, 2]));
+        assert_ne!(circuits[0].route().fabric.id(), original, "failed over");
+        let snap = tms[0].recovery().snapshot();
+        assert!(snap.route_failovers >= 1, "{snap:?}");
+        assert!(snap.backoff_ns > 0, "{snap:?}");
+    }
+
+    #[test]
+    fn vlink_read_times_out_instead_of_hanging() {
+        let (topo, _ids) = single_cluster(2);
+        let cfg = TmConfig {
+            default_deadline: Duration::from_millis(40),
+            ..TmConfig::default()
+        };
+        let tms = PadicoTM::boot_all_with_config(Arc::new(topo), cfg).unwrap();
+        let listener = tms[1].vlink_listen("quiet").unwrap();
+        let bt = std::thread::spawn(move || listener.accept().unwrap());
+        let s = tms[0]
+            .vlink_connect(tms[1].node(), "quiet", FabricChoice::Auto)
+            .unwrap();
+        let server = bt.join().unwrap();
+        // Nobody ever writes: the read surfaces a typed timeout instead of
+        // blocking the caller forever.
+        let mut buf = [0u8; 1];
+        let err = server.read(&mut buf).unwrap_err();
+        assert!(matches!(err, TmError::Timeout(_)), "{err}");
+        drop(s);
+    }
+
+    #[test]
+    fn circuit_recv_times_out_instead_of_hanging() {
+        let (topo, ids) = single_cluster(2);
+        let cfg = TmConfig {
+            default_deadline: Duration::from_millis(40),
+            ..TmConfig::default()
+        };
+        let tms = PadicoTM::boot_all_with_config(Arc::new(topo), cfg).unwrap();
+        let c0 = tms[0]
+            .circuit(CircuitSpec::new("quiet", ids.clone()))
+            .unwrap();
+        let _c1 = tms[1].circuit(CircuitSpec::new("quiet", ids)).unwrap();
+        // Rank 1 never sends: the barrier-ish wait surfaces a typed
+        // timeout instead of deadlocking the rank.
+        let err = c0.recv_from(1).unwrap_err();
+        assert!(matches!(err, TmError::Timeout(_)), "{err}");
+    }
+
+    #[test]
+    fn accept_times_out_with_default_deadline() {
+        let (topo, _ids) = single_cluster(1);
+        let cfg = TmConfig {
+            default_deadline: Duration::from_millis(30),
+            ..TmConfig::default()
+        };
+        let tms = PadicoTM::boot_all_with_config(Arc::new(topo), cfg).unwrap();
+        let listener = tms[0].vlink_listen("lonely").unwrap();
+        let err = listener.accept().unwrap_err();
+        assert!(matches!(err, TmError::Timeout(_)), "{err}");
+    }
+
+    #[test]
+    fn connect_to_missing_service_times_out() {
+        let (a, b) = pair();
+        let err = VLinkStream::connect(
+            Arc::clone(&a),
+            b.node(),
+            "nobody-home",
+            FabricChoice::Auto,
+            Duration::from_millis(30),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TmError::Timeout(_)));
+    }
+
+    #[test]
+    fn wan_stream_is_encrypted_but_transparent() {
+        let (topo, a_ids, b_ids) = two_clusters_wan(1);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let a = Arc::clone(&tms[a_ids[0].0 as usize]);
+        let b = Arc::clone(&tms[b_ids[0].0 as usize]);
+        let listener = b.vlink_listen("secure").unwrap();
+        let bt = std::thread::spawn(move || listener.accept().unwrap());
+        let s = a
+            .vlink_connect(b.node(), "secure", FabricChoice::Auto)
+            .unwrap();
+        let server = bt.join().unwrap();
+        assert!(s.route().encrypt);
+        let clock_before = a.clock().now();
+        let data = padico_util::rng::payload(11, "secure", 10_000);
+        s.write_all(&data).unwrap();
+        assert!(a.clock().now() > clock_before, "cipher + wire time charged");
+        let mut got = vec![0u8; data.len()];
+        server.read_exact(&mut got).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn cross_paradigm_circuit_over_wan_encrypts_transparently() {
+        // A circuit spanning two clusters runs over the WAN (the only
+        // common fabric) and encrypts — the middleware above sees nothing.
+        let (topo, a, b) = two_clusters_wan(1);
+        let group = vec![a[0], b[0]];
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let c0 = tms[a[0].0 as usize]
+            .circuit(CircuitSpec::new("wan", group.clone()))
+            .unwrap();
+        let c1 = tms[b[0].0 as usize]
+            .circuit(CircuitSpec::new("wan", group))
+            .unwrap();
+        assert_eq!(c0.route().fabric.kind(), FabricKind::Wan);
+        assert!(c0.route().encrypt);
+        assert!(!c0.route().straight);
+        let data = padico_util::rng::payload(5, "wan-circuit", 512);
+        c0.send(1, 11, Payload::from_vec(data.clone())).unwrap();
+        let (src, h, body) = c1.recv().unwrap();
+        assert_eq!((src, h), (0, 11));
+        assert_eq!(body.to_vec(), data, "decrypted transparently");
+    }
+
+    #[test]
+    fn trusted_route_skips_cipher_cost() {
+        // Same payload, trusted SAN vs WAN: the trusted path must charge
+        // strictly less sender time per byte (no cipher), which is the §6
+        // optimization Padico anticipates.
+        let len = 1 << 20;
+        let (topo, _ids) = single_cluster(2);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let listener = tms[1].vlink_listen("x").unwrap();
+        let t = std::thread::spawn(move || listener.accept().unwrap());
+        let s = tms[0]
+            .vlink_connect(tms[1].node(), "x", FabricChoice::Kind(FabricKind::Myrinet))
+            .unwrap();
+        let _server = t.join().unwrap();
+        let before = tms[0].clock().now();
+        s.write_all(&vec![0u8; len]).unwrap();
+        let trusted_cost = tms[0].clock().now() - before;
+
+        let cipher_cost =
+            padico_util::simtime::transfer_time(len, crate::security::CIPHER_MB_S);
+        assert!(
+            trusted_cost < cipher_cost,
+            "trusted send ({trusted_cost} ns) must beat even just the cipher ({cipher_cost} ns)"
+        );
+    }
+
+    #[test]
+    fn cross_paradigm_stream_over_myrinet() {
+        // The Figure 7 mechanism: a socket-shaped stream riding the SAN.
+        let (a, b) = pair();
+        let listener = b.vlink_listen("giop").unwrap();
+        let bt = std::thread::spawn(move || listener.accept().unwrap());
+        let s = a
+            .vlink_connect(b.node(), "giop", FabricChoice::Kind(FabricKind::Myrinet))
+            .unwrap();
+        let server = bt.join().unwrap();
+        assert_eq!(s.route().fabric.kind(), FabricKind::Myrinet);
+        assert!(!s.route().straight, "stream on SAN is cross-paradigm");
+        let data = padico_util::rng::payload(9, "vlink", 100_000);
+        s.write_all(&data).unwrap();
+        let mut got = vec![0u8; data.len()];
+        server.read_exact(&mut got).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn local_loopback_connection() {
+        // Loopback is a core fast path: send_wire dispatches locally
+        // without touching any fabric.
+        let (a, _b) = pair();
+        let listener = a.vlink_listen("self").unwrap();
+        let a2 = Arc::clone(&a);
+        let t = std::thread::spawn(move || {
+            let s = listener.accept().unwrap();
+            let mut b = [0u8; 3];
+            s.read_exact(&mut b).unwrap();
+            let _ = a2;
+            b
+        });
+        let s = a.vlink_connect(a.node(), "self", FabricChoice::Auto).unwrap();
+        s.write_all(&[7, 8, 9]).unwrap();
+        assert_eq!(t.join().unwrap(), [7, 8, 9]);
+    }
+
+    #[test]
+    fn circuit_self_send_uses_loopback() {
+        let (topo, ids) = single_cluster(2);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let circuits: Vec<_> = tms
+            .iter()
+            .map(|tm| tm.circuit(CircuitSpec::new("lo", ids.clone())).unwrap())
+            .collect();
+        let before = circuits[0].clock().now();
+        circuits[0].send(0, 7, Payload::from_vec(vec![9])).unwrap();
+        let (src, h, p) = circuits[0].recv().unwrap();
+        assert_eq!((src, h, p.to_vec()), (0, 7, vec![9]));
+        assert_eq!(circuits[0].clock().now(), before);
+    }
+
+    fn shmem_circuits(name: &str) -> (Vec<Arc<PadicoTM>>, Vec<crate::circuit::Circuit>) {
+        let (topo, ids) = single_cluster(2);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let circuits = tms
+            .iter()
+            .map(|tm| {
+                tm.circuit(
+                    CircuitSpec::new(name, ids.clone())
+                        .with_choice(FabricChoice::Kind(FabricKind::Shmem)),
+                )
+                .unwrap()
+            })
+            .collect();
+        (tms, circuits)
+    }
+
+    #[test]
+    fn send_over_shmem_preserves_segment_identity() {
+        // The end-to-end zero-copy invariant through the unified send
+        // loop: on a trusted no-kernel-copy fabric the receiver's body
+        // segment is the *same allocation* the sender handed in — the
+        // whole path is reference counting, never memcpy.
+        let (_tms, circuits) = shmem_circuits("shm");
+        let blob = bytes::Bytes::from(padico_util::rng::payload(21, "zc", 64 * 1024));
+        let sent_ptr = blob.as_ptr();
+        circuits[0]
+            .send(1, 5, Payload::from_bytes(blob))
+            .unwrap();
+        let (src, h, body) = circuits[1].recv().unwrap();
+        assert_eq!((src, h), (0, 5));
+        assert!(body.is_contiguous(), "body arrives as one segment");
+        let got = body.segments().next().unwrap();
+        assert_eq!(got.len(), 64 * 1024);
+        assert_eq!(
+            got.as_ptr(),
+            sent_ptr,
+            "receiver aliases the sender's buffer: zero physical copies"
+        );
+    }
+
+    #[test]
+    fn circuit_roundtrip_is_zero_copy_for_any_shape() {
+        // Multi-segment gather lists of varying shapes survive a circuit
+        // hop bit-exactly and every received segment still aliases sender
+        // storage (no layer flattened the iovec).
+        let (_tms, circuits) = shmem_circuits("shm-shapes");
+        let shapes: &[&[usize]] = &[
+            &[1],
+            &[13, 1999],
+            &[1024, 1, 4096, 7],
+            &[500, 500, 500],
+            &[1, 1, 1, 1, 1],
+        ];
+        for (case, shape) in shapes.iter().enumerate() {
+            let mut payload = Payload::new();
+            let mut ranges = Vec::new();
+            for (i, len) in shape.iter().enumerate() {
+                let seg = bytes::Bytes::from(vec![i as u8; *len]);
+                ranges.push((seg.as_ptr() as usize, *len));
+                payload.push_segment(seg);
+            }
+            let expect = payload.to_vec();
+            circuits[0].send(1, case as u64, payload).unwrap();
+            let (_, h, body) = circuits[1].recv().unwrap();
+            assert_eq!(h, case as u64);
+            assert_eq!(body.to_vec(), expect, "case {case}");
+            for seg in body.segments() {
+                let start = seg.as_ptr() as usize;
+                assert!(
+                    ranges.iter().any(|&(r_start, r_len)| {
+                        r_start <= start && start + seg.len() <= r_start + r_len
+                    }),
+                    "case {case}: received segment does not alias sender storage"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vlink_frame_preserves_segment_identity_on_trusted_route() {
+        // A framed payload sent over the SAN must arrive as the very same
+        // storage: the kind tag is peeled off the gather list, never
+        // flattened into the body.
+        let (a, b) = pair();
+        let listener = b.vlink_listen("zc").unwrap();
+        let bt = std::thread::spawn(move || listener.accept().unwrap());
+        let s = a
+            .vlink_connect(b.node(), "zc", FabricChoice::Kind(FabricKind::Myrinet))
+            .unwrap();
+        let server = bt.join().unwrap();
+        let blob = bytes::Bytes::from(vec![0xAB; 64 * 1024]);
+        let sent_ptr = blob.as_ptr();
+        s.write_payload(Payload::from_bytes(blob)).unwrap();
+        let frame = server.read_frame().unwrap().expect("one frame");
+        assert!(frame.is_contiguous(), "frame should be one segment");
+        let got = frame.to_contiguous();
+        assert_eq!(got.len(), 64 * 1024);
+        assert_eq!(
+            got.as_ptr(),
+            sent_ptr,
+            "VLink frame must alias the sender's buffer end-to-end"
+        );
+    }
+
+    #[test]
+    fn both_adapters_expose_the_same_core_api() {
+        // The trait is the upward-facing API: a function generic over
+        // ArbitratedDriver serves a Circuit and a VLinkStream alike.
+        fn fabric_kind_of(d: &impl ArbitratedDriver) -> FabricKind {
+            assert!(d.link_peers().len() >= 2);
+            let _ = d.clock().now();
+            d.route().fabric.kind()
+        }
+        let (topo, ids) = single_cluster(2);
+        let tms = PadicoTM::boot_all(Arc::new(topo)).unwrap();
+        let c = tms[0]
+            .circuit(CircuitSpec::new("trait", ids.clone()))
+            .unwrap();
+        let _other = tms[1].circuit(CircuitSpec::new("trait", ids)).unwrap();
+        let listener = tms[1].vlink_listen("trait").unwrap();
+        let bt = std::thread::spawn(move || listener.accept().unwrap());
+        let s = tms[0]
+            .vlink_connect(tms[1].node(), "trait", FabricChoice::Auto)
+            .unwrap();
+        let _server = bt.join().unwrap();
+        let _ = fabric_kind_of(&c);
+        let _ = fabric_kind_of(&s);
+    }
+}

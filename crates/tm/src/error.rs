@@ -28,6 +28,43 @@ pub enum TmError {
     Protocol(String),
 }
 
+impl TmError {
+    /// Whether another attempt (possibly over another fabric) may succeed.
+    ///
+    /// This is the single classification point for the whole runtime:
+    /// timeouts and down links obviously qualify; so do mapping-table
+    /// failures, because the arbitration layer can re-establish a mapping
+    /// or the selector can fail the flow over to another fabric.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            TmError::LinkDown { .. } | TmError::Timeout(_) => true,
+            TmError::Fabric(fe) => matches!(
+                fe,
+                FabricError::NoMapping { .. }
+                    | FabricError::MappingLimit { .. }
+                    | FabricError::Unreachable { .. }
+                    | FabricError::LinkDown { .. }
+            ),
+            _ => false,
+        }
+    }
+
+    /// Whether the failure indicts the *link itself* (partition, dead
+    /// mapping hardware, exhausted mapping table) rather than the peer or
+    /// the protocol — i.e. whether failing over to another fabric is worth
+    /// trying. Strictly narrower than [`TmError::is_transient`]: a timeout
+    /// says nothing about which fabric is at fault.
+    pub fn is_link_level(&self) -> bool {
+        matches!(
+            self,
+            TmError::LinkDown { .. }
+                | TmError::Fabric(
+                    FabricError::NoMapping { .. } | FabricError::MappingLimit { .. }
+                )
+        )
+    }
+}
+
 impl fmt::Display for TmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -80,6 +117,53 @@ mod tests {
         .to_string()
         .contains("node3"));
         assert!(TmError::Timeout("connect".into()).source().is_none());
+    }
+
+    #[test]
+    fn transient_classification_per_variant() {
+        let pair = (NodeId(0), NodeId(1));
+        // Transient: another attempt (or another fabric) may succeed.
+        assert!(TmError::Timeout("connect".into()).is_transient());
+        assert!(TmError::LinkDown { from: pair.0, to: pair.1 }.is_transient());
+        assert!(TmError::Fabric(FabricError::NoMapping { from: pair.0, to: pair.1 }).is_transient());
+        assert!(TmError::Fabric(FabricError::MappingLimit { node: pair.0, limit: 2 }).is_transient());
+        assert!(TmError::Fabric(FabricError::Unreachable { to: pair.1, port: 9 }).is_transient());
+        assert!(TmError::Fabric(FabricError::LinkDown { from: pair.0, to: pair.1 }).is_transient());
+        // Permanent: retrying cannot help.
+        assert!(!TmError::Closed.is_transient());
+        assert!(!TmError::Protocol("bad header".into()).is_transient());
+        assert!(!TmError::Module("missing dep".into()).is_transient());
+        assert!(!TmError::NoRoute { from: pair.0, to: pair.1 }.is_transient());
+        assert!(!TmError::NoUsableFabric("no myrinet".into()).is_transient());
+        assert!(!TmError::Fabric(FabricError::Closed).is_transient());
+        assert!(!TmError::Fabric(FabricError::NotMember(pair.0)).is_transient());
+        assert!(!TmError::Fabric(FabricError::Busy { node: pair.0, holder: "mpi".into() }).is_transient());
+        assert!(!TmError::Fabric(FabricError::PortTaken { node: pair.0, port: 1 }).is_transient());
+    }
+
+    #[test]
+    fn link_level_classification_per_variant() {
+        let pair = (NodeId(0), NodeId(1));
+        // Link-level: failing over to another fabric is worth trying.
+        assert!(TmError::LinkDown { from: pair.0, to: pair.1 }.is_link_level());
+        assert!(TmError::Fabric(FabricError::NoMapping { from: pair.0, to: pair.1 }).is_link_level());
+        assert!(TmError::Fabric(FabricError::MappingLimit { node: pair.0, limit: 8 }).is_link_level());
+        // Transient but *not* link-level: a timeout does not indict the
+        // fabric, and an unreachable port is the peer's fault.
+        assert!(!TmError::Timeout("recv".into()).is_link_level());
+        assert!(!TmError::Fabric(FabricError::Unreachable { to: pair.1, port: 9 }).is_link_level());
+        // Permanent errors are never link-level.
+        assert!(!TmError::Closed.is_link_level());
+        assert!(!TmError::Protocol("x".into()).is_link_level());
+        assert!(!TmError::NoRoute { from: pair.0, to: pair.1 }.is_link_level());
+        // Every link-level error is also transient.
+        for e in [
+            TmError::LinkDown { from: pair.0, to: pair.1 },
+            TmError::Fabric(FabricError::NoMapping { from: pair.0, to: pair.1 }),
+            TmError::Fabric(FabricError::MappingLimit { node: pair.0, limit: 1 }),
+        ] {
+            assert!(e.is_transient(), "{e}");
+        }
     }
 
     #[test]

@@ -8,13 +8,12 @@
 //! latencies (so bench reports can show recovery overhead next to the
 //! happy path) while tests stay fast and deterministic.
 //!
-//! [`is_retryable`] is the single classification point for "may another
-//! attempt succeed?": timeouts and down links obviously qualify; so do
-//! mapping-table failures, because the arbitration layer can re-establish
-//! a mapping or the selector can fail the flow over to another fabric.
+//! Error *classification* lives on [`TmError`] itself
+//! ([`TmError::is_transient`], [`TmError::is_link_level`]); the free
+//! function [`is_retryable`] is kept as a compatibility alias for
+//! middleware crates built against it.
 
 use crate::error::TmError;
-use padico_fabric::FabricError;
 use padico_util::simtime::{SimClock, VtDuration, MS, US};
 use padico_util::stats::{global_recovery, RecoveryStats};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -85,18 +84,9 @@ impl RetryPolicy {
 }
 
 /// Whether another attempt (possibly over another fabric) may succeed.
+/// Compatibility alias for [`TmError::is_transient`].
 pub fn is_retryable(err: &TmError) -> bool {
-    match err {
-        TmError::LinkDown { .. } | TmError::Timeout(_) => true,
-        TmError::Fabric(fe) => matches!(
-            fe,
-            FabricError::NoMapping { .. }
-                | FabricError::MappingLimit { .. }
-                | FabricError::Unreachable { .. }
-                | FabricError::LinkDown { .. }
-        ),
-        _ => false,
-    }
+    err.is_transient()
 }
 
 #[cfg(test)]
@@ -128,27 +118,20 @@ mod tests {
     }
 
     #[test]
-    fn retryability_classification() {
-        assert!(is_retryable(&TmError::Timeout("x".into())));
-        assert!(is_retryable(&TmError::LinkDown {
-            from: NodeId(0),
-            to: NodeId(1)
-        }));
-        assert!(is_retryable(&TmError::Fabric(FabricError::NoMapping {
-            from: NodeId(0),
-            to: NodeId(1)
-        })));
-        assert!(is_retryable(&TmError::Fabric(FabricError::Unreachable {
-            to: NodeId(1),
-            port: 9
-        })));
-        assert!(!is_retryable(&TmError::Closed));
-        assert!(!is_retryable(&TmError::Protocol("bad header".into())));
-        assert!(!is_retryable(&TmError::Fabric(FabricError::Closed)));
-        assert!(!is_retryable(&TmError::NoRoute {
-            from: NodeId(0),
-            to: NodeId(1)
-        }));
+    fn is_retryable_aliases_error_classification() {
+        // Full per-variant coverage lives in `crate::error`; the alias must
+        // agree with it.
+        for e in [
+            TmError::Timeout("x".into()),
+            TmError::Closed,
+            TmError::LinkDown {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            TmError::Protocol("bad header".into()),
+        ] {
+            assert_eq!(is_retryable(&e), e.is_transient(), "{e}");
+        }
     }
 
     #[test]

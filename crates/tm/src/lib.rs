@@ -10,11 +10,15 @@
 //!    fabric, multiplexes logical channels over each attachment, and runs a
 //!    single coherent I/O loop per node so that concurrent middleware
 //!    polling loops cooperate instead of competing.
-//! 2. **Abstraction layer** ([`circuit`], [`vlink`], [`selector`]) — two
-//!    paradigm-true interfaces offered on top of *every* arbitrated
-//!    driver: [`circuit::Circuit`] (parallel-oriented: static group,
-//!    logical ranks, messages) and [`vlink::VLinkStream`]
-//!    (distributed-oriented: dynamic streams). Mappings can be *straight*
+//! 2. **Abstraction layer** ([`driver`], [`circuit`], [`vlink`],
+//!    [`selector`]) — two paradigm-true interfaces offered on top of
+//!    *every* arbitrated driver: [`circuit::Circuit`] (parallel-oriented:
+//!    static group, logical ranks, messages) and [`vlink::VLinkStream`]
+//!    (distributed-oriented: dynamic streams). Both are thin adapters
+//!    over one shared link state machine, [`driver::LinkCore`], which
+//!    owns route selection, retry/backoff, cross-paradigm failover and
+//!    span emission exactly once; the [`driver::ArbitratedDriver`] trait
+//!    is the upward-facing capability API. Mappings can be *straight*
 //!    (Circuit on Myrinet) or *cross-paradigm* (VLink on Myrinet, Circuit
 //!    on sockets); the [`selector`] picks the best fabric automatically
 //!    and transparently.
@@ -28,6 +32,7 @@
 
 pub mod arbitration;
 pub mod circuit;
+pub mod driver;
 pub mod error;
 pub mod faults;
 pub mod module;
@@ -39,6 +44,7 @@ pub mod vlink;
 
 pub use arbitration::{ChannelRx, NetAccess, TM_SERVICE_PORT};
 pub use circuit::{Circuit, CircuitSpec};
+pub use driver::{ArbitratedDriver, LinkCore};
 pub use error::TmError;
 pub use faults::{is_retryable, RetryPolicy};
 pub use module::{ModuleManager, PadicoModule};

@@ -16,6 +16,7 @@ use padico_fabric::model::charge_copy;
 use padico_fabric::Payload;
 
 use crate::circuit::Circuit;
+use crate::driver::ArbitratedDriver;
 use crate::error::TmError;
 
 /// Madeleine send modes (subset).
