@@ -9,6 +9,7 @@ use padico_fabric::{FabricKind, Payload};
 use padico_orb::orb::Orb;
 use padico_orb::profile::OrbProfile;
 use padico_tm::circuit::CircuitSpec;
+use padico_tm::ArbitratedDriver;
 use padico_tm::runtime::PadicoTM;
 use padico_tm::selector::FabricChoice;
 use std::sync::Arc;
@@ -32,12 +33,70 @@ fn bench_circuit_roundtrip(c: &mut Criterion) {
         });
     }
     let mut group = c.benchmark_group("circuit_roundtrip");
-    for size in [64usize, 64 << 10] {
+    for size in [8usize, 64, 64 << 10] {
         group.throughput(Throughput::Bytes(2 * size as u64));
         let payload = vec![0u8; size];
         group.bench_function(format!("{size}B"), |b| {
             b.iter(|| {
                 c0.send(1, 0, Payload::from_vec(payload.clone())).unwrap();
+                c0.recv().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Overhead per small message under a 64-frame burst: every iteration
+/// sends 64 eight-byte frames, flushes, and waits for a one-byte ack
+/// from the echo side. Run once with per-frame wire messages and once
+/// with small-message coalescing, so the reported per-element times are
+/// directly comparable.
+fn bench_small_burst(c: &mut Criterion) {
+    use padico_tm::runtime::{CoalescePolicy, TmConfig};
+
+    const BURST: usize = 64;
+
+    let build = |coalesce: bool| {
+        let (topo, ids) = single_cluster(2);
+        let cfg = TmConfig {
+            coalesce: coalesce.then(CoalescePolicy::default),
+            ..TmConfig::default()
+        };
+        let tms = PadicoTM::boot_all_with_config(Arc::new(topo), cfg).unwrap();
+        let spec =
+            CircuitSpec::new("burst", ids).with_choice(FabricChoice::Kind(FabricKind::Myrinet));
+        let c0 = Arc::new(tms[0].circuit(spec.clone()).unwrap());
+        let c1 = Arc::new(tms[1].circuit(spec).unwrap());
+        // Ack thread: swallow one burst, answer with a single byte.
+        {
+            let c1 = Arc::clone(&c1);
+            std::thread::spawn(move || loop {
+                for _ in 0..BURST {
+                    if c1.recv().is_err() {
+                        return;
+                    }
+                }
+                if c1.send(0, 0, Payload::from_vec(vec![1u8])).is_err() {
+                    return;
+                }
+                if c1.core().flush().is_err() {
+                    return;
+                }
+            });
+        }
+        c0
+    };
+
+    let mut group = c.benchmark_group("small_burst");
+    group.throughput(Throughput::Elements(BURST as u64));
+    for (label, coalesce) in [("uncoalesced", false), ("coalesced", true)] {
+        let c0 = build(coalesce);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for i in 0..BURST {
+                    c0.send(1, i as u64, Payload::from_vec(vec![0u8; 8])).unwrap();
+                }
+                c0.core().flush().unwrap();
                 c0.recv().unwrap()
             })
         });
@@ -122,6 +181,6 @@ fn bench_orb_invocation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_circuit_roundtrip, bench_vlink_roundtrip, bench_orb_invocation
+    targets = bench_circuit_roundtrip, bench_small_burst, bench_vlink_roundtrip, bench_orb_invocation
 }
 criterion_main!(benches);

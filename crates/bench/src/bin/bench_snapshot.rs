@@ -11,6 +11,65 @@ use padico_core::redistribute::schedule_cache_stats;
 use padico_fabric::FabricKind;
 use padico_orb::profile::OrbProfile;
 
+/// Small-message burst round-trips through a two-node Myrinet circuit:
+/// each round sends `burst` eight-byte frames, flushes, and waits for a
+/// one-byte ack from a peer thread that drained them — so the number
+/// includes the receive-side wakeup cost per wire message, which is
+/// exactly what coalescing amortizes. Returns wall-clock nanoseconds
+/// per message over `rounds` rounds.
+fn small_burst(coalesce: bool, burst: usize, rounds: usize) -> f64 {
+    use padico_fabric::topology::single_cluster;
+    use padico_fabric::Payload;
+    use padico_tm::selector::FabricChoice;
+    use padico_tm::{ArbitratedDriver, CircuitSpec, CoalescePolicy, PadicoTM, TmConfig};
+    use std::sync::Arc;
+
+    let (topo, ids) = single_cluster(2);
+    let cfg = TmConfig {
+        coalesce: coalesce.then(CoalescePolicy::default),
+        ..TmConfig::default()
+    };
+    let tms = PadicoTM::boot_all_with_config(Arc::new(topo), cfg).unwrap();
+    let spec =
+        CircuitSpec::new("snapshot-burst", ids).with_choice(FabricChoice::Kind(FabricKind::Myrinet));
+    let c0 = tms[0].circuit(spec.clone()).unwrap();
+    let c1 = Arc::new(tms[1].circuit(spec).unwrap());
+    {
+        let c1 = Arc::clone(&c1);
+        std::thread::spawn(move || loop {
+            for _ in 0..burst {
+                if c1.recv().is_err() {
+                    return;
+                }
+            }
+            if c1.send(0, 0, Payload::from_vec(vec![1u8])).is_err()
+                || c1.core().flush().is_err()
+            {
+                return;
+            }
+        });
+    }
+
+    let round = |h: u64| {
+        for i in 0..burst {
+            c0.send(1, h * burst as u64 + i as u64, Payload::from_vec(vec![0u8; 8]))
+                .unwrap();
+        }
+        c0.core().flush().unwrap();
+        c0.recv().unwrap();
+    };
+    // Warm the pool shelves and the route so the measured loop is the
+    // steady state.
+    for r in 0..4 {
+        round(r);
+    }
+    let start = std::time::Instant::now();
+    for r in 0..rounds {
+        round((4 + r) as u64);
+    }
+    start.elapsed().as_nanos() as f64 / (rounds * burst) as f64
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let date = args.next().unwrap_or_else(|| "undated".into());
@@ -33,6 +92,13 @@ fn main() {
         4,
     );
     let cache = schedule_cache_stats();
+    eprintln!("running small-message burst (coalesced vs per-frame)...");
+    const BURST_MSGS: usize = 64;
+    const BURST_ROUNDS: usize = 32;
+    let burst_plain_ns = small_burst(false, BURST_MSGS, BURST_ROUNDS);
+    let burst_coalesced_ns = small_burst(true, BURST_MSGS, BURST_ROUNDS);
+    let pool = padico_fabric::pool::stats();
+    let coalesce = padico_tm::coalesce_stats();
 
     // Everything the runs above left in the observability layer: span
     // latency histograms, per-fabric byte counters, recovery totals.
@@ -77,6 +143,33 @@ fn main() {
             format!(
                 "{{\"hits\":{},\"misses\":{},\"evictions\":{}}}",
                 cache.hits, cache.misses, cache.evictions
+            ),
+        ),
+        // Wall-clock cost per 8-byte message over acked 64-message
+        // bursts, with per-frame wire messages vs coalescing.
+        (
+            "small_message_burst",
+            format!(
+                "{{\"burst\":{},\"rounds\":{},\"uncoalesced_ns_per_msg\":{:.1},\
+                 \"coalesced_ns_per_msg\":{:.1}}}",
+                BURST_MSGS, BURST_ROUNDS, burst_plain_ns, burst_coalesced_ns
+            ),
+        ),
+        // Segment-pool traffic accumulated over every run above: a warm
+        // steady state shows hits dwarfing misses.
+        (
+            "pool",
+            format!(
+                "{{\"pool_hits\":{},\"pool_misses\":{},\"pool_returns\":{},\
+                 \"pool_outstanding\":{}}}",
+                pool.hits, pool.misses, pool.returns, pool.outstanding
+            ),
+        ),
+        (
+            "coalesce",
+            format!(
+                "{{\"frames_coalesced\":{},\"coalesce_flushes\":{}}}",
+                coalesce.frames_coalesced, coalesce.flushes
             ),
         ),
         // Retry/failover work done across every run above — shows the

@@ -14,15 +14,24 @@ use padico_util::span::{self, CriticalPath, Span};
 
 use crate::redistribute::schedule_cache_stats;
 
-/// The metrics registry plus recovery counters plus schedule-cache
-/// counters, merged under deterministic names.
+/// The metrics registry plus recovery counters plus schedule-cache,
+/// segment-pool and coalescing counters, merged under deterministic
+/// names.
 pub fn metrics_snapshot() -> MetricsSnapshot {
     let mut snap = padico_util::metrics::snapshot_with_recovery();
     let cache = schedule_cache_stats();
+    let pool = padico_fabric::pool::stats();
+    let coalesce = padico_tm::coalesce_stats();
     for (name, v) in [
         ("schedule_cache.hits", cache.hits),
         ("schedule_cache.misses", cache.misses),
         ("schedule_cache.evictions", cache.evictions),
+        ("pool.hits", pool.hits),
+        ("pool.misses", pool.misses),
+        ("pool.returns", pool.returns),
+        ("pool.outstanding", pool.outstanding),
+        ("tm.coalesce.frames_coalesced", coalesce.frames_coalesced),
+        ("tm.coalesce.flushes", coalesce.flushes),
     ] {
         snap.counters.insert(name.to_string(), v);
     }
@@ -101,6 +110,13 @@ mod tests {
         assert!(snap.metrics.counters.contains_key("schedule_cache.hits"));
         assert!(snap.metrics.counters.contains_key("schedule_cache.misses"));
         assert!(snap.metrics.counters.contains_key("recovery.giop_retries"));
+        assert!(snap.metrics.counters.contains_key("pool.hits"));
+        assert!(snap.metrics.counters.contains_key("pool.misses"));
+        assert!(snap
+            .metrics
+            .counters
+            .contains_key("tm.coalesce.frames_coalesced"));
+        assert!(snap.metrics.counters.contains_key("tm.coalesce.flushes"));
         let rendered = snap.render();
         assert!(rendered.contains("counter schedule_cache.misses"));
         assert!(rendered.contains("spans: "));

@@ -383,9 +383,150 @@ pub fn read_reply(r: &mut CdrReader) -> Result<WireReply, GridCcmError> {
     }
 }
 
+/// One merged copy in a scatter plan: `len` bytes of chunk `chunk`'s
+/// data, starting at `src`, land at byte `dst` of the local block.
+struct CopyPiece {
+    dst: usize,
+    src: usize,
+    chunk: usize,
+    len: usize,
+}
+
+/// Build the run-merged copy plan for scattering `chunks` into a local
+/// block of `total_bytes`. A chunk whose pieces are contiguous in the
+/// destination (`count == 1`, or `dst_stride == chunk_elems`) collapses
+/// to a single memcpy; strided chunks contribute one piece per
+/// repetition. The sorted plan is validated to tile the block exactly —
+/// every byte written once — which is what lets the scatter run into
+/// uninitialized storage.
+fn build_scatter_plan(
+    es: u64,
+    local_elems: u64,
+    chunks: &[Chunk],
+) -> Result<Vec<CopyPiece>, GridCcmError> {
+    let total_bytes = (local_elems * es) as usize;
+    let mut plan = Vec::with_capacity(chunks.len());
+    for (ci, c) in chunks.iter().enumerate() {
+        let piece_bytes = (c.chunk_elems * es) as usize;
+        if c.count * c.chunk_elems * es != c.data.len() as u64 {
+            return Err(GridCcmError::Protocol(format!(
+                "chunk carries {} bytes but declares {} pieces of {} bytes",
+                c.data.len(),
+                c.count,
+                piece_bytes
+            )));
+        }
+        if c.count == 0 || c.chunk_elems == 0 {
+            continue;
+        }
+        let last_start = c.dst_offset + (c.count - 1) * c.dst_stride;
+        if ((last_start + c.chunk_elems) * es) as usize > total_bytes {
+            return Err(GridCcmError::Protocol(format!(
+                "chunk at element {} (stride {}, count {}) overruns local block of {local_elems} elements",
+                c.dst_offset, c.dst_stride, c.count
+            )));
+        }
+        if c.count == 1 || c.dst_stride == c.chunk_elems {
+            // Contiguous run: the whole chunk is one memcpy.
+            plan.push(CopyPiece {
+                dst: (c.dst_offset * es) as usize,
+                src: 0,
+                chunk: ci,
+                len: c.data.len(),
+            });
+        } else {
+            for k in 0..c.count as usize {
+                plan.push(CopyPiece {
+                    dst: ((c.dst_offset + k as u64 * c.dst_stride) * es) as usize,
+                    src: k * piece_bytes,
+                    chunk: ci,
+                    len: piece_bytes,
+                });
+            }
+        }
+    }
+    plan.sort_unstable_by_key(|p| p.dst);
+    let mut expected = 0usize;
+    for p in &plan {
+        if p.dst != expected {
+            return Err(GridCcmError::Protocol(format!(
+                "assembled {} bytes, local block needs {total_bytes}",
+                plan.iter().map(|p| p.len).sum::<usize>()
+            )));
+        }
+        expected += p.len;
+    }
+    if expected != total_bytes {
+        return Err(GridCcmError::Protocol(format!(
+            "assembled {expected} bytes, local block needs {total_bytes}"
+        )));
+    }
+    Ok(plan)
+}
+
+/// Copy one merged run. The default is a plain `memcpy`; the `simd`
+/// feature swaps in a 64-byte-block loop over unaligned word loads —
+/// the exact shape a `std::simd` port would vectorize, kept on stable
+/// by using `[u8; 64]` as the vector type.
+#[cfg(not(feature = "simd"))]
+#[inline]
+unsafe fn copy_run(dst: *mut u8, src: &[u8]) {
+    std::ptr::copy_nonoverlapping(src.as_ptr(), dst, src.len());
+}
+
+#[cfg(feature = "simd")]
+#[inline]
+unsafe fn copy_run(dst: *mut u8, src: &[u8]) {
+    const BLOCK: usize = 64;
+    let mut off = 0;
+    while off + BLOCK <= src.len() {
+        let v = std::ptr::read_unaligned(src.as_ptr().add(off).cast::<[u8; BLOCK]>());
+        std::ptr::write_unaligned(dst.add(off).cast::<[u8; BLOCK]>(), v);
+        off += BLOCK;
+    }
+    std::ptr::copy_nonoverlapping(src.as_ptr().add(off), dst.add(off), src.len() - off);
+}
+
+/// Run a validated plan into `out`'s spare capacity (at least
+/// `total_bytes` of it). The tiling check in [`build_scatter_plan`]
+/// guarantees every byte of `0..total_bytes` is written exactly once, so
+/// the buffer never needs zeroing.
+fn run_scatter_plan(plan: &[CopyPiece], chunks: &[Chunk], total_bytes: usize, out: &mut Vec<u8>) {
+    debug_assert!(out.capacity() >= total_bytes && out.is_empty());
+    let base = out.as_mut_ptr();
+    for p in plan {
+        let src = &chunks[p.chunk].data[p.src..p.src + p.len];
+        // SAFETY: the plan tiles [0, total_bytes) exactly (validated),
+        // total_bytes fits in `out`'s capacity, and src/dst never overlap
+        // (dst is freshly leased storage).
+        unsafe { copy_run(base.add(p.dst), src) };
+    }
+    // SAFETY: all total_bytes bytes were just initialized by the plan.
+    unsafe { out.set_len(total_bytes) };
+}
+
+/// The zero-copy identity case: one chunk whose single contiguous run
+/// IS the whole local block. `Bytes` is immutable, so handing back a
+/// reference to the received chunk is indistinguishable from a copy.
+fn whole_block_chunk<'a>(
+    plan: &[CopyPiece],
+    chunks: &'a [Chunk],
+    total_bytes: usize,
+) -> Option<&'a Bytes> {
+    match plan {
+        [p] if p.src == 0 && p.len == total_bytes && chunks[p.chunk].data.len() == total_bytes => {
+            Some(&chunks[p.chunk].data)
+        }
+        _ => None,
+    }
+}
+
 /// Assemble a local block from received strided chunk sets: scatter each
-/// chunk's concatenated pieces to their strided destinations. Validates
-/// exact tiling (every local byte written exactly once in aggregate).
+/// chunk's concatenated pieces to their strided destinations via a
+/// run-merged copy plan. Validates exact tiling (every local byte
+/// written exactly once). A block that arrives as one contiguous chunk
+/// is handed back without copying; otherwise the result lives in a
+/// pooled slab, recycled when the last reference drops.
 pub fn assemble_block(
     elem_size: u32,
     local_elems: u64,
@@ -393,30 +534,27 @@ pub fn assemble_block(
 ) -> Result<Bytes, GridCcmError> {
     let es = u64::from(elem_size);
     let total_bytes = (local_elems * es) as usize;
-    let mut buf = vec![0u8; total_bytes];
-    let mut covered = 0u64;
-    for c in chunks {
-        let piece_bytes = (c.chunk_elems * es) as usize;
-        let last_start = c.dst_offset + c.count.saturating_sub(1) * c.dst_stride;
-        if ((last_start + c.chunk_elems) * es) as usize > total_bytes {
-            return Err(GridCcmError::Protocol(format!(
-                "chunk at element {} (stride {}, count {}) overruns local block of {local_elems} elements",
-                c.dst_offset, c.dst_stride, c.count
-            )));
-        }
-        for k in 0..c.count as usize {
-            let dst = ((c.dst_offset + k as u64 * c.dst_stride) * es) as usize;
-            buf[dst..dst + piece_bytes]
-                .copy_from_slice(&c.data[k * piece_bytes..(k + 1) * piece_bytes]);
-        }
-        covered += c.data.len() as u64;
+    let plan = build_scatter_plan(es, local_elems, chunks)?;
+    if let Some(whole) = whole_block_chunk(&plan, chunks, total_bytes) {
+        return Ok(whole.clone());
     }
-    if covered != local_elems * es {
-        return Err(GridCcmError::Protocol(format!(
-            "assembled {covered} bytes, local block needs {}",
-            local_elems * es
-        )));
-    }
+    let mut buf = padico_fabric::pool::lease(total_bytes);
+    run_scatter_plan(&plan, chunks, total_bytes, &mut buf);
+    Ok(buf.freeze())
+}
+
+/// [`assemble_block`] into a freshly allocated (non-pooled) buffer —
+/// kept public so benches can measure the pool's contribution.
+pub fn assemble_block_unpooled(
+    elem_size: u32,
+    local_elems: u64,
+    chunks: &[Chunk],
+) -> Result<Bytes, GridCcmError> {
+    let es = u64::from(elem_size);
+    let total_bytes = (local_elems * es) as usize;
+    let plan = build_scatter_plan(es, local_elems, chunks)?;
+    let mut buf = Vec::with_capacity(total_bytes);
+    run_scatter_plan(&plan, chunks, total_bytes, &mut buf);
     Ok(Bytes::from(buf))
 }
 

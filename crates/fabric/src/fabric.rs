@@ -543,7 +543,7 @@ impl SimFabric {
         // a fresh "kernel buffer" on socket-style fabrics. One gather-copy,
         // matching the single copy `pre_wire_sender_cost` charges.
         let payload = if self.model.kernel_copy && len > 0 {
-            Payload::from_vec(payload.to_vec())
+            Payload::from_bytes(payload.to_pooled_contiguous())
         } else {
             payload
         };

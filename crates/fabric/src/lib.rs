@@ -39,5 +39,5 @@ pub use fabric::{
 };
 pub use faults::{FaultInjector, FaultPlan, FaultSnapshot};
 pub use model::LinkModel;
-pub use payload::Payload;
+pub use payload::{pool, Payload};
 pub use topology::{NodeInfo, SecurityZone, Topology, TopologyBuilder};

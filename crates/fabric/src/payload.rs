@@ -51,10 +51,19 @@ impl Payload {
     }
 
     /// Append another payload's segments by reference (no copy).
-    pub fn append(&mut self, other: Payload) {
-        for seg in other.segments {
-            self.push_segment(seg);
-        }
+    ///
+    /// Bulk move: `other` already excludes empty segments (the
+    /// [`Payload::push_segment`] invariant), so the whole segment vector
+    /// transfers in one `Vec::append` and `len` updates once.
+    pub fn append(&mut self, mut other: Payload) {
+        self.len += other.len;
+        self.segments.append(&mut other.segments);
+    }
+
+    /// The first byte of the payload, if any — a peek that never copies
+    /// or flattens. Protocol layers use this for 1-byte kind tags.
+    pub fn first_byte(&self) -> Option<u8> {
+        self.segments.first().and_then(|s| s.first()).copied()
     }
 
     /// Total byte length.
@@ -69,6 +78,12 @@ impl Payload {
 
     /// Number of segments (1 for a freshly built contiguous payload).
     pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of segments — `bytes`-style accessor so callers need not
+    /// materialize an iterator just to count.
+    pub fn segments_len(&self) -> usize {
         self.segments.len()
     }
 
@@ -135,6 +150,18 @@ impl Payload {
         (head, tail)
     }
 
+    /// Gather-copy every segment into one **pooled** slab (always a
+    /// physical copy — the caller wants its own storage, e.g. the fabric's
+    /// kernel-copy receive model). The slab returns to the pool when the
+    /// last reference to the resulting `Bytes` drops.
+    pub fn to_pooled_contiguous(&self) -> Bytes {
+        let mut buf = pool::lease(self.len);
+        for seg in &self.segments {
+            buf.extend_from_slice(seg);
+        }
+        buf.freeze()
+    }
+
     /// Copy out into a fresh `Vec<u8>` (always a physical copy).
     pub fn to_vec(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(self.len);
@@ -173,6 +200,252 @@ impl Payload {
             out.push(chunk);
         }
         out
+    }
+}
+
+/// A process-global slab pool for hot-path scratch buffers.
+///
+/// Wire layers (frame headers, SYN packets, cipher scratch, CDR copy
+/// profiles, kernel-copy receives) used to allocate a fresh `Vec` per
+/// message. [`lease`] instead hands out a recycled slab of the next
+/// size class up; [`PooledBuf::freeze`] turns it into an immutable
+/// [`Bytes`] whose backing `Vec` flows back onto the shelf when the
+/// last reference drops — even if a receiver held the segment for a
+/// while. Steady-state traffic therefore allocates nothing.
+///
+/// Counters live in module-local atomics (not the metrics registry):
+/// pool traffic depends on wall-clock thread interleaving, and the
+/// registry's renders must stay byte-identical across same-seed chaos
+/// runs. [`stats`] exposes them; the observability layer folds them
+/// into snapshots as `pool.*`.
+pub mod pool {
+    use bytes::Bytes;
+    use parking_lot::Mutex;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    /// Slab size classes, 64 B to 1 MiB. A lease rounds up to the next
+    /// class; larger requests are served exactly (and shelved by their
+    /// true capacity on return).
+    pub const CLASS_SIZES: [usize; 8] = [
+        64,
+        256,
+        1024,
+        4096,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+    ];
+
+    /// At most this many idle slabs kept per class; surplus returns are
+    /// simply freed.
+    const PER_CLASS_CAP: usize = 64;
+
+    /// Idle slabs, one shelf per size class (lazily sized on first use).
+    static SHELVES: Mutex<Vec<Vec<Vec<u8>>>> = Mutex::new(Vec::new());
+
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    static MISSES: AtomicU64 = AtomicU64::new(0);
+    static RETURNS: AtomicU64 = AtomicU64::new(0);
+    static OUTSTANDING: AtomicU64 = AtomicU64::new(0);
+
+    /// A point-in-time view of the pool counters.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct PoolStats {
+        /// Leases served from a shelf (no allocation).
+        pub hits: u64,
+        /// Leases that had to allocate (cold shelf or oversize).
+        pub misses: u64,
+        /// Slabs handed back (from drop or from a frozen segment's last
+        /// reference dropping).
+        pub returns: u64,
+        /// Slabs currently leased out (including frozen, still-referenced
+        /// segments).
+        pub outstanding: u64,
+    }
+
+    /// Current pool counters.
+    pub fn stats() -> PoolStats {
+        PoolStats {
+            hits: HITS.load(Relaxed),
+            misses: MISSES.load(Relaxed),
+            returns: RETURNS.load(Relaxed),
+            outstanding: OUTSTANDING.load(Relaxed),
+        }
+    }
+
+    fn class_for_lease(min: usize) -> Option<usize> {
+        CLASS_SIZES.iter().position(|&c| c >= min)
+    }
+
+    fn give_back(vec: Vec<u8>) {
+        RETURNS.fetch_add(1, Relaxed);
+        OUTSTANDING.fetch_sub(1, Relaxed);
+        // Shelve under the largest class the slab can serve.
+        let Some(class) = CLASS_SIZES.iter().rposition(|&c| c <= vec.capacity()) else {
+            return;
+        };
+        let mut shelves = SHELVES.lock();
+        if shelves.is_empty() {
+            shelves.resize_with(CLASS_SIZES.len(), Vec::new);
+        }
+        let shelf = &mut shelves[class];
+        if shelf.len() < PER_CLASS_CAP {
+            shelf.push(vec);
+        }
+    }
+
+    /// Lease a cleared slab with capacity for at least `min` bytes.
+    pub fn lease(min: usize) -> PooledBuf {
+        OUTSTANDING.fetch_add(1, Relaxed);
+        if let Some(class) = class_for_lease(min) {
+            let recycled = {
+                let mut shelves = SHELVES.lock();
+                shelves.get_mut(class).and_then(Vec::pop)
+            };
+            if let Some(mut vec) = recycled {
+                HITS.fetch_add(1, Relaxed);
+                vec.clear();
+                return PooledBuf { vec, pooled: true };
+            }
+            MISSES.fetch_add(1, Relaxed);
+            return PooledBuf {
+                vec: Vec::with_capacity(CLASS_SIZES[class]),
+                pooled: true,
+            };
+        }
+        // Oversize: allocate exactly; the return path shelves it by its
+        // real capacity, so giants still recycle.
+        MISSES.fetch_add(1, Relaxed);
+        PooledBuf {
+            vec: Vec::with_capacity(min),
+            pooled: true,
+        }
+    }
+
+    /// Copy `data` into a pooled slab frozen as one immutable segment.
+    pub fn pooled_copy(data: &[u8]) -> Bytes {
+        let mut buf = lease(data.len());
+        buf.extend_from_slice(data);
+        buf.freeze()
+    }
+
+    /// A leased slab. Dereferences to its `Vec<u8>`; hand it back by
+    /// dropping it, or [`PooledBuf::freeze`] it into a [`Bytes`] that
+    /// returns the slab when its last reference drops.
+    #[derive(Debug)]
+    pub struct PooledBuf {
+        vec: Vec<u8>,
+        pooled: bool,
+    }
+
+    impl PooledBuf {
+        /// Freeze into an immutable segment. The backing slab rejoins the
+        /// pool when the last `Bytes` referencing it drops.
+        pub fn freeze(mut self) -> Bytes {
+            let vec = std::mem::take(&mut self.vec);
+            let pooled = self.pooled;
+            std::mem::forget(self);
+            if pooled {
+                Bytes::from_reclaimable(vec, give_back)
+            } else {
+                Bytes::from(vec)
+            }
+        }
+    }
+
+    impl Default for PooledBuf {
+        /// An **unpooled** placeholder (e.g. for `mem::take`): dropping or
+        /// freezing it never touches the pool accounting.
+        fn default() -> Self {
+            PooledBuf {
+                vec: Vec::new(),
+                pooled: false,
+            }
+        }
+    }
+
+    impl Drop for PooledBuf {
+        fn drop(&mut self) {
+            if self.pooled {
+                give_back(std::mem::take(&mut self.vec));
+            }
+        }
+    }
+
+    impl Deref for PooledBuf {
+        type Target = Vec<u8>;
+        fn deref(&self) -> &Vec<u8> {
+            &self.vec
+        }
+    }
+
+    impl DerefMut for PooledBuf {
+        fn deref_mut(&mut self) -> &mut Vec<u8> {
+            &mut self.vec
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn lease_rounds_up_and_recycles() {
+            let before = stats();
+            let buf = lease(100);
+            assert!(buf.capacity() >= 256, "100 B rounds up to the 256 class");
+            drop(buf);
+            // The shelf now holds that slab; the next lease of the same
+            // class must hit.
+            let buf = lease(200);
+            let after = stats();
+            assert!(after.hits > before.hits, "second lease served from shelf");
+            drop(buf);
+        }
+
+        #[test]
+        fn frozen_segment_returns_slab_on_last_drop() {
+            let mut buf = lease(64);
+            buf.extend_from_slice(b"hdr");
+            let before = stats();
+            let seg = buf.freeze();
+            let copy = seg.clone();
+            drop(seg);
+            assert_eq!(stats().returns, before.returns, "clone still alive");
+            drop(copy);
+            let after = stats();
+            assert_eq!(after.returns, before.returns + 1);
+            assert_eq!(after.outstanding, before.outstanding - 1);
+        }
+
+        #[test]
+        fn oversize_lease_allocates_exactly_and_still_recycles() {
+            let huge = 3 << 20;
+            let buf = lease(huge);
+            assert!(buf.capacity() >= huge);
+            let before = stats();
+            drop(buf);
+            assert_eq!(stats().returns, before.returns + 1);
+        }
+
+        #[test]
+        fn default_pooledbuf_is_inert() {
+            let before = stats();
+            let buf = PooledBuf::default();
+            let b = buf.freeze();
+            assert!(b.is_empty());
+            drop(PooledBuf::default());
+            let after = stats();
+            assert_eq!(before, after, "unpooled placeholders never touch accounting");
+        }
+
+        #[test]
+        fn pooled_copy_matches_source() {
+            let b = pooled_copy(b"abcdef");
+            assert_eq!(&b[..], b"abcdef");
+        }
     }
 }
 
@@ -248,6 +521,38 @@ mod tests {
         let mut a = Payload::from_vec(vec![1, 2]);
         a.append(Payload::from_vec(vec![3]));
         assert_eq!(a.to_vec(), vec![1, 2, 3]);
+        // Bulk append moves every segment and fixes len in one step.
+        let mut b = Payload::new();
+        b.push_segment(Bytes::from_static(b"xy"));
+        b.push_segment(Bytes::from_static(b"z"));
+        a.append(b);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.segments_len(), 4);
+        assert_eq!(a.to_vec(), vec![1, 2, 3, b'x', b'y', b'z']);
+    }
+
+    #[test]
+    fn first_byte_peeks_without_flattening() {
+        assert_eq!(Payload::new().first_byte(), None);
+        let mut p = Payload::new();
+        p.push_segment(Bytes::from_static(b"k"));
+        p.push_segment(Bytes::from_static(b"body"));
+        assert_eq!(p.first_byte(), Some(b'k'));
+        assert_eq!(p.segment_count(), 2, "peek must not restructure");
+    }
+
+    #[test]
+    fn to_pooled_contiguous_copies_and_matches() {
+        let mut p = Payload::new();
+        p.push_segment(Bytes::from_static(b"ab"));
+        p.push_segment(Bytes::from_static(b"cd"));
+        let c = p.to_pooled_contiguous();
+        assert_eq!(&c[..], b"abcd");
+        // Always a physical copy, even for a single segment.
+        let single = Payload::from_vec(vec![7u8; 4]);
+        let c = single.to_pooled_contiguous();
+        assert_ne!(c.as_ptr(), single.segments().next().unwrap().as_ptr());
+        assert_eq!(&c[..], &[7u8; 4]);
     }
 
     #[test]

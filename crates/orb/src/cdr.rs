@@ -21,6 +21,7 @@
 //! library).
 
 use bytes::Bytes;
+use padico_fabric::pool::{self, PooledBuf};
 use padico_fabric::Payload;
 
 use crate::error::OrbError;
@@ -35,8 +36,9 @@ pub struct CdrWriter {
     strategy: MarshalStrategy,
     /// Completed segments (zero-copy splices and flushed buffers).
     out: Payload,
-    /// Current append buffer.
-    buf: Vec<u8>,
+    /// Current append buffer — a pooled scratch slab, recycled between
+    /// messages instead of allocated per message.
+    buf: PooledBuf,
     /// Global offset = bytes already in `out` + `buf`.
     offset: usize,
 }
@@ -46,7 +48,7 @@ impl CdrWriter {
         CdrWriter {
             strategy,
             out: Payload::new(),
-            buf: Vec::new(),
+            buf: pool::lease(256),
             offset: 0,
         }
     }
@@ -132,8 +134,8 @@ impl CdrWriter {
                 // Splice: flush the scratch buffer, then hand the bytes
                 // off by reference.
                 if !self.buf.is_empty() {
-                    let flushed = std::mem::take(&mut self.buf);
-                    self.out.push_segment(Bytes::from(flushed));
+                    let flushed = std::mem::replace(&mut self.buf, pool::lease(256));
+                    self.out.push_segment(flushed.freeze());
                 }
                 self.offset += data.len();
                 self.out.push_segment(data);
@@ -161,8 +163,8 @@ impl CdrWriter {
             match self.strategy {
                 MarshalStrategy::ZeroCopy if part.len() >= ZERO_COPY_THRESHOLD => {
                     if !self.buf.is_empty() {
-                        let flushed = std::mem::take(&mut self.buf);
-                        self.out.push_segment(Bytes::from(flushed));
+                        let flushed = std::mem::replace(&mut self.buf, pool::lease(256));
+                        self.out.push_segment(flushed.freeze());
                     }
                     self.offset += part.len();
                     self.out.push_segment(part);
@@ -204,8 +206,10 @@ impl CdrWriter {
     /// Finish and return the encoded payload.
     pub fn finish(mut self) -> Payload {
         if !self.buf.is_empty() {
+            // `take` leaves an inert unpooled placeholder, so no lease is
+            // wasted on a writer that is done.
             let flushed = std::mem::take(&mut self.buf);
-            self.out.push_segment(Bytes::from(flushed));
+            self.out.push_segment(flushed.freeze());
         }
         self.out
     }

@@ -15,7 +15,7 @@
 use bytes::Bytes;
 use padico_tm::runtime::PadicoTM;
 use padico_tm::selector::FabricChoice;
-use padico_tm::TmError;
+use padico_tm::{ArbitratedDriver, TmError};
 use padico_util::ids::{IdGen, NodeId};
 use padico_util::{trace_debug, trace_info};
 use parking_lot::Mutex;
@@ -97,7 +97,9 @@ impl ClientConn {
             None
         };
         let _w = self.write_lock.lock();
-        if let Err(e) = self.stream.write_payload(frame) {
+        // Reply waits ride a channel fed by the reader thread, not a recv
+        // on this core — flush so a coalesced request cannot sit queued.
+        if let Err(e) = self.stream.write_payload(frame).and_then(|()| self.stream.flush()) {
             if expect_reply {
                 self.pending.lock().remove(&request_id);
             }
@@ -333,7 +335,9 @@ impl Orb {
                 Ok(msg) => msg,
                 Err(_) => {
                     let _w = write_lock.lock();
-                    let _ = stream.write_payload(giop::encode_message_error());
+                    let _ = stream
+                        .write_payload(giop::encode_message_error())
+                        .and_then(|()| stream.flush());
                     continue;
                 }
             };
@@ -378,6 +382,7 @@ impl Orb {
                     let _w = write_lock.lock();
                     if stream
                         .write_payload(giop::encode_locate_reply(request_id, status))
+                        .and_then(|()| stream.flush())
                         .is_err()
                     {
                         return;
@@ -393,7 +398,9 @@ impl Orb {
                 GiopMessage::Reply { .. } | GiopMessage::LocateReply { .. } => {
                     // Client-role messages on a server connection.
                     let _w = write_lock.lock();
-                    let _ = stream.write_payload(giop::encode_message_error());
+                    let _ = stream
+                        .write_payload(giop::encode_message_error())
+                        .and_then(|()| stream.flush());
                 }
                 GiopMessage::MessageError => return,
             }
@@ -495,7 +502,7 @@ impl Orb {
             drop(dispatch_span);
             drop(ctx_guard);
             let _w = write_lock.lock();
-            let _ = stream.write_payload(frame);
+            let _ = stream.write_payload(frame).and_then(|()| stream.flush());
         }
     }
 
@@ -1143,6 +1150,7 @@ mod tests {
                 max_attempts: 6,
                 ..Default::default()
             },
+            ..Default::default()
         };
         let tms = PadicoTM::boot_all_with_config(Arc::clone(&topo), cfg).unwrap();
         let choice = FabricChoice::Kind(FabricKind::Myrinet);

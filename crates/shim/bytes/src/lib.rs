@@ -17,6 +17,23 @@ use std::sync::Arc;
 enum Repr {
     Static(&'static [u8]),
     Shared(Arc<Vec<u8>>),
+    Reclaim(Arc<ReclaimVec>),
+}
+
+/// A buffer that hands its `Vec` back to a reclaim hook when the last
+/// `Bytes` referencing it drops — how buffer pools recycle slabs that
+/// were frozen into immutable, refcounted segments.
+struct ReclaimVec {
+    vec: Option<Vec<u8>>,
+    reclaim: Option<Box<dyn FnOnce(Vec<u8>) + Send + Sync>>,
+}
+
+impl Drop for ReclaimVec {
+    fn drop(&mut self) {
+        if let (Some(vec), Some(reclaim)) = (self.vec.take(), self.reclaim.take()) {
+            reclaim(vec);
+        }
+    }
 }
 
 /// A cheaply cloneable, sliceable chunk of contiguous memory.
@@ -51,6 +68,25 @@ impl Bytes {
         Bytes::from(data.to_vec())
     }
 
+    /// Wrap `vec` so that when the last `Bytes` referencing it drops, the
+    /// `Vec` (capacity intact, contents unspecified) is handed to
+    /// `reclaim` instead of being freed. Buffer pools use this to get
+    /// slabs back from frozen segments.
+    pub fn from_reclaimable(
+        vec: Vec<u8>,
+        reclaim: impl FnOnce(Vec<u8>) + Send + Sync + 'static,
+    ) -> Bytes {
+        let len = vec.len();
+        Bytes {
+            repr: Repr::Reclaim(Arc::new(ReclaimVec {
+                vec: Some(vec),
+                reclaim: Some(Box::new(reclaim)),
+            })),
+            off: 0,
+            len,
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.len
     }
@@ -63,6 +99,9 @@ impl Bytes {
         match &self.repr {
             Repr::Static(s) => s,
             Repr::Shared(v) => v.as_slice(),
+            // `vec` is only taken in Drop, so it is always present while
+            // any Bytes still references this ReclaimVec.
+            Repr::Reclaim(r) => r.vec.as_deref().expect("reclaimed while referenced"),
         }
     }
 
@@ -325,6 +364,24 @@ mod tests {
         assert_eq!(s, Bytes::copy_from_slice(b"hello"));
         assert_eq!(s, b"hello".to_vec());
         assert!(format!("{s:?}").contains("hello"));
+    }
+
+    #[test]
+    fn reclaim_fires_once_on_last_drop_with_capacity_intact() {
+        use std::sync::Mutex;
+        let got: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&got);
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(b"abcdef");
+        let b = Bytes::from_reclaimable(v, move |v| sink.lock().unwrap().push(v));
+        let s = b.slice(2..4);
+        assert_eq!(&s[..], b"cd");
+        drop(b);
+        assert!(got.lock().unwrap().is_empty(), "slice still alive");
+        drop(s);
+        let returned = got.lock().unwrap();
+        assert_eq!(returned.len(), 1);
+        assert!(returned[0].capacity() >= 64);
     }
 
     #[test]

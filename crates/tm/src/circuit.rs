@@ -16,7 +16,7 @@
 //! zero-copy segment) to the payload; `user_header` is opaque transport
 //! space for the layer above (padico-mpi packs communicator+tag into it).
 
-use padico_fabric::{Paradigm, Payload};
+use padico_fabric::{pool, Paradigm, Payload};
 use padico_util::ids::{ChannelId, NodeId};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -130,10 +130,10 @@ impl Circuit {
             .get(dst_rank)
             .ok_or_else(|| TmError::Protocol(format!("rank {dst_rank} out of range")))?;
         let mut wire = Payload::new();
-        let mut hdr = [0u8; HEADER_LEN];
-        hdr[..4].copy_from_slice(&(self.my_rank as u32).to_le_bytes());
-        hdr[4..].copy_from_slice(&header.to_le_bytes());
-        wire.push_segment(bytes::Bytes::copy_from_slice(&hdr));
+        let mut hdr = pool::lease(HEADER_LEN);
+        hdr.extend_from_slice(&(self.my_rank as u32).to_le_bytes());
+        hdr.extend_from_slice(&header.to_le_bytes());
+        wire.push_segment(hdr.freeze());
         let body = if self.core.encrypt() {
             protect(self.key, &payload, self.core.clock())
         } else {

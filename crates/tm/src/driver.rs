@@ -33,18 +33,74 @@
 //! splits the caller's total timeout across them, and moves later attempts
 //! to the next-best fabric when the link itself is indicted.
 
-use padico_fabric::{Message, Paradigm, Payload};
+use padico_fabric::{pool, Message, Paradigm, Payload};
 use padico_util::ids::{ChannelId, NodeId};
 use padico_util::simtime::SimClock;
 use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::arbitration::ChannelRx;
 use crate::error::TmError;
 use crate::faults;
-use crate::runtime::PadicoTM;
+use crate::runtime::{CoalescePolicy, PadicoTM};
 use crate::selector::{FabricChoice, Route};
+
+/// Envelope tags prefixed to every wire message when coalescing is on:
+/// a plain frame, or an aggregate of several sub-frames.
+const ENV_SINGLE: u8 = 0;
+const ENV_AGG: u8 = 1;
+
+/// The one-byte envelope tag as a static segment (no per-message
+/// allocation, mirroring the VLink kind tag trick).
+fn env_tag(tag: u8) -> bytes::Bytes {
+    static TAGS: [u8; 2] = [ENV_SINGLE, ENV_AGG];
+    bytes::Bytes::from_static(std::slice::from_ref(&TAGS[usize::from(tag)]))
+}
+
+// Coalescer counters. Module-local atomics rather than the metrics
+// registry: batching varies with wall-clock thread interleaving, and the
+// registry's renders must stay byte-identical across same-seed chaos
+// runs. The observability layer folds these in as `tm.coalesce.*`.
+static FRAMES_COALESCED: AtomicU64 = AtomicU64::new(0);
+static COALESCE_FLUSHES: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time view of the process-wide coalescer counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoalesceStats {
+    /// Sub-threshold frames that entered a batch instead of going to the
+    /// wire on their own.
+    pub frames_coalesced: u64,
+    /// Batches flushed to the wire (each one wire message).
+    pub flushes: u64,
+}
+
+/// Current coalescer counters (all links, whole process).
+pub fn coalesce_stats() -> CoalesceStats {
+    CoalesceStats {
+        frames_coalesced: FRAMES_COALESCED.load(Relaxed),
+        flushes: COALESCE_FLUSHES.load(Relaxed),
+    }
+}
+
+/// Frames queued towards one destination within one virtual tick.
+#[derive(Default)]
+struct Batch {
+    dst: Option<(NodeId, ChannelId)>,
+    frames: Vec<Payload>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Per-link coalescing state: the outgoing batch plus sub-frames demuxed
+/// from received aggregates, awaiting delivery to the caller in order.
+struct CoalesceBox {
+    policy: CoalescePolicy,
+    batch: Mutex<Batch>,
+    pending: Mutex<VecDeque<Message>>,
+}
 
 /// The shared link state machine under every abstraction-layer driver.
 pub struct LinkCore {
@@ -61,6 +117,8 @@ pub struct LinkCore {
     /// decision depends only on the peers' trust, not the carrying fabric.
     route: Mutex<Route>,
     rx: Mutex<ChannelRx>,
+    /// Small-message coalescing, when the runtime config enables it.
+    coalesce: Option<CoalesceBox>,
 }
 
 impl LinkCore {
@@ -89,6 +147,11 @@ impl LinkCore {
         route: Route,
         rx: ChannelRx,
     ) -> LinkCore {
+        let coalesce = tm.config().coalesce.map(|policy| CoalesceBox {
+            policy,
+            batch: Mutex::new(Batch::default()),
+            pending: Mutex::new(VecDeque::new()),
+        });
         LinkCore {
             tm,
             peers,
@@ -96,6 +159,7 @@ impl LinkCore {
             layer,
             route: Mutex::new(route),
             rx: Mutex::new(rx),
+            coalesce,
         }
     }
 
@@ -124,13 +188,153 @@ impl LinkCore {
         &self.peers
     }
 
-    /// Transmit `wire` on logical `channel` to `dst` — THE send loop.
+    /// Transmit `wire` on logical `channel` to `dst`.
+    ///
+    /// Without coalescing this is a straight call into the send loop.
+    /// With coalescing enabled ([`crate::runtime::TmConfig::coalesce`]),
+    /// every wire message gains a one-byte envelope, and sub-threshold
+    /// frames to the same `(dst, channel)` within one virtual tick are
+    /// queued into one aggregate wire message instead. The batch flushes
+    /// on: a send towards a different destination, a new virtual tick, an
+    /// oversize frame (queued frames go first — per-link FIFO order is
+    /// preserved), the byte threshold, entry to any receive path, an
+    /// explicit [`LinkCore::flush`], or drop.
+    pub fn send_wire(
+        &self,
+        dst: NodeId,
+        channel: ChannelId,
+        wire: Payload,
+        label: &str,
+    ) -> Result<(), TmError> {
+        let Some(cbox) = &self.coalesce else {
+            return self.send_wire_now(dst, channel, wire, label);
+        };
+        if wire.len() > cbox.policy.max_frame {
+            // Oversize bypasses batching but must not overtake what is
+            // already queued.
+            self.flush()?;
+            let mut env = Payload::new();
+            env.push_segment(env_tag(ENV_SINGLE));
+            env.append(wire);
+            return self.send_wire_now(dst, channel, env, label);
+        }
+        let mut batch = cbox.batch.lock();
+        let tick = self.clock().now();
+        if !batch.frames.is_empty() && (batch.dst != Some((dst, channel)) || batch.tick != tick) {
+            self.flush_batch(&mut batch)?;
+        }
+        batch.dst = Some((dst, channel));
+        batch.tick = tick;
+        batch.bytes += wire.len();
+        batch.frames.push(wire);
+        FRAMES_COALESCED.fetch_add(1, Relaxed);
+        if batch.bytes >= cbox.policy.max_batch_bytes {
+            self.flush_batch(&mut batch)?;
+        }
+        Ok(())
+    }
+
+    /// Send any queued sub-threshold frames now. A no-op without
+    /// coalescing, so callers may flush unconditionally at their protocol
+    /// barriers (end of an RPC write, FIN, ACK).
+    pub fn flush(&self) -> Result<(), TmError> {
+        let Some(cbox) = &self.coalesce else {
+            return Ok(());
+        };
+        let mut batch = cbox.batch.lock();
+        self.flush_batch(&mut batch)
+    }
+
+    /// Envelope and transmit the queued frames as one wire message.
+    fn flush_batch(&self, batch: &mut Batch) -> Result<(), TmError> {
+        if batch.frames.is_empty() {
+            return Ok(());
+        }
+        let (dst, channel) = batch.dst.take().expect("non-empty batch has a destination");
+        let frames = std::mem::take(&mut batch.frames);
+        batch.bytes = 0;
+        COALESCE_FLUSHES.fetch_add(1, Relaxed);
+        let mut env = Payload::new();
+        if frames.len() == 1 {
+            env.push_segment(env_tag(ENV_SINGLE));
+            for f in frames {
+                env.append(f);
+            }
+        } else {
+            // Aggregate: [count: u32][len_i: u32 x count] in one pooled
+            // segment, then the frames' segments unchanged (zero-copy).
+            env.push_segment(env_tag(ENV_AGG));
+            let mut hdr = pool::lease(4 + 4 * frames.len());
+            hdr.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+            for f in &frames {
+                hdr.extend_from_slice(&(f.len() as u32).to_le_bytes());
+            }
+            env.push_segment(hdr.freeze());
+            for f in frames {
+                env.append(f);
+            }
+        }
+        self.send_wire_now(dst, channel, env, "flush")
+    }
+
+    /// Demux one received wire message (coalescing enabled): strip the
+    /// envelope and queue the sub-frame(s), in order, as messages.
+    fn ingest_wire(&self, cbox: &CoalesceBox, msg: Message) -> Result<(), TmError> {
+        let Some(tag) = msg.payload.first_byte() else {
+            return Err(TmError::Protocol("empty wire envelope".into()));
+        };
+        let (_tag, rest) = msg.payload.split_at(1);
+        let sub = |payload: Payload| Message {
+            src: msg.src,
+            channel: msg.channel,
+            arrival: msg.arrival,
+            recv_cost: msg.recv_cost,
+            corrupted: false,
+            payload,
+        };
+        let mut pending = cbox.pending.lock();
+        match tag {
+            ENV_SINGLE => pending.push_back(sub(rest)),
+            ENV_AGG => {
+                if rest.len() < 4 {
+                    return Err(TmError::Protocol("truncated aggregate header".into()));
+                }
+                let (cnt, rest) = rest.split_at(4);
+                let count =
+                    u32::from_le_bytes(cnt.to_contiguous()[..].try_into().expect("4")) as usize;
+                if rest.len() < 4 * count {
+                    return Err(TmError::Protocol("truncated aggregate length table".into()));
+                }
+                let (lens, mut body) = rest.split_at(4 * count);
+                let lens = lens.to_contiguous();
+                for i in 0..count {
+                    let flen = u32::from_le_bytes(lens[4 * i..4 * i + 4].try_into().expect("4"))
+                        as usize;
+                    if flen > body.len() {
+                        return Err(TmError::Protocol("aggregate sub-frame overrun".into()));
+                    }
+                    let (frame, tail) = body.split_at(flen);
+                    body = tail;
+                    pending.push_back(sub(frame));
+                }
+                if !body.is_empty() {
+                    return Err(TmError::Protocol("trailing bytes after aggregate".into()));
+                }
+            }
+            other => {
+                return Err(TmError::Protocol(format!("bad envelope tag {other}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Transmit one wire message — THE send loop.
     ///
     /// Loopback goes straight to local dispatch. Otherwise each attempt
     /// emits a retry-linked span `{label}:attempt{n}` under this link's
     /// layer, transient failures charge backoff to the virtual clock, and
     /// link-level failures fail the route over before the next attempt.
-    pub fn send_wire(
+    fn send_wire_now(
         &self,
         dst: NodeId,
         channel: ChannelId,
@@ -200,17 +404,42 @@ impl LinkCore {
     /// continues.
     pub fn recv_intact(&self, timeout: Option<Duration>) -> Result<Message, TmError> {
         let timeout = timeout.unwrap_or(self.tm.config().default_deadline);
+        if let Some(m) = self.flush_and_pop_pending()? {
+            return Ok(m);
+        }
         loop {
             let msg = {
                 let rx = self.rx.lock();
                 rx.recv_timeout(self.tm.clock(), timeout)?
             };
             if msg.corrupted {
+                // With coalescing this discards the whole wire message:
+                // the CRC covers the aggregate, so a damaged batch
+                // classifies as ONE corrupt discard, not one per
+                // sub-frame.
                 faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
                 continue;
             }
-            return Ok(msg);
+            let Some(cbox) = &self.coalesce else {
+                return Ok(msg);
+            };
+            self.ingest_wire(cbox, msg)?;
+            if let Some(m) = cbox.pending.lock().pop_front() {
+                return Ok(m);
+            }
         }
+    }
+
+    /// Coalescing receive preamble: flush our own queued frames (waiting
+    /// to receive means nothing more is coming until the peer sees what
+    /// we queued — this keeps request/reply patterns live without
+    /// timers), then drain any already-demuxed sub-frame.
+    fn flush_and_pop_pending(&self) -> Result<Option<Message>, TmError> {
+        let Some(cbox) = &self.coalesce else {
+            return Ok(None);
+        };
+        self.flush()?;
+        Ok(cbox.pending.lock().pop_front())
     }
 
     /// Like [`LinkCore::recv_intact`] but deliberately deadline-free:
@@ -218,6 +447,9 @@ impl LinkCore {
     /// here legitimately between requests; request liveness is the
     /// caller's business.
     pub fn recv_intact_blocking(&self) -> Result<Message, TmError> {
+        if let Some(m) = self.flush_and_pop_pending()? {
+            return Ok(m);
+        }
         loop {
             let msg = {
                 let rx = self.rx.lock();
@@ -227,18 +459,36 @@ impl LinkCore {
                 faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
                 continue;
             }
-            return Ok(msg);
+            let Some(cbox) = &self.coalesce else {
+                return Ok(msg);
+            };
+            self.ingest_wire(cbox, msg)?;
+            if let Some(m) = cbox.pending.lock().pop_front() {
+                return Ok(m);
+            }
         }
     }
 
     /// Non-blocking intact receive.
     pub fn try_recv_intact(&self) -> Result<Option<Message>, TmError> {
+        if let Some(m) = self.flush_and_pop_pending()? {
+            return Ok(Some(m));
+        }
         loop {
             match self.rx.lock().try_recv(self.tm.clock())? {
                 Some(msg) if msg.corrupted => {
                     faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
                 }
-                other => return Ok(other),
+                Some(msg) => {
+                    let Some(cbox) = &self.coalesce else {
+                        return Ok(Some(msg));
+                    };
+                    self.ingest_wire(cbox, msg)?;
+                    if let Some(m) = cbox.pending.lock().pop_front() {
+                        return Ok(Some(m));
+                    }
+                }
+                None => return Ok(None),
             }
         }
     }
@@ -298,6 +548,13 @@ impl LinkCore {
     }
 }
 
+impl Drop for LinkCore {
+    fn drop(&mut self) {
+        // Last chance for queued frames; errors have nowhere to go.
+        let _ = self.flush();
+    }
+}
+
 impl std::fmt::Debug for LinkCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -330,6 +587,13 @@ pub trait ArbitratedDriver {
     /// The nodes this link spans.
     fn link_peers(&self) -> &[NodeId] {
         self.core().peers()
+    }
+
+    /// Send any coalesced frames queued on this link now (no-op when
+    /// coalescing is off). Protocol barriers — end of an RPC write, FIN,
+    /// ACK — flush so the peer is never left waiting on a queued frame.
+    fn flush(&self) -> Result<(), TmError> {
+        self.core().flush()
     }
 }
 
@@ -694,6 +958,118 @@ mod tests {
         );
     }
 
+    fn coalesced_circuits(
+        name: &str,
+        kind: FabricKind,
+    ) -> (Vec<Arc<PadicoTM>>, Vec<crate::circuit::Circuit>) {
+        let (topo, ids) = single_cluster(2);
+        let cfg = TmConfig {
+            coalesce: Some(crate::runtime::CoalescePolicy::default()),
+            ..TmConfig::default()
+        };
+        let tms = PadicoTM::boot_all_with_config(Arc::new(topo), cfg).unwrap();
+        let circuits = tms
+            .iter()
+            .map(|tm| {
+                tm.circuit(
+                    CircuitSpec::new(name, ids.clone()).with_choice(FabricChoice::Kind(kind)),
+                )
+                .unwrap()
+            })
+            .collect();
+        (tms, circuits)
+    }
+
+    #[test]
+    fn coalescing_aggregates_small_frames_and_preserves_order() {
+        let before = coalesce_stats();
+        let (_tms, circuits) = coalesced_circuits("co", FabricKind::Myrinet);
+        // Ten sub-threshold frames, one oversize (bypasses the batch but
+        // must not overtake it), then two more small ones.
+        let mut sent = Vec::new();
+        for i in 0..10u8 {
+            sent.push(vec![i; 8]);
+        }
+        sent.push(vec![0xEE; 500]);
+        sent.push(vec![0xAA; 3]);
+        sent.push(vec![0xBB; 0]);
+        for (i, body) in sent.iter().enumerate() {
+            circuits[0]
+                .send(1, i as u64, Payload::from_vec(body.clone()))
+                .unwrap();
+        }
+        circuits[0].core().flush().unwrap();
+        for (i, body) in sent.iter().enumerate() {
+            let (src, h, got) = circuits[1].recv().unwrap();
+            assert_eq!((src, h), (0, i as u64), "order preserved");
+            assert_eq!(got.to_vec(), *body, "frame {i} byte-identical");
+        }
+        let after = coalesce_stats();
+        assert!(
+            after.frames_coalesced >= before.frames_coalesced + 12,
+            "12 sub-threshold frames entered batches"
+        );
+        assert!(after.flushes > before.flushes, "at least one batch flushed");
+    }
+
+    #[test]
+    fn coalesced_loopback_roundtrip() {
+        let (_tms, circuits) = coalesced_circuits("co-lo", FabricKind::Myrinet);
+        circuits[0].send(0, 3, Payload::from_vec(vec![1, 2])).unwrap();
+        circuits[0].send(0, 4, Payload::from_vec(vec![3])).unwrap();
+        // recv flushes our own batch first, so no explicit flush needed.
+        let (_, h, p) = circuits[0].recv().unwrap();
+        assert_eq!((h, p.to_vec()), (3, vec![1, 2]));
+        let (_, h, p) = circuits[0].recv().unwrap();
+        assert_eq!((h, p.to_vec()), (4, vec![3]));
+    }
+
+    #[test]
+    fn corrupted_aggregate_classifies_once_not_per_subframe() {
+        let (tms, circuits) = coalesced_circuits("co-corrupt", FabricKind::Myrinet);
+        let fabric = circuits[0].route().fabric;
+        // Arm after setup: every wire message from here on is corrupted.
+        fabric.faults().set_plan(padico_fabric::FaultPlan {
+            seed: 7,
+            corrupt_pct: 100,
+            ..Default::default()
+        });
+        for i in 0..5u64 {
+            circuits[0].send(1, i, Payload::from_vec(vec![i as u8; 4])).unwrap();
+        }
+        circuits[0].core().flush().unwrap();
+        let err = circuits[1]
+            .core()
+            .recv_intact(Some(Duration::from_millis(50)))
+            .unwrap_err();
+        assert!(matches!(err, TmError::Timeout(_)), "{err}");
+        let discards = tms[1].recovery().snapshot().corrupt_discards;
+        assert_eq!(
+            discards, 1,
+            "one damaged aggregate = ONE corrupt discard, not five"
+        );
+    }
+
+    #[test]
+    fn dropped_aggregate_is_one_wire_loss() {
+        let (_tms, circuits) = coalesced_circuits("co-drop", FabricKind::Myrinet);
+        let fabric = circuits[0].route().fabric;
+        fabric.faults().set_plan(padico_fabric::FaultPlan {
+            seed: 9,
+            drop_pct: 100,
+            ..Default::default()
+        });
+        for i in 0..6u64 {
+            circuits[0].send(1, i, Payload::from_vec(vec![0; 8])).unwrap();
+        }
+        circuits[0].core().flush().unwrap();
+        assert_eq!(
+            fabric.faults().counters().dropped,
+            1,
+            "six coalesced frames crossed as one wire message"
+        );
+    }
+
     #[test]
     fn both_adapters_expose_the_same_core_api() {
         // The trait is the upward-facing API: a function generic over
@@ -717,5 +1093,68 @@ mod tests {
         let _server = bt.join().unwrap();
         let _ = fabric_kind_of(&c);
         let _ = fabric_kind_of(&s);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    //! Coalescing transparency: across random message mixes, delivery
+    //! through a coalescing link is byte- and order-identical to an
+    //! uncoalesced one.
+    use super::*;
+    use crate::circuit::CircuitSpec;
+    use crate::runtime::{CoalescePolicy, PadicoTM, TmConfig};
+    use padico_fabric::topology::single_cluster;
+    use padico_fabric::FabricKind;
+    use proptest::prelude::*;
+
+    /// Send `bodies` rank0 -> rank1 on a fresh two-node Myrinet circuit
+    /// (coalescing per `coalesce`), then receive them all back.
+    fn roundtrip(bodies: &[Vec<u8>], coalesce: bool) -> Vec<(u32, u64, Vec<u8>)> {
+        let (topo, ids) = single_cluster(2);
+        let cfg = TmConfig {
+            coalesce: coalesce.then(CoalescePolicy::default),
+            ..TmConfig::default()
+        };
+        let tms = PadicoTM::boot_all_with_config(Arc::new(topo), cfg).unwrap();
+        let circuits: Vec<_> = tms
+            .iter()
+            .map(|tm| {
+                tm.circuit(
+                    CircuitSpec::new("mix", ids.clone())
+                        .with_choice(FabricChoice::Kind(FabricKind::Myrinet)),
+                )
+                .unwrap()
+            })
+            .collect();
+        for (i, body) in bodies.iter().enumerate() {
+            circuits[0]
+                .send(1, i as u64, Payload::from_vec(body.clone()))
+                .unwrap();
+        }
+        circuits[0].core().flush().unwrap();
+        bodies
+            .iter()
+            .map(|_| {
+                let (src, h, p) = circuits[1].recv().unwrap();
+                (src, h, p.to_vec())
+            })
+            .collect()
+    }
+
+    proptest! {
+        #[test]
+        fn coalesced_delivery_matches_uncoalesced(
+            bodies in proptest::collection::vec(
+                // Lengths straddle the 64-byte coalescing threshold (the
+                // 12-byte circuit header counts against it too).
+                proptest::collection::vec(any::<u8>(), 0..150),
+                1..12,
+            ),
+        ) {
+            let plain = roundtrip(&bodies, false);
+            let coalesced = roundtrip(&bodies, true);
+            prop_assert_eq!(plain, coalesced);
+        }
     }
 }

@@ -44,10 +44,10 @@ pub mod vlink;
 
 pub use arbitration::{ChannelRx, NetAccess, TM_SERVICE_PORT};
 pub use circuit::{Circuit, CircuitSpec};
-pub use driver::{ArbitratedDriver, LinkCore};
+pub use driver::{coalesce_stats, ArbitratedDriver, CoalesceStats, LinkCore};
 pub use error::TmError;
 pub use faults::{is_retryable, RetryPolicy};
 pub use module::{ModuleManager, PadicoModule};
-pub use runtime::{PadicoTM, TmConfig};
+pub use runtime::{CoalescePolicy, PadicoTM, TmConfig};
 pub use selector::{FabricChoice, Route};
 pub use vlink::{VLinkListener, VLinkStream};

@@ -13,7 +13,7 @@
 
 use bytes::Bytes;
 use padico_fabric::model::charge_copy;
-use padico_fabric::Payload;
+use padico_fabric::{pool, Payload};
 
 use crate::circuit::Circuit;
 use crate::driver::ArbitratedDriver;
@@ -41,14 +41,14 @@ impl<'a> PackingConnection<'a> {
         match mode {
             SendMode::SaferSide => {
                 charge_copy(self.circuit.clock(), data.len());
-                self.payload.push_segment(Bytes::copy_from_slice(data));
+                self.payload.push_segment(pool::pooled_copy(data));
             }
             SendMode::CheaperSide => {
                 // `&[u8]` cannot be handed off without a copy across
                 // threads; callers with owned buffers should use
                 // `pack_bytes`. The copy is still charged honestly.
                 charge_copy(self.circuit.clock(), data.len());
-                self.payload.push_segment(Bytes::copy_from_slice(data));
+                self.payload.push_segment(pool::pooled_copy(data));
             }
         }
     }

@@ -32,6 +32,31 @@ pub struct TmConfig {
     pub connect_timeout: Duration,
     /// Retry budget + backoff for stream ops, handshakes, and failover.
     pub retry: RetryPolicy,
+    /// Small-message coalescing policy for every link on this node.
+    /// `None` (the default) sends each frame as its own wire message.
+    /// Must be set cluster-wide (the envelope changes the wire format).
+    pub coalesce: Option<CoalescePolicy>,
+}
+
+/// Knobs for small-message coalescing (see [`crate::driver::LinkCore`]):
+/// frames at or under `max_frame` bytes to the same destination within
+/// one virtual tick are batched into a single wire message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalescePolicy {
+    /// Frames larger than this bypass batching (sent immediately, after
+    /// flushing anything queued, to preserve FIFO order).
+    pub max_frame: usize,
+    /// Flush the batch once it holds this many payload bytes.
+    pub max_batch_bytes: usize,
+}
+
+impl Default for CoalescePolicy {
+    fn default() -> Self {
+        CoalescePolicy {
+            max_frame: 64,
+            max_batch_bytes: 4096,
+        }
+    }
 }
 
 impl Default for TmConfig {
@@ -40,6 +65,7 @@ impl Default for TmConfig {
             default_deadline: Duration::from_secs(30),
             connect_timeout: Duration::from_secs(5),
             retry: RetryPolicy::default(),
+            coalesce: None,
         }
     }
 }

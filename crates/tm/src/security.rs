@@ -61,10 +61,13 @@ impl SessionKey {
 /// Encrypt (or decrypt — the transform is involutive) a payload, charging
 /// the cipher CPU cost to `clock`. Returns a freshly-owned payload.
 pub fn protect(key: SessionKey, payload: &Payload, clock: &SimClock) -> Payload {
-    let mut buf = payload.to_vec();
+    let mut buf = padico_fabric::pool::lease(payload.len());
+    for seg in payload.segments() {
+        buf.extend_from_slice(seg);
+    }
     key.apply(&mut buf, 0);
     clock.advance(transfer_time(buf.len(), CIPHER_MB_S));
-    Payload::from_vec(buf)
+    Payload::from_bytes(buf.freeze())
 }
 
 #[cfg(test)]

@@ -143,8 +143,10 @@ impl VLinkListener {
         )?;
         // We transmit on server→client.
         let stream = VLinkStream::assemble(core, peer, s2c, SessionKey::derive(c2s.0, s2c.0));
-        // ACK back on the server→client channel.
+        // ACK back on the server→client channel; flushed immediately —
+        // the client is blocked on it.
         stream.send_frame(KIND_ACK, Payload::new())?;
+        stream.core.flush()?;
         trace_debug!(
             "tm.vlink",
             "accepted {} -> {} for `{}`",
@@ -275,18 +277,18 @@ impl VLinkStream {
         let c2s = fresh_channel();
         let s2c = fresh_channel();
         let rx = tm.net().subscribe(s2c)?;
-        let mut syn = Vec::with_capacity(22);
+        let mut syn = padico_fabric::pool::lease(22);
         syn.push(KIND_SYN);
         syn.extend_from_slice(&c2s.0.to_le_bytes());
         syn.extend_from_slice(&s2c.0.to_le_bytes());
         syn.extend_from_slice(&tm.node().0.to_le_bytes());
         syn.push(encode_choice(choice));
+        let syn = Payload::from_bytes(syn.freeze());
         let listener = listener_channel(service, dst);
         if dst == tm.node() {
-            tm.net().send_local(listener, Payload::from_vec(syn));
+            tm.net().send_local(listener, syn);
         } else {
-            tm.net()
-                .send(route.fabric.id(), dst, listener, Payload::from_vec(syn))?;
+            tm.net().send(route.fabric.id(), dst, listener, syn)?;
         }
         let core = LinkCore::adopt(
             Arc::clone(tm),
@@ -299,8 +301,7 @@ impl VLinkStream {
         let stream = VLinkStream::assemble(core, dst, c2s, SessionKey::derive(c2s.0, s2c.0));
         // Wait for ACK (the core discards corrupted ones as lost).
         let ack = stream.core.recv_intact(Some(timeout))?;
-        let first = ack.payload.segments().next().and_then(|s| s.first().copied());
-        if first != Some(KIND_ACK) {
+        if ack.payload.first_byte() != Some(KIND_ACK) {
             return Err(TmError::Protocol("expected ACK".into()));
         }
         Ok(stream)
@@ -338,7 +339,10 @@ impl VLinkStream {
     /// `CIPHER_MB_S`.
     fn apply_cipher(&self, offset: &Mutex<u64>, body: &Payload) -> Payload {
         let mut offset = offset.lock();
-        let mut buf = body.to_vec();
+        let mut buf = padico_fabric::pool::lease(body.len());
+        for seg in body.segments() {
+            buf.extend_from_slice(seg);
+        }
         self.key.apply(&mut buf, *offset);
         *offset += buf.len() as u64;
         self.core
@@ -347,7 +351,7 @@ impl VLinkStream {
                 buf.len(),
                 crate::security::CIPHER_MB_S,
             ));
-        Payload::from_vec(buf)
+        Payload::from_bytes(buf.freeze())
     }
 
     /// Read up to `buf.len()` bytes; returns 0 at end-of-stream.
@@ -419,15 +423,14 @@ impl VLinkStream {
         msg: padico_fabric::Message,
         mut sink: impl FnMut(Payload, &mut StreamBuffer),
     ) -> Result<(), TmError> {
-        if msg.payload.is_empty() {
+        // Peek the one-byte kind tag without flattening or restructuring
+        // the gather list; only DATA frames pay for the split.
+        let Some(kind) = msg.payload.first_byte() else {
             return Err(TmError::Protocol("empty frame".into()));
-        }
-        // Peel the one-byte kind tag off the gather list without touching
-        // the body segments.
-        let (tag, body) = msg.payload.split_at(1);
-        let kind = tag.to_contiguous()[0];
+        };
         match kind {
             KIND_DATA => {
+                let (_tag, body) = msg.payload.split_at(1);
                 let body = if self.core.encrypt() {
                     self.apply_cipher(&self.rx_offset, &body)
                 } else {
@@ -446,8 +449,11 @@ impl VLinkStream {
     }
 
     /// Close the sending direction (peer reads return EOF after draining).
+    /// Flushes any coalesced frames so the FIN is on the wire when this
+    /// returns.
     pub fn close(&self) -> Result<(), TmError> {
-        self.send_frame(KIND_FIN, Payload::new())
+        self.send_frame(KIND_FIN, Payload::new())?;
+        self.core.flush()
     }
 }
 

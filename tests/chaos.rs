@@ -33,6 +33,16 @@ fn chaos_config() -> TmConfig {
             max_attempts: 6,
             ..RetryPolicy::default()
         },
+        coalesce: None,
+    }
+}
+
+/// [`chaos_config`] with small-message coalescing switched on, for the
+/// determinism runs that prove batching does not perturb recovery.
+fn chaos_config_coalesced() -> TmConfig {
+    TmConfig {
+        coalesce: Some(padico::tm::CoalescePolicy::default()),
+        ..chaos_config()
     }
 }
 
@@ -193,15 +203,19 @@ fn run_failover_scenario(seed: u64) -> (Vec<f64>, Vec<RecoverySnapshot>, u64) {
 /// the canonical span dump, the rendered metrics registry, and the
 /// fabric-span names of the warm-up and post-failover invocations.
 fn run_traced_failover(seed: u64) -> (String, String, Vec<String>, Vec<String>, u64) {
+    run_traced_failover_with(seed, chaos_config())
+}
+
+/// [`run_traced_failover`] with explicit runtime knobs, so the same
+/// scenario can be replayed with coalescing enabled.
+fn run_traced_failover_with(
+    seed: u64,
+    config: TmConfig,
+) -> (String, String, Vec<String>, Vec<String>, u64) {
     let _iso = padico::util::trace::isolated();
     let (topo, ids) = sci_cluster(2);
-    let grid = Grid::boot_with_config(
-        topo,
-        OrbProfile::omniorb3(),
-        FabricChoice::Auto,
-        chaos_config(),
-    )
-    .unwrap();
+    let grid = Grid::boot_with_config(topo, OrbProfile::omniorb3(), FabricChoice::Auto, config)
+        .unwrap();
     let par = shift_handle(&grid, 0, &[1]);
     let values: Vec<f64> = (0..32).map(|i| i as f64).collect();
 
@@ -260,6 +274,30 @@ fn same_seed_chaos_yields_byte_identical_trace_trees() {
     );
     assert_eq!(dump1, dump2, "span trees diverged between same-seed runs");
     assert_eq!(metrics1, metrics2, "metrics diverged between same-seed runs");
+}
+
+#[test]
+fn same_seed_chaos_is_byte_identical_with_coalescing_enabled() {
+    // Coalescing changes the wire format (frames are batched into
+    // envelopes) but must not perturb determinism: two same-seed runs
+    // through coalescing links — pooled buffers and all — replay the
+    // identical span tree, metrics registry, and recovery counters.
+    let (dump1, metrics1, _, _, retries) = run_traced_failover_with(42, chaos_config_coalesced());
+    let (dump2, metrics2, _, _, retries2) = run_traced_failover_with(42, chaos_config_coalesced());
+    assert!(!dump1.is_empty(), "no spans captured");
+    assert!(
+        retries > 0,
+        "the scenario never hit the retry paths — the comparison proves nothing"
+    );
+    assert_eq!(
+        dump1, dump2,
+        "span trees diverged between same-seed coalesced runs"
+    );
+    assert_eq!(
+        metrics1, metrics2,
+        "metrics diverged between same-seed coalesced runs"
+    );
+    assert_eq!(retries, retries2, "retry counts diverged");
 }
 
 #[test]
