@@ -6,7 +6,7 @@
 //! benches with `CRITERION_JSON` pointing at a scratch file so their
 //! results land here too.
 
-use padico_bench::{concurrent, fig7, fig8, report};
+use padico_bench::{concurrent, fig7, fig8, overload, report};
 use padico_core::redistribute::schedule_cache_stats;
 use padico_fabric::FabricKind;
 use padico_orb::profile::OrbProfile;
@@ -99,6 +99,8 @@ fn main() {
     let burst_coalesced_ns = small_burst(true, BURST_MSGS, BURST_ROUNDS);
     let pool = padico_fabric::pool::stats();
     let coalesce = padico_tm::coalesce_stats();
+    eprintln!("running overload storm (admission shedding under pressure)...");
+    let storm = overload::run(8, 2, 32, std::time::Duration::from_micros(500));
 
     // Everything the runs above left in the observability layer: span
     // latency histograms, per-fabric byte counters, recovery totals.
@@ -170,6 +172,27 @@ fn main() {
             format!(
                 "{{\"frames_coalesced\":{},\"coalesce_flushes\":{}}}",
                 coalesce.frames_coalesced, coalesce.flushes
+            ),
+        ),
+        // Admission control under pressure: 8 clients against an
+        // inflight budget of 2. Shed requests answer immediately with
+        // TRANSIENT; the percentiles cover the admitted requests only,
+        // so a healthy controller keeps p99 near the service time
+        // instead of letting a queue build.
+        (
+            "overload_storm",
+            format!(
+                "{{\"clients\":{},\"budget\":{},\"attempts\":{},\
+                 \"completed\":{},\"shed\":{},\"shed_rate\":{:.3},\
+                 \"p50_us\":{:.1},\"p99_us\":{:.1}}}",
+                storm.clients,
+                storm.budget,
+                storm.attempts,
+                storm.completed,
+                storm.shed,
+                storm.shed_rate,
+                storm.p50_us,
+                storm.p99_us
             ),
         ),
         // Retry/failover work done across every run above — shows the

@@ -13,10 +13,15 @@
 //! | Figure 8 (parallel components) | [`fig8`] | `fig8_parallel` |
 //! | §4.4 Fast-Ethernet scaling | [`fig8`] (Ethernet config) | `fastethernet_scaling` |
 //! | §4.3 no-overhead / layering claims | [`ablation`] | `ablation_layers` |
+//!
+//! [`overload`] is ours, not the paper's: it measures the admission
+//! controller's shed rate and the admitted requests' tail latency when
+//! offered load exceeds the inflight budget.
 
 pub mod ablation;
 pub mod concurrent;
 pub mod fig7;
 pub mod fig8;
 pub mod latency;
+pub mod overload;
 pub mod report;

@@ -442,6 +442,12 @@ impl Servant for ParallelAdapter {
                     span_id: header.parent_span,
                 })
             });
+        // Same rule for the deadline: the ORB dispatch path has already
+        // adopted the wire deadline; pick up the header's only when
+        // dispatched directly, so the upcall (and its nested calls) stays
+        // bounded by the original invocation's budget either way.
+        let _hdr_deadline = (padico_orb::deadline::current().is_none() && header.deadline != 0)
+            .then(|| padico_orb::deadline::adopt(header.deadline));
         let _chunk_span = padico_util::span::child(
             &ctx.clock,
             ctx.node.0,

@@ -321,9 +321,12 @@ impl ParallelRef {
 
         // One derived invocation per target server, concurrently — every
         // client node participates in inter-component communication. The
-        // span context does not cross thread spawns on its own: capture
-        // it here and adopt it inside each fan-out thread.
+        // span context and ambient deadline do not cross thread spawns on
+        // their own: capture them here and adopt them inside each fan-out
+        // thread, so a parallel call made from inside a servant dispatch
+        // stays bounded by (and traced under) the original request.
         let ctx = padico_util::span::current();
+        let ambient_deadline = padico_orb::deadline::current().unwrap_or(0);
         let mut replies: Vec<(usize, Result<WireReply, GridCcmError>)> =
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
@@ -335,6 +338,7 @@ impl ParallelRef {
                         v,
                         scope.spawn(move || {
                             let _adopt = ctx.map(padico_util::span::adopt);
+                            let _deadline = padico_orb::deadline::adopt(ambient_deadline);
                             let tm = target.orb().tm();
                             let _target_span = padico_util::span::child(
                                 tm.clock(),
@@ -472,9 +476,12 @@ impl ParallelRef {
         // (inv_id, op), so the ORB may re-issue them after a lost frame.
         let mut request = target.request(derived).idempotent();
         // Ship the current span context in the chunk header: the adapter
-        // parents its gather/run spans on the sending rank's span.
+        // parents its gather/run spans on the sending rank's span. The
+        // ambient deadline rides along so the server-side upcall inherits
+        // the original caller's remaining budget.
         let (trace_id, parent_span) =
             padico_util::span::current().map_or((0, 0), |c| (c.trace_id, c.span_id));
+        let deadline = padico_orb::deadline::current().unwrap_or(0);
         let w = request.writer();
         InvHeader {
             inv_id,
@@ -485,6 +492,7 @@ impl ParallelRef {
             arg_count: args.len() as u32,
             trace_id,
             parent_span,
+            deadline,
         }
         .write(w);
         for (index, (arg, sched)) in args.iter().zip(schedules).enumerate() {

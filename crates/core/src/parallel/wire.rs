@@ -78,6 +78,11 @@ pub struct InvHeader {
     pub trace_id: u64,
     /// Span id of the sending client rank's span; 0 when untraced.
     pub parent_span: u64,
+    /// Absolute virtual-time deadline of the whole parallel invocation
+    /// (0 = none). Every derived per-rank request inherits it, so the
+    /// server-side upcall — and anything *it* invokes — is bounded by
+    /// the original caller's budget.
+    pub deadline: u64,
 }
 
 impl InvHeader {
@@ -90,6 +95,7 @@ impl InvHeader {
         w.write_u32(self.arg_count);
         w.write_u64(self.trace_id);
         w.write_u64(self.parent_span);
+        w.write_u64(self.deadline);
     }
 
     pub fn read(r: &mut CdrReader) -> Result<InvHeader, GridCcmError> {
@@ -102,6 +108,7 @@ impl InvHeader {
             arg_count: r.read_u32()?,
             trace_id: r.read_u64()?,
             parent_span: r.read_u64()?,
+            deadline: r.read_u64()?,
         })
     }
 }
@@ -588,6 +595,7 @@ mod tests {
             arg_count: values.len() as u32,
             trace_id: 0xabcd,
             parent_span: 0x1234,
+            deadline: 0x5678,
         };
         header.write(&mut w);
         for v in &values {

@@ -25,6 +25,12 @@ pub enum OrbError {
     User(String),
     /// Malformed IOR string.
     BadIor(String),
+    /// The invocation's end-to-end deadline expired (CORBA `TIMEOUT`):
+    /// either the propagated budget ran out client-side (possibly
+    /// mid-retry-backoff) or the server observed an already-expired
+    /// deadline and short-circuited dispatch. NOT retryable — a retry
+    /// cannot beat an expired deadline.
+    DeadlineExceeded(String),
 }
 
 impl OrbError {
@@ -55,6 +61,7 @@ impl fmt::Display for OrbError {
             OrbError::System(what) => write!(f, "system exception: {what}"),
             OrbError::User(id) => write!(f, "user exception: {id}"),
             OrbError::BadIor(what) => write!(f, "bad IOR: {what}"),
+            OrbError::DeadlineExceeded(what) => write!(f, "TIMEOUT: {what}"),
         }
     }
 }
@@ -115,6 +122,10 @@ mod tests {
         assert!(hard.is_transport() && !hard.is_retryable());
         let marshal = OrbError::Marshal("short read".into());
         assert!(!marshal.is_transport() && !marshal.is_retryable());
+        // An expired deadline is typed, terminal, and never retried.
+        let dl = OrbError::DeadlineExceeded("budget spent".into());
+        assert!(!dl.is_transport() && !dl.is_retryable());
+        assert!(dl.to_string().starts_with("TIMEOUT"));
         // Source chains reach the fabric layer through TmError.
         let deep = OrbError::from(TmError::from(padico_fabric::FabricError::Closed));
         assert!(deep.source().unwrap().source().is_some());

@@ -14,13 +14,14 @@
 //!
 //! ```text
 //! [0xE5][type:1][request_id:4][key:8][trace_id:8][parent_span:8]
-//!       [op_len:2][op bytes][pad to 8][body …]                       Request
+//!       [deadline:8][op_len:2][op bytes][pad to 8][body …]           Request
 //! [0xE5][type:1][request_id:4][status:1][body …]                     Reply
 //! ```
 //!
 //! `trace_id`/`parent_span` carry the caller's span context (both 0 for
-//! an untraced request) — ESIOP has no service-context list, so the two
-//! words live at fixed offsets in the head.
+//! an untraced request) and `deadline` the invocation's absolute
+//! virtual-time deadline (0 = none) — ESIOP has no service-context list,
+//! so the three words live at fixed offsets in the head.
 
 use bytes::Bytes;
 use padico_fabric::Payload;
@@ -41,7 +42,9 @@ const TYPE_REQUEST_ONEWAY: u8 = 1;
 const TYPE_REPLY: u8 = 2;
 
 /// Frame a request. The argument payload is appended by reference, so
-/// zero-copy splices survive.
+/// zero-copy splices survive. `deadline` is the invocation's absolute
+/// virtual-time deadline (0 = none).
+#[allow(clippy::too_many_arguments)]
 pub fn encode_request(
     request_id: u32,
     response_expected: bool,
@@ -49,10 +52,11 @@ pub fn encode_request(
     operation: &str,
     trace_id: u64,
     parent_span: u64,
+    deadline: u64,
     args: Payload,
 ) -> Payload {
     debug_assert!(operation.len() <= u16::MAX as usize);
-    let mut head = Vec::with_capacity(32 + operation.len());
+    let mut head = Vec::with_capacity(40 + operation.len());
     head.push(MAGIC);
     head.push(if response_expected {
         TYPE_REQUEST
@@ -63,6 +67,7 @@ pub fn encode_request(
     head.extend_from_slice(&object_key.0.to_le_bytes());
     head.extend_from_slice(&trace_id.to_le_bytes());
     head.extend_from_slice(&parent_span.to_le_bytes());
+    head.extend_from_slice(&deadline.to_le_bytes());
     head.extend_from_slice(&(operation.len() as u16).to_le_bytes());
     head.extend_from_slice(operation.as_bytes());
     // Pad the head to 8 bytes so CDR argument alignment is preserved.
@@ -111,22 +116,23 @@ pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
     let request_id = u32::from_le_bytes(prefix[2..6].try_into().expect("4"));
     match msg_type {
         TYPE_REQUEST | TYPE_REQUEST_ONEWAY => {
-            if total < 32 {
+            if total < 40 {
                 return Err(OrbError::Marshal("ESIOP request too short".into()));
             }
-            let fixed = frame.split_at(32).0.to_contiguous();
+            let fixed = frame.split_at(40).0.to_contiguous();
             let object_key = ObjectKey(u64::from_le_bytes(fixed[6..14].try_into().expect("8")));
             let trace_id = u64::from_le_bytes(fixed[14..22].try_into().expect("8"));
             let parent_span = u64::from_le_bytes(fixed[22..30].try_into().expect("8"));
-            let op_len = u16::from_le_bytes(fixed[30..32].try_into().expect("2")) as usize;
-            if total < 32 + op_len {
+            let deadline = u64::from_le_bytes(fixed[30..38].try_into().expect("8"));
+            let op_len = u16::from_le_bytes(fixed[38..40].try_into().expect("2")) as usize;
+            if total < 40 + op_len {
                 return Err(OrbError::Marshal("ESIOP operation overruns frame".into()));
             }
-            let head = frame.split_at(32 + op_len).0.to_contiguous();
-            let operation = std::str::from_utf8(&head[32..32 + op_len])
+            let head = frame.split_at(40 + op_len).0.to_contiguous();
+            let operation = std::str::from_utf8(&head[40..40 + op_len])
                 .map_err(|_| OrbError::Marshal("ESIOP operation is not UTF-8".into()))?
                 .to_string();
-            let mut body_start = 32 + op_len;
+            let mut body_start = 40 + op_len;
             while !body_start.is_multiple_of(8) {
                 body_start += 1;
             }
@@ -140,6 +146,7 @@ pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
                 operation,
                 trace_id,
                 parent_span,
+                deadline,
                 body: frame.split_at(body_start).1,
             })
         }
@@ -152,6 +159,8 @@ pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
                 0 => ReplyStatus::NoException,
                 1 => ReplyStatus::UserException,
                 2 => ReplyStatus::SystemException,
+                3 => ReplyStatus::Transient,
+                4 => ReplyStatus::DeadlineExceeded,
                 other => {
                     return Err(OrbError::Marshal(format!("bad ESIOP status {other}")))
                 }
@@ -177,7 +186,16 @@ mod tests {
         let mut args = CdrWriter::new(MarshalStrategy::ZeroCopy);
         args.write_u64(0xdead_beef);
         args.write_octet_seq(Bytes::from(vec![7u8; 4096]));
-        let frame = encode_request(9, true, ObjectKey(42), "density", 0x1111, 0x2222, args.finish());
+        let frame = encode_request(
+            9,
+            true,
+            ObjectKey(42),
+            "density",
+            0x1111,
+            0x2222,
+            0x3333,
+            args.finish(),
+        );
         assert!(is_esiop(frame.to_vec()[0]));
         match decode(&frame).unwrap() {
             GiopMessage::Request {
@@ -187,6 +205,7 @@ mod tests {
                 operation,
                 trace_id,
                 parent_span,
+                deadline,
                 body,
             } => {
                 assert_eq!(request_id, 9);
@@ -195,6 +214,7 @@ mod tests {
                 assert_eq!(operation, "density");
                 assert_eq!(trace_id, 0x1111);
                 assert_eq!(parent_span, 0x2222);
+                assert_eq!(deadline, 0x3333);
                 let mut r = CdrReader::new(&body);
                 assert_eq!(r.read_u64().unwrap(), 0xdead_beef);
                 assert_eq!(r.read_octet_seq().unwrap(), Bytes::from(vec![7u8; 4096]));
@@ -205,7 +225,7 @@ mod tests {
 
     #[test]
     fn oneway_flag_and_reply_statuses() {
-        let frame = encode_request(1, false, ObjectKey(1), "fire", 0, 0, Payload::new());
+        let frame = encode_request(1, false, ObjectKey(1), "fire", 0, 0, 0, Payload::new());
         match decode(&frame).unwrap() {
             GiopMessage::Request {
                 response_expected, ..
@@ -216,6 +236,8 @@ mod tests {
             ReplyStatus::NoException,
             ReplyStatus::UserException,
             ReplyStatus::SystemException,
+            ReplyStatus::Transient,
+            ReplyStatus::DeadlineExceeded,
         ] {
             let mut body = CdrWriter::new(MarshalStrategy::Copying);
             body.write_i32(5);
@@ -238,8 +260,9 @@ mod tests {
 
     #[test]
     fn esiop_header_is_smaller_than_giop() {
-        let giop = crate::giop::encode_request(1, true, ObjectKey(1), "op", 0, 0, Payload::new());
-        let esiop = encode_request(1, true, ObjectKey(1), "op", 0, 0, Payload::new());
+        let giop =
+            crate::giop::encode_request(1, true, ObjectKey(1), "op", 0, 0, 0, Payload::new());
+        let esiop = encode_request(1, true, ObjectKey(1), "op", 0, 0, 0, Payload::new());
         assert!(
             esiop.len() < giop.len(),
             "ESIOP head {} vs GIOP head {}",
@@ -255,8 +278,8 @@ mod tests {
         assert!(decode(&Payload::from_vec(vec![MAGIC, 9, 0, 0, 0, 0, 0, 0])).is_err());
         // Truncated operation.
         let mut bad =
-            encode_request(1, true, ObjectKey(1), "operation", 0, 0, Payload::new()).to_vec();
-        bad.truncate(34);
+            encode_request(1, true, ObjectKey(1), "operation", 0, 0, 0, Payload::new()).to_vec();
+        bad.truncate(42);
         assert!(decode(&Payload::from_vec(bad)).is_err());
     }
 }

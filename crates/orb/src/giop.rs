@@ -47,12 +47,20 @@ impl MsgType {
     }
 }
 
-/// Reply status codes (subset of GIOP's ReplyStatusType).
+/// Reply status codes (subset of GIOP's ReplyStatusType, plus two
+/// overload-protection statuses this ORB adds beyond GIOP 1.2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ReplyStatus {
     NoException = 0,
     UserException = 1,
     SystemException = 2,
+    /// The server load-shed the request before dispatch (admission
+    /// budget exhausted). The client classifies it retryable.
+    Transient = 3,
+    /// The request's propagated deadline had already expired when the
+    /// server looked at it; dispatch was short-circuited. NOT retryable:
+    /// the budget is gone, retrying cannot beat an expired deadline.
+    DeadlineExceeded = 4,
 }
 
 impl ReplyStatus {
@@ -61,6 +69,8 @@ impl ReplyStatus {
             0 => ReplyStatus::NoException,
             1 => ReplyStatus::UserException,
             2 => ReplyStatus::SystemException,
+            3 => ReplyStatus::Transient,
+            4 => ReplyStatus::DeadlineExceeded,
             other => return Err(OrbError::Marshal(format!("unknown reply status {other}"))),
         })
     }
@@ -86,6 +96,11 @@ pub enum GiopMessage {
         trace_id: u64,
         /// Span id of the caller's in-flight request span; 0 when untraced.
         parent_span: u64,
+        /// Absolute virtual-time deadline of the whole invocation
+        /// (service context); 0 when the caller propagates none. The
+        /// server checks remaining budget against its own clock before
+        /// dispatching.
+        deadline: u64,
         /// CDR-encoded arguments, still the sender's gather list.
         body: Payload,
     },
@@ -125,7 +140,9 @@ fn header(msg_type: MsgType, body_len: usize) -> Bytes {
 /// appended as segments, so a zero-copy marshaller's splices survive all
 /// the way to the fabric. `trace_id`/`parent_span` carry the caller's
 /// span context (the GIOP service-context equivalent); pass 0/0 for an
-/// untraced request.
+/// untraced request. `deadline` is the invocation's absolute virtual-time
+/// deadline (0 = none).
+#[allow(clippy::too_many_arguments)]
 pub fn encode_request(
     request_id: u32,
     response_expected: bool,
@@ -133,6 +150,7 @@ pub fn encode_request(
     operation: &str,
     trace_id: u64,
     parent_span: u64,
+    deadline: u64,
     args: Payload,
 ) -> Payload {
     let mut head = CdrWriter::new(MarshalStrategy::Copying);
@@ -142,6 +160,7 @@ pub fn encode_request(
     head.write_string(operation);
     head.write_u64(trace_id);
     head.write_u64(parent_span);
+    head.write_u64(deadline);
     // Align the body start to 8 so argument encoding is self-consistent
     // regardless of the operation-name length.
     head.write_u64(args.len() as u64);
@@ -256,6 +275,7 @@ pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
             let operation = r.read_string()?;
             let trace_id = r.read_u64()?;
             let parent_span = r.read_u64()?;
+            let deadline = r.read_u64()?;
             let args_len = r.read_u64()? as usize;
             let consumed = rest.len() - r.remaining();
             if r.remaining() != args_len {
@@ -271,6 +291,7 @@ pub fn decode(frame: &Payload) -> Result<GiopMessage, OrbError> {
                 operation,
                 trace_id,
                 parent_span,
+                deadline,
                 body: rest.split_at(consumed).1,
             })
         }
@@ -328,6 +349,7 @@ mod tests {
             "compute_density",
             0xfeed,
             0xbeef,
+            0xdead_1111,
             args.finish(),
         );
         assert!(frame.segment_count() > 1, "splice survives framing");
@@ -339,6 +361,7 @@ mod tests {
                 operation,
                 trace_id,
                 parent_span,
+                deadline,
                 body,
             } => {
                 assert_eq!(request_id, 42);
@@ -347,6 +370,7 @@ mod tests {
                 assert_eq!(operation, "compute_density");
                 assert_eq!(trace_id, 0xfeed);
                 assert_eq!(parent_span, 0xbeef);
+                assert_eq!(deadline, 0xdead_1111);
                 let mut r = CdrReader::new(&body);
                 let seq = r.read_octet_seq().unwrap();
                 assert_eq!(seq, Bytes::from(vec![3u8; 4096]));
@@ -366,6 +390,8 @@ mod tests {
             ReplyStatus::NoException,
             ReplyStatus::UserException,
             ReplyStatus::SystemException,
+            ReplyStatus::Transient,
+            ReplyStatus::DeadlineExceeded,
         ] {
             let mut body = CdrWriter::new(MarshalStrategy::Copying);
             body.write_i32(-5);

@@ -28,6 +28,7 @@
 //!   proxies drive).
 
 pub mod cdr;
+pub mod deadline;
 pub mod error;
 pub mod esiop;
 pub mod giop;

@@ -17,10 +17,11 @@ use padico_tm::runtime::PadicoTM;
 use padico_tm::selector::FabricChoice;
 use padico_tm::{ArbitratedDriver, TmError};
 use padico_util::ids::{IdGen, NodeId};
+use padico_util::metrics::counter_add;
 use padico_util::{trace_debug, trace_info};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -66,6 +67,81 @@ pub struct Orb {
     accept_thread: Mutex<Option<JoinHandle<()>>>,
     shutting_down: Arc<AtomicBool>,
     protocol: WireProtocol,
+    admission: Arc<AdmissionController>,
+    /// Replies suppressed because a CancelRequest beat the dispatch to
+    /// completion. Deliberately NOT a registry counter: whether a cancel
+    /// wins that race is wall-clock scheduling, and the metrics registry
+    /// must stay byte-identical across same-seed runs.
+    cancels_suppressed: std::sync::atomic::AtomicU64,
+}
+
+/// Bounded admission budget for inbound dispatches on one ORB endpoint.
+///
+/// Overload protection is shed-don't-queue: a request that cannot start
+/// *immediately* is answered `TRANSIENT` on the spot instead of being
+/// parked behind work that may itself be stuck. Queues convert overload
+/// into latency for everyone; an instant shed converts it into a
+/// retryable signal for one caller, and the transport's existing backoff
+/// spreads the re-offered load out in time.
+struct AdmissionController {
+    /// Maximum concurrently dispatching requests; `None` = unbounded
+    /// (admission control off, the default).
+    budget: Option<u32>,
+    inflight: AtomicU32,
+    /// High-water mark of `inflight`; with a budget configured it can
+    /// never exceed it — the overload chaos test asserts exactly that.
+    peak: AtomicU32,
+}
+
+impl AdmissionController {
+    fn new(budget: Option<u32>) -> Arc<AdmissionController> {
+        Arc::new(AdmissionController {
+            budget,
+            inflight: AtomicU32::new(0),
+            peak: AtomicU32::new(0),
+        })
+    }
+
+    /// Admit one dispatch (RAII permit) or refuse instantly. Counters
+    /// only move when a budget is configured, so default-config runs
+    /// keep their metrics snapshots unchanged.
+    fn try_admit(self: &Arc<Self>) -> Option<AdmissionPermit> {
+        let Some(budget) = self.budget else {
+            return Some(AdmissionPermit { ctl: None });
+        };
+        loop {
+            let cur = self.inflight.load(Ordering::Acquire);
+            if cur >= budget {
+                counter_add("orb.admission.shed", 1);
+                return None;
+            }
+            if self
+                .inflight
+                .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.peak.fetch_max(cur + 1, Ordering::AcqRel);
+                counter_add("orb.admission.admitted", 1);
+                return Some(AdmissionPermit {
+                    ctl: Some(Arc::clone(self)),
+                });
+            }
+        }
+    }
+}
+
+/// One admitted dispatch's slot in the inflight budget; freed on drop
+/// (normal return and servant panic alike).
+struct AdmissionPermit {
+    ctl: Option<Arc<AdmissionController>>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        if let Some(ctl) = &self.ctl {
+            ctl.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
 }
 
 /// Client side of one GIOP connection, with full request multiplexing:
@@ -114,6 +190,9 @@ impl ClientConn {
     /// wire) surfaces as `TRANSIENT` after the deadline instead of
     /// blocking the caller forever; the pending entry is removed so a
     /// straggler reply to the stale id is simply discarded by the reader.
+    /// A best-effort GIOP `CancelRequest` chases the abandoned request so
+    /// a server still working on it can suppress the (now unwanted)
+    /// reply — always GIOP-framed, since servers auto-detect per frame.
     fn await_reply(
         &self,
         request_id: u32,
@@ -124,6 +203,14 @@ impl ClientConn {
             Ok(msg) => Ok(msg),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                 self.pending.lock().remove(&request_id);
+                counter_add("orb.cancel.sent", 1);
+                {
+                    let _w = self.write_lock.lock();
+                    let _ = self
+                        .stream
+                        .write_payload(giop::encode_cancel(request_id))
+                        .and_then(|()| self.stream.flush());
+                }
                 Err(classify_transport(TmError::Timeout(format!(
                     "GIOP reply to request {request_id}"
                 ))))
@@ -134,6 +221,17 @@ impl ClientConn {
             }
         }
     }
+}
+
+/// Read the reason string out of an exceptional reply body (shed or
+/// deadline replies carry one); malformed bodies degrade to a stock text
+/// rather than masking the real failure with a marshal error.
+fn reply_reason(strategy: MarshalStrategy, body: &Payload) -> String {
+    let mut r = match strategy {
+        MarshalStrategy::Copying => CdrReader::from_bytes(body.to_contiguous()),
+        MarshalStrategy::ZeroCopy => CdrReader::new(body),
+    };
+    r.read_string().unwrap_or_else(|_| "unspecified".into())
 }
 
 /// Reader loop of one client connection: routes replies to requesters.
@@ -203,6 +301,8 @@ impl Orb {
             accept_thread: Mutex::new(None),
             shutting_down: Arc::new(AtomicBool::new(false)),
             protocol,
+            admission: AdmissionController::new(tm.config().inflight_budget),
+            cancels_suppressed: std::sync::atomic::AtomicU64::new(0),
         });
         let accept_orb = Arc::clone(&orb);
         let handle = std::thread::Builder::new()
@@ -314,6 +414,12 @@ impl Orb {
     fn serve_connection(self: Arc<Self>, stream: padico_tm::vlink::VLinkStream) {
         let stream = Arc::new(stream);
         let write_lock = Arc::new(Mutex::new(()));
+        // Requests this connection is still dispatching, keyed by request
+        // id; the flag flips to true when a CancelRequest arrives and the
+        // dispatch thread then suppresses its reply write. Entries are
+        // removed when the dispatch finishes, so a cancel racing a
+        // completed request is recognisably "late".
+        let cancel_reg: Arc<Mutex<HashMap<u32, bool>>> = Arc::new(Mutex::new(HashMap::new()));
         let caller = stream.peer();
         loop {
             let frame = match stream.read_frame() {
@@ -349,15 +455,53 @@ impl Orb {
                     operation,
                     trace_id,
                     parent_span,
+                    deadline,
                     body,
                 } => {
+                    // Admission decides *before* a dispatch thread exists:
+                    // shed work never queues, never spawns, and answers
+                    // TRANSIENT immediately (oneways are silently dropped
+                    // — there is nobody to answer).
+                    let Some(permit) = self.admission.try_admit() else {
+                        trace_debug!(
+                            "orb",
+                            "{}: shed request {request_id} (`{operation}`): \
+                             admission budget exhausted",
+                            self.tm.node()
+                        );
+                        if response_expected {
+                            let mut w = CdrWriter::new(self.profile.strategy);
+                            w.write_string("admission budget exhausted");
+                            let frame = match wire {
+                                WireProtocol::Giop => giop::encode_reply(
+                                    request_id,
+                                    ReplyStatus::Transient,
+                                    w.finish(),
+                                ),
+                                WireProtocol::Esiop => crate::esiop::encode_reply(
+                                    request_id,
+                                    ReplyStatus::Transient,
+                                    w.finish(),
+                                ),
+                            };
+                            let _w = write_lock.lock();
+                            let _ = stream
+                                .write_payload(frame)
+                                .and_then(|()| stream.flush());
+                        }
+                        continue;
+                    };
+                    cancel_reg.lock().insert(request_id, false);
                     let orb = Arc::clone(&self);
                     let stream = Arc::clone(&stream);
                     let write_lock = Arc::clone(&write_lock);
+                    let cancel_reg = Arc::clone(&cancel_reg);
                     std::thread::spawn(move || {
+                        let _slot = permit;
                         orb.dispatch_request(
                             &stream,
                             &write_lock,
+                            &cancel_reg,
                             caller,
                             wire,
                             request_id,
@@ -366,6 +510,7 @@ impl Orb {
                             operation,
                             trace_id,
                             parent_span,
+                            deadline,
                             body,
                         );
                     });
@@ -389,10 +534,21 @@ impl Orb {
                     }
                 }
                 GiopMessage::CancelRequest { request_id } => {
-                    // Requests are served as they arrive, so a cancel can
-                    // only arrive after the fact; log and ignore, as real
-                    // ORBs do in that race.
-                    trace_debug!("orb", "late CancelRequest {request_id}");
+                    // A cancel for a dispatch still in flight flags it so
+                    // its reply write is suppressed (the client has
+                    // already given up waiting); a cancel that lost the
+                    // race against completion is logged and ignored, as
+                    // real ORBs do.
+                    let mut reg = cancel_reg.lock();
+                    if let Some(flag) = reg.get_mut(&request_id) {
+                        *flag = true;
+                        trace_debug!(
+                            "orb",
+                            "CancelRequest {request_id}: reply will be suppressed"
+                        );
+                    } else {
+                        trace_debug!("orb", "late CancelRequest {request_id}");
+                    }
                 }
                 GiopMessage::CloseConnection => return,
                 GiopMessage::Reply { .. } | GiopMessage::LocateReply { .. } => {
@@ -412,6 +568,7 @@ impl Orb {
         &self,
         stream: &padico_tm::vlink::VLinkStream,
         write_lock: &Mutex<()>,
+        cancel_reg: &Mutex<HashMap<u32, bool>>,
         caller: NodeId,
         wire: WireProtocol,
         request_id: u32,
@@ -420,6 +577,7 @@ impl Orb {
         operation: String,
         trace_id: u64,
         parent_span: u64,
+        deadline: u64,
         body: Payload,
     ) {
         let clock = self.tm.clock().share();
@@ -431,6 +589,44 @@ impl Orb {
                 span_id: parent_span,
             })
         });
+        // A deadline that expired in flight short-circuits before any
+        // servant work: the caller has already given up, so burning CPU
+        // on the reply only steals time from requests that can still
+        // make theirs. Answer the typed TIMEOUT instead.
+        if deadline != 0 && clock.now() >= deadline {
+            counter_add("orb.deadline.expired_server", 1);
+            trace_debug!(
+                "orb",
+                "{}: request {request_id} (`{operation}`) arrived {} vns past \
+                 its deadline; dispatch short-circuited",
+                self.tm.node(),
+                clock.now() - deadline
+            );
+            let cancelled = cancel_reg.lock().remove(&request_id).unwrap_or(false);
+            if response_expected && !cancelled {
+                let mut w = CdrWriter::new(self.profile.strategy);
+                w.write_string(&format!(
+                    "deadline expired {} vns before dispatch of `{operation}`",
+                    clock.now() - deadline
+                ));
+                let frame = match wire {
+                    WireProtocol::Giop => {
+                        giop::encode_reply(request_id, ReplyStatus::DeadlineExceeded, w.finish())
+                    }
+                    WireProtocol::Esiop => crate::esiop::encode_reply(
+                        request_id,
+                        ReplyStatus::DeadlineExceeded,
+                        w.finish(),
+                    ),
+                };
+                let _w = write_lock.lock();
+                let _ = stream.write_payload(frame).and_then(|()| stream.flush());
+            }
+            return;
+        }
+        // Whatever budget remains bounds the servant's own outgoing
+        // invocations: nested calls clamp to the ambient deadline.
+        let ambient_deadline = (deadline != 0).then(|| crate::deadline::adopt(deadline));
         let dispatch_span = padico_util::span::child(
             &clock,
             self.tm.node().0,
@@ -484,7 +680,21 @@ impl Orb {
                 ReplyStatus::SystemException
             }
         };
-        if response_expected {
+        // The dispatch is over: leave the cancel registry. A cancel that
+        // arrived while the servant ran suppresses the reply write — the
+        // client stopped waiting long ago and a stale reply would only be
+        // discarded by its reader anyway.
+        let cancelled = cancel_reg.lock().remove(&request_id).unwrap_or(false);
+        if cancelled {
+            self.cancels_suppressed
+                .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+            trace_debug!(
+                "orb",
+                "{}: reply to cancelled request {request_id} suppressed",
+                self.tm.node()
+            );
+        }
+        if response_expected && !cancelled {
             let reply_payload = reply_writer.finish();
             // The reply marshal path costs like a server-side charge on
             // the reply body.
@@ -500,6 +710,7 @@ impl Orb {
             // instant the client sees the reply it may snapshot the span
             // buffers, and everything server-side must already be there.
             drop(dispatch_span);
+            drop(ambient_deadline);
             drop(ctx_guard);
             let _w = write_lock.lock();
             let _ = stream.write_payload(frame).and_then(|()| stream.flush());
@@ -546,6 +757,39 @@ impl Orb {
     /// with this).
     pub fn drop_connection(&self, node: NodeId, endpoint: &str) {
         self.conns.lock().remove(&(node, endpoint.to_string()));
+    }
+
+    /// Outstanding (un-replied) client requests on the cached connection
+    /// to `node`/`endpoint`; 0 when no connection is cached. Robustness
+    /// tests use this to prove abandoned requests do not leak `pending`
+    /// entries.
+    pub fn pending_request_count(&self, node: NodeId, endpoint: &str) -> usize {
+        self.conns
+            .lock()
+            .get(&(node, endpoint.to_string()))
+            .map_or(0, |c| c.pending.lock().len())
+    }
+
+    /// High-water mark of concurrently admitted dispatches over this
+    /// ORB's lifetime. With [`padico_tm::TmConfig::inflight_budget`]
+    /// configured this can never exceed the budget — the overload chaos
+    /// test asserts exactly that.
+    pub fn admission_inflight_peak(&self) -> u32 {
+        self.admission.peak.load(Ordering::Acquire)
+    }
+
+    /// Dispatches currently admitted and still running. Tests poll this
+    /// for quiescence so their follow-up traffic sees deterministic
+    /// admission decisions.
+    pub fn admission_inflight(&self) -> u32 {
+        self.admission.inflight.load(Ordering::Acquire)
+    }
+
+    /// Replies suppressed because a `CancelRequest` arrived while the
+    /// dispatch was still running.
+    pub fn cancels_suppressed(&self) -> u64 {
+        self.cancels_suppressed
+            .load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Whether a failed GIOP exchange is worth another attempt: only
@@ -628,9 +872,21 @@ impl ObjectRef {
     pub fn locate(&self) -> Result<bool, OrbError> {
         let orb = &self.orb;
         let policy = orb.tm.config().retry;
-        let deadline = orb.tm.config().default_deadline;
+        let clock = orb.tm.clock();
+        // Fixed end-to-end budget: retries spend it, they do not renew
+        // it, and an ambient (server-side) deadline tightens it further.
+        let deadline_vt = crate::deadline::clamp(
+            clock.now() + orb.tm.config().default_deadline.as_nanos() as u64,
+        );
         let mut retry = 0u32;
         loop {
+            let remaining = deadline_vt.saturating_sub(clock.now());
+            if remaining == 0 {
+                counter_add("orb.deadline.expired_client", 1);
+                return Err(OrbError::DeadlineExceeded(format!(
+                    "locate budget spent after {retry} attempts"
+                )));
+            }
             let attempt = || -> Result<GiopMessage, OrbError> {
                 let conn = orb.connection(self.ior.node, &self.ior.endpoint)?;
                 let request_id = orb.request_ids.next() as u32;
@@ -641,7 +897,7 @@ impl ObjectRef {
                         true,
                     )?
                     .expect("reply expected");
-                conn.await_reply(request_id, rx, deadline)
+                conn.await_reply(request_id, rx, std::time::Duration::from_nanos(remaining))
             };
             match attempt() {
                 Ok(GiopMessage::LocateReply { status, .. }) => {
@@ -770,10 +1026,27 @@ impl RequestBuilder {
         } else {
             padico_tm::RetryPolicy::none()
         };
-        let deadline = orb.tm.config().default_deadline;
+        // The end-to-end budget is an *absolute* virtual-time deadline
+        // fixed once, before the first attempt: retries and their backoff
+        // spend it, they do not renew it. When this invocation runs
+        // inside a servant dispatch, the caller's propagated deadline
+        // clamps the budget further — a nested call can never outlive the
+        // request that spawned it.
+        let deadline_vt = crate::deadline::clamp(
+            clock.now() + orb.tm.config().default_deadline.as_nanos() as u64,
+        );
         let mut retry = 0u32;
         let mut prev_attempt_span = 0u64;
         let msg = loop {
+            let remaining = deadline_vt.saturating_sub(clock.now());
+            if remaining == 0 {
+                counter_add("orb.deadline.expired_client", 1);
+                return Err(OrbError::DeadlineExceeded(format!(
+                    "budget spent before attempt {} of `{}`",
+                    retry + 1,
+                    self.operation
+                )));
+            }
             // One span per GIOP attempt; a re-issue links back to the
             // attempt it replaces so the trace shows the recovery story.
             let attempt_span = padico_util::span::child_retry(
@@ -797,6 +1070,7 @@ impl RequestBuilder {
                         &self.operation,
                         wire_trace,
                         wire_parent,
+                        deadline_vt,
                         args.clone(),
                     ),
                     WireProtocol::Esiop => crate::esiop::encode_request(
@@ -806,16 +1080,46 @@ impl RequestBuilder {
                         &self.operation,
                         wire_trace,
                         wire_parent,
+                        deadline_vt,
                         args.clone(),
                     ),
                 };
                 let conn = orb.connection(ior.node, &ior.endpoint)?;
                 match conn.send_request(request_id, frame, response_expected)? {
-                    Some(rx) => conn.await_reply(request_id, rx, deadline).map(Some),
+                    Some(rx) => conn
+                        .await_reply(
+                            request_id,
+                            rx,
+                            std::time::Duration::from_nanos(remaining),
+                        )
+                        .map(Some),
                     None => Ok(None),
                 }
             };
-            let outcome = attempt();
+            // Overload replies convert to typed errors *before* the retry
+            // decision: a shed (`Transient` status) is retryable and rides
+            // the normal backoff, an expired deadline is terminal.
+            let outcome = attempt().and_then(|msg| match msg {
+                Some(GiopMessage::Reply {
+                    status: ReplyStatus::Transient,
+                    body,
+                    ..
+                }) => Err(OrbError::Transient(TmError::Overloaded(reply_reason(
+                    orb.profile.strategy,
+                    &body,
+                )))),
+                Some(GiopMessage::Reply {
+                    status: ReplyStatus::DeadlineExceeded,
+                    body,
+                    ..
+                }) => Err(OrbError::DeadlineExceeded(reply_reason(
+                    orb.profile.strategy,
+                    &body,
+                ))),
+                other => Ok(other),
+            });
+            let outcome_was_shed =
+                matches!(&outcome, Err(OrbError::Transient(TmError::Overloaded(_))));
             prev_attempt_span = attempt_span.id();
             drop(attempt_span);
             match outcome {
@@ -829,8 +1133,11 @@ impl RequestBuilder {
                     orb.note_giop_retry(retry, &policy);
                     // The cached connection may be the broken thing:
                     // evict it so the next attempt reconnects (and the
-                    // VLink layer gets the chance to fail over).
-                    orb.drop_connection(ior.node, &ior.endpoint);
+                    // VLink layer gets the chance to fail over). A shed
+                    // reply proves the connection works — keep it.
+                    if !outcome_was_shed {
+                        orb.drop_connection(ior.node, &ior.endpoint);
+                    }
                 }
             }
         };
@@ -860,6 +1167,21 @@ impl RequestBuilder {
                     ReplyStatus::SystemException => {
                         let mut r = reader;
                         Err(OrbError::System(r.read_string()?))
+                    }
+                    // Converted to typed errors inside the retry loop;
+                    // kept here so the conversion cannot silently vanish
+                    // if the loop is restructured.
+                    ReplyStatus::Transient => {
+                        let mut r = reader;
+                        Err(OrbError::Transient(TmError::Overloaded(
+                            r.read_string().unwrap_or_else(|_| "unspecified".into()),
+                        )))
+                    }
+                    ReplyStatus::DeadlineExceeded => {
+                        let mut r = reader;
+                        Err(OrbError::DeadlineExceeded(
+                            r.read_string().unwrap_or_else(|_| "unspecified".into()),
+                        ))
                     }
                 }
             }

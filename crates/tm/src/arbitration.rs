@@ -180,7 +180,15 @@ impl ChannelMap {
 
     /// Route one inbound message: hand to the live subscriber or park it.
     /// The send to a live subscriber happens outside the shard lock.
-    fn dispatch(&self, channel: ChannelId, msg: Message) {
+    ///
+    /// A message shed because the parked budget is exhausted surfaces as
+    /// a typed [`TmError::Overloaded`] (on top of the `tm.parked.dropped`
+    /// counter), so callers that *can* react — local senders — tell
+    /// shed-at-arbitration apart from link death; the remote inbound path
+    /// has nobody to answer and keeps only the counter.
+    fn dispatch(&self, channel: ChannelId, msg: Message) -> Result<(), TmError> {
+        let overloaded =
+            |channel: ChannelId| TmError::Overloaded(format!("parked budget full for {channel}"));
         let shard = self.shard(channel);
         let tx = {
             let mut entries = shard.lock();
@@ -189,14 +197,16 @@ impl ChannelMap {
                 Some(ChannelEntry::Parked(v)) => {
                     if self.try_park(channel) {
                         v.push(msg);
+                        return Ok(());
                     }
-                    return;
+                    return Err(overloaded(channel));
                 }
                 None => {
                     if self.try_park(channel) {
                         entries.insert(channel, ChannelEntry::Parked(vec![msg]));
+                        return Ok(());
                     }
-                    return;
+                    return Err(overloaded(channel));
                 }
             }
         };
@@ -204,7 +214,7 @@ impl ChannelMap {
             // Subscriber dropped without unsubscribing; repark.
             let mut entries = shard.lock();
             if !self.try_park(channel) {
-                return;
+                return Err(overloaded(channel));
             }
             if let Some(ChannelEntry::Parked(v)) = entries.get_mut(&channel) {
                 v.push(err.0);
@@ -212,6 +222,7 @@ impl ChannelMap {
                 entries.insert(channel, ChannelEntry::Parked(vec![err.0]));
             }
         }
+        Ok(())
     }
 
     /// Install a live subscriber, replaying parked messages (if any) into
@@ -478,8 +489,9 @@ impl NetAccess {
 
     /// Loopback optimization: a message to the local node skips the wire
     /// and is dispatched directly (charged a small constant by the caller
-    /// if desired).
-    pub fn send_local(&self, channel: ChannelId, payload: Payload) {
+    /// if desired). Shed-at-arbitration (the parked budget is full)
+    /// surfaces as the typed transient [`TmError::Overloaded`].
+    pub fn send_local(&self, channel: ChannelId, payload: Payload) -> Result<(), TmError> {
         let msg = Message {
             src: EndpointAddr {
                 node: self.node,
@@ -491,7 +503,7 @@ impl NetAccess {
             corrupted: false,
             payload,
         };
-        self.map.dispatch(channel, msg);
+        self.map.dispatch(channel, msg)
     }
 
     /// Tear down the progress engine and release all NICs. Idempotent;
@@ -521,7 +533,9 @@ fn progress_loop(events: Receiver<IoEvent>, map: Arc<ChannelMap>) {
         match events.recv() {
             Ok(IoEvent::Inbound(msg)) => {
                 let channel = msg.channel;
-                map.dispatch(channel, msg);
+                // Inbound shed has nobody to answer; the drop is already
+                // counted (`tm.parked.dropped`) and warned about.
+                let _ = map.dispatch(channel, msg);
             }
             Ok(IoEvent::Control(ControlEvent::Shutdown)) => return,
             // All senders vanished (process teardown).
@@ -647,9 +661,13 @@ mod tests {
             corrupted: false,
             payload: Payload::from_vec(vec![n]),
         };
-        map.dispatch(ch, msg(1));
-        map.dispatch(ch, msg(2));
-        map.dispatch(ch, msg(3)); // over budget: dropped
+        map.dispatch(ch, msg(1)).unwrap();
+        map.dispatch(ch, msg(2)).unwrap();
+        // Over budget: shed with a typed transient error, not queued.
+        let err = map.dispatch(ch, msg(3)).unwrap_err();
+        assert!(matches!(err, TmError::Overloaded(_)), "{err}");
+        assert!(err.is_transient(), "shed-at-arbitration is retryable");
+        assert!(!err.is_link_level(), "shed does not indict the fabric");
         assert_eq!(map.parked_total.load(Ordering::Relaxed), 2);
         let rx = map.subscribe(ch, NodeId(0)).unwrap();
         assert_eq!(rx.try_recv().unwrap().payload.to_vec(), vec![1]);
@@ -683,7 +701,7 @@ mod tests {
         let ch = fresh_channel();
         let rx = net.subscribe(ch).unwrap();
         let before = net.clock().now();
-        net.send_local(ch, Payload::from_vec(vec![9, 9]));
+        net.send_local(ch, Payload::from_vec(vec![9, 9])).unwrap();
         let msg = rx.recv(net.clock()).unwrap();
         assert_eq!(msg.payload.to_vec(), vec![9, 9]);
         assert_eq!(net.clock().now(), before, "local dispatch is free");

@@ -34,8 +34,9 @@
 //! to the next-best fabric when the link itself is indicted.
 
 use padico_fabric::{pool, Message, Paradigm, Payload};
-use padico_util::ids::{ChannelId, NodeId};
-use padico_util::simtime::SimClock;
+use padico_util::ids::{ChannelId, FabricId, NodeId};
+use padico_util::metrics::counter_add;
+use padico_util::simtime::{SimClock, Vt};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -100,6 +101,108 @@ struct CoalesceBox {
     policy: CoalescePolicy,
     batch: Mutex<Batch>,
     pending: Mutex<VecDeque<Message>>,
+}
+
+/// Per-route circuit-breaker state (see
+/// [`crate::runtime::BreakerPolicy`]). The "half-open" state of the
+/// classic three-state machine is instantaneous here: the admit check
+/// that finds the cooldown elapsed *is* the probe — it clears
+/// `open_until`, marks `probing`, and lets exactly that attempt through;
+/// the attempt's outcome then closes or re-opens the breaker.
+#[derive(Default)]
+pub(crate) struct BreakerState {
+    /// Consecutive transient wire-attempt failures since the last
+    /// success. Reaching `BreakerPolicy::trip_after` opens the route.
+    consecutive_fails: u32,
+    /// `Some(t)`: the route is open and fails fast until virtual time
+    /// `t`, when one half-open probe is admitted.
+    open_until: Option<Vt>,
+    /// The next recorded outcome is a half-open probe's.
+    probing: bool,
+}
+
+/// Admission check against a route's breaker, on the node-wide table in
+/// [`PadicoTM`] (one state per (fabric, peer) route — keyed on the
+/// fabric too, so a route that failed over keeps the dead fabric
+/// quarantined while the new one starts closed, and node-wide so a
+/// connection rebuilt by a higher layer's retry loop still sees the
+/// tripped state). While the route is open and the cooldown has not
+/// elapsed this fails fast with [`TmError::CircuitOpen`]; once the
+/// cooldown elapses the call becomes the half-open probe and is
+/// admitted. Free functions rather than [`LinkCore`] methods because
+/// the connect handshake needs the same gate before any link exists.
+fn breaker_admit(tm: &PadicoTM, fabric: FabricId, dst: NodeId) -> Result<(), TmError> {
+    let Some(_policy) = tm.config().breaker else {
+        return Ok(());
+    };
+    let routes = tm.breaker_routes();
+    let mut routes = routes.lock();
+    let st = routes.entry((fabric, dst)).or_default();
+    let Some(until) = st.open_until else {
+        return Ok(());
+    };
+    let now = tm.clock().now();
+    if now < until {
+        counter_add("tm.breaker.fast_failures", 1);
+        return Err(TmError::CircuitOpen(format!(
+            "route to {dst} open until vt {until}"
+        )));
+    }
+    // Cooldown over: this attempt is the half-open probe.
+    st.open_until = None;
+    st.probing = true;
+    counter_add("tm.breaker.probes", 1);
+    breaker_transition_span(tm, format!("probe:{dst}"), now);
+    Ok(())
+}
+
+/// Record a successful wire attempt: a succeeding probe closes the
+/// breaker; any success resets the consecutive-failure streak.
+fn breaker_note_success(tm: &PadicoTM, fabric: FabricId, dst: NodeId) {
+    if tm.config().breaker.is_none() {
+        return;
+    }
+    let routes = tm.breaker_routes();
+    let mut routes = routes.lock();
+    let st = routes.entry((fabric, dst)).or_default();
+    if st.probing {
+        counter_add("tm.breaker.closed", 1);
+        breaker_transition_span(tm, format!("close:{dst}"), tm.clock().now());
+    }
+    *st = BreakerState::default();
+}
+
+/// Record a transient wire-attempt failure: a failing probe re-opens
+/// the breaker immediately; otherwise the streak grows and trips the
+/// breaker at the policy threshold.
+fn breaker_note_failure(tm: &PadicoTM, fabric: FabricId, dst: NodeId) {
+    let Some(policy) = tm.config().breaker else {
+        return;
+    };
+    let routes = tm.breaker_routes();
+    let mut routes = routes.lock();
+    let st = routes.entry((fabric, dst)).or_default();
+    let trip = if st.probing {
+        st.probing = false;
+        true
+    } else {
+        st.consecutive_fails += 1;
+        st.consecutive_fails >= policy.trip_after
+    };
+    if trip && st.open_until.is_none() {
+        let now = tm.clock().now();
+        st.open_until = Some(now + policy.cooldown);
+        st.consecutive_fails = 0;
+        counter_add("tm.breaker.opened", 1);
+        breaker_transition_span(tm, format!("open:{dst}"), now);
+    }
+}
+
+/// Zero-length transition span under the `tm.breaker` layer, end
+/// pinned to the deterministic transition stamp.
+fn breaker_transition_span(tm: &PadicoTM, name: String, at: Vt) {
+    let mut span = padico_util::span::child(tm.clock(), tm.node().0, "tm.breaker", name);
+    span.end_at(at);
 }
 
 /// The shared link state machine under every abstraction-layer driver.
@@ -342,14 +445,16 @@ impl LinkCore {
         label: &str,
     ) -> Result<(), TmError> {
         if dst == self.tm.node() {
-            self.tm.net().send_local(channel, wire);
-            return Ok(());
+            return self.tm.net().send_local(channel, wire);
         }
         let policy = self.tm.config().retry;
         let mut attempt = 1u32;
         let mut prev_span = 0u64;
         loop {
             let fabric = self.route.lock().fabric.id();
+            // Circuit breaker first: an open route fails fast without a
+            // span, a backoff charge, or any wire traffic.
+            breaker_admit(&self.tm, fabric, dst)?;
             let mut span = padico_util::span::child_retry(
                 self.tm.clock(),
                 self.tm.node().0,
@@ -364,8 +469,12 @@ impl LinkCore {
             prev_span = span.id();
             drop(span);
             match outcome {
-                Ok(_) => return Ok(()),
+                Ok(_) => {
+                    breaker_note_success(&self.tm, fabric, dst);
+                    return Ok(());
+                }
                 Err(err) if attempt < policy.max_attempts && err.is_transient() => {
+                    breaker_note_failure(&self.tm, fabric, dst);
                     let rec = self.tm.recovery();
                     faults::note(rec, |r| &r.send_retries);
                     let charged = policy.charge_backoff(self.tm.clock(), attempt);
@@ -373,7 +482,12 @@ impl LinkCore {
                     self.try_failover(&err);
                     attempt += 1;
                 }
-                Err(err) => return Err(err),
+                Err(err) => {
+                    if err.is_transient() {
+                        breaker_note_failure(&self.tm, fabric, dst);
+                    }
+                    return Err(err);
+                }
             }
         }
     }
@@ -512,6 +626,17 @@ impl LinkCore {
         let policy = tm.config().retry;
         let mut route = tm.select(peers, paradigm, choice)?;
         let per_attempt = timeout / policy.max_attempts.max(1);
+        // Point-to-point handshakes (one remote peer) go through the same
+        // per-route breaker as established links: a reconnect storm onto
+        // a tripped route must fail fast, not spray SYNs at a dead peer.
+        // Group handshakes (circuits) have no single accountable route.
+        let breaker_dst = {
+            let mut remotes = peers.iter().copied().filter(|p| *p != tm.node());
+            match (remotes.next(), remotes.next()) {
+                (Some(dst), None) => Some(dst),
+                _ => None,
+            }
+        };
         let mut attempt = 1u32;
         let mut prev_span = 0u64;
         loop {
@@ -522,7 +647,20 @@ impl LinkCore {
                 format!("connect:attempt{attempt}"),
                 prev_span,
             );
-            let outcome = attempt_fn(&route, per_attempt);
+            let outcome = match breaker_dst {
+                Some(dst) => breaker_admit(tm, route.fabric.id(), dst).and_then(|()| {
+                    let outcome = attempt_fn(&route, per_attempt);
+                    match &outcome {
+                        Ok(_) => breaker_note_success(tm, route.fabric.id(), dst),
+                        Err(err) if err.is_transient() => {
+                            breaker_note_failure(tm, route.fabric.id(), dst);
+                        }
+                        Err(_) => {}
+                    }
+                    outcome
+                }),
+                None => attempt_fn(&route, per_attempt),
+            };
             prev_span = span.id();
             drop(span);
             match outcome {
@@ -1068,6 +1206,76 @@ mod tests {
             1,
             "six coalesced frames crossed as one wire message"
         );
+    }
+
+    #[test]
+    fn breaker_trips_fails_fast_and_recovers_via_half_open_probe() {
+        let _iso = padico_util::trace::isolated();
+        let cooldown = 5 * padico_util::simtime::MS;
+        let (topo, _ids) = single_cluster(2);
+        let cfg = TmConfig {
+            breaker: Some(crate::runtime::BreakerPolicy {
+                trip_after: 1,
+                cooldown,
+            }),
+            ..TmConfig::default()
+        };
+        let tms = PadicoTM::boot_all_with_config(Arc::new(topo), cfg).unwrap();
+        let listener = tms[1].vlink_listen("brk").unwrap();
+        let bt = std::thread::spawn(move || listener.accept().unwrap());
+        let s = tms[0]
+            .vlink_connect(tms[1].node(), "brk", FabricChoice::Auto)
+            .unwrap();
+        let server = bt.join().unwrap();
+        // Partition EVERY fabric between the pair: failover has nowhere
+        // to go, so consecutive attempts fail and trip route breakers.
+        let (a, b) = (tms[0].node(), tms[1].node());
+        for f in tms[0].net().fabrics() {
+            f.faults().partition_pair(a, b);
+        }
+        let refusals = || -> u64 {
+            tms[0]
+                .net()
+                .fabrics()
+                .iter()
+                .map(|f| f.fault_stats().link_down_refusals)
+                .sum()
+        };
+        // With trip_after = 1, every failed attempt opens the fabric it
+        // ran on; once all fabrics are quarantined the send fails fast.
+        let err = s.write_all(b"ping").unwrap_err();
+        assert!(
+            matches!(err, TmError::CircuitOpen(_)),
+            "all routes quarantined: {err}"
+        );
+        assert!(err.is_transient() && !err.is_link_level());
+        let wire_attempts = refusals();
+        assert!(wire_attempts > 0, "the tripping attempts touched the wire");
+        // While open: fail fast with NO wire traffic on the route.
+        let err = s.write_all(b"ping").unwrap_err();
+        assert!(matches!(err, TmError::CircuitOpen(_)), "{err}");
+        assert_eq!(
+            refusals(),
+            wire_attempts,
+            "an open breaker must not generate wire traffic"
+        );
+        let counters = padico_util::metrics::snapshot().counters;
+        assert!(counters["tm.breaker.opened"] >= 1, "{counters:?}");
+        assert!(counters["tm.breaker.fast_failures"] >= 1, "{counters:?}");
+        // Heal the links and let the cooldown elapse on the virtual
+        // clock: the next send is the half-open probe and closes the
+        // breaker.
+        for f in tms[0].net().fabrics() {
+            f.faults().heal_pair(a, b);
+        }
+        tms[0].clock().advance(cooldown);
+        s.write_all(b"pong").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+        let counters = padico_util::metrics::snapshot().counters;
+        assert!(counters["tm.breaker.probes"] >= 1, "{counters:?}");
+        assert_eq!(counters["tm.breaker.closed"], 1, "{counters:?}");
     }
 
     #[test]

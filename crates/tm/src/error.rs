@@ -22,6 +22,14 @@ pub enum TmError {
     LinkDown { from: NodeId, to: NodeId },
     /// The channel/stream/endpoint has been closed.
     Closed,
+    /// A bounded budget (inflight dispatches, parked-message budget) was
+    /// exhausted and the work was shed instead of queued. Retryable: the
+    /// overload is by definition momentary once inflight work drains.
+    Overloaded(String),
+    /// A circuit breaker holds this route open after consecutive
+    /// transient failures; the call failed fast without touching the
+    /// wire. Retryable — a later attempt rides the half-open probe.
+    CircuitOpen(String),
     /// Module management error (missing dependency, duplicate load, …).
     Module(String),
     /// Protocol violation detected while parsing a runtime header.
@@ -37,7 +45,10 @@ impl TmError {
     /// or the selector can fail the flow over to another fabric.
     pub fn is_transient(&self) -> bool {
         match self {
-            TmError::LinkDown { .. } | TmError::Timeout(_) => true,
+            TmError::LinkDown { .. }
+            | TmError::Timeout(_)
+            | TmError::Overloaded(_)
+            | TmError::CircuitOpen(_) => true,
             TmError::Fabric(fe) => matches!(
                 fe,
                 FabricError::NoMapping { .. }
@@ -74,6 +85,8 @@ impl fmt::Display for TmError {
             TmError::Timeout(what) => write!(f, "timed out: {what}"),
             TmError::LinkDown { from, to } => write!(f, "link from {from} to {to} is down"),
             TmError::Closed => write!(f, "closed"),
+            TmError::Overloaded(what) => write!(f, "overloaded: {what}"),
+            TmError::CircuitOpen(what) => write!(f, "circuit open: {what}"),
             TmError::Module(what) => write!(f, "module error: {what}"),
             TmError::Protocol(what) => write!(f, "protocol error: {what}"),
         }
@@ -129,6 +142,10 @@ mod tests {
         assert!(TmError::Fabric(FabricError::MappingLimit { node: pair.0, limit: 2 }).is_transient());
         assert!(TmError::Fabric(FabricError::Unreachable { to: pair.1, port: 9 }).is_transient());
         assert!(TmError::Fabric(FabricError::LinkDown { from: pair.0, to: pair.1 }).is_transient());
+        // Shed work and open breakers clear once load drains / the
+        // cooldown elapses.
+        assert!(TmError::Overloaded("inflight budget".into()).is_transient());
+        assert!(TmError::CircuitOpen("route to node1".into()).is_transient());
         // Permanent: retrying cannot help.
         assert!(!TmError::Closed.is_transient());
         assert!(!TmError::Protocol("bad header".into()).is_transient());
@@ -149,9 +166,13 @@ mod tests {
         assert!(TmError::Fabric(FabricError::NoMapping { from: pair.0, to: pair.1 }).is_link_level());
         assert!(TmError::Fabric(FabricError::MappingLimit { node: pair.0, limit: 8 }).is_link_level());
         // Transient but *not* link-level: a timeout does not indict the
-        // fabric, and an unreachable port is the peer's fault.
+        // fabric, an unreachable port is the peer's fault, and overload /
+        // an open breaker say the route is saturated or quarantined —
+        // failing over would just spread the load, not fix it.
         assert!(!TmError::Timeout("recv".into()).is_link_level());
         assert!(!TmError::Fabric(FabricError::Unreachable { to: pair.1, port: 9 }).is_link_level());
+        assert!(!TmError::Overloaded("budget".into()).is_link_level());
+        assert!(!TmError::CircuitOpen("route".into()).is_link_level());
         // Permanent errors are never link-level.
         assert!(!TmError::Closed.is_link_level());
         assert!(!TmError::Protocol("x".into()).is_link_level());

@@ -48,6 +48,6 @@ pub use driver::{coalesce_stats, ArbitratedDriver, CoalesceStats, LinkCore};
 pub use error::TmError;
 pub use faults::{is_retryable, RetryPolicy};
 pub use module::{ModuleManager, PadicoModule};
-pub use runtime::{CoalescePolicy, PadicoTM, TmConfig};
+pub use runtime::{BreakerPolicy, CoalescePolicy, PadicoTM, TmConfig};
 pub use selector::{FabricChoice, Route};
 pub use vlink::{VLinkListener, VLinkStream};

@@ -36,6 +36,39 @@ pub struct TmConfig {
     /// `None` (the default) sends each frame as its own wire message.
     /// Must be set cluster-wide (the envelope changes the wire format).
     pub coalesce: Option<CoalescePolicy>,
+    /// Bounded inflight-dispatch budget for this node's ORB endpoint.
+    /// `None` (the default) admits everything; `Some(b)` load-sheds
+    /// request `b+1` with a TRANSIENT reply instead of queueing it.
+    pub inflight_budget: Option<u32>,
+    /// Per-route circuit breaker policy for every link on this node.
+    /// `None` (the default) never trips; routes are re-probed on every
+    /// call exactly as before.
+    pub breaker: Option<BreakerPolicy>,
+}
+
+/// Knobs for the per-route circuit breaker in
+/// [`crate::driver::LinkCore`]: `trip_after` consecutive transient send
+/// failures open the route; while open every send fails fast with
+/// [`TmError::CircuitOpen`]; after `cooldown` virtual nanoseconds one
+/// half-open probe is let through and its outcome closes or re-opens
+/// the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive transient failures (counting every wire attempt, not
+    /// top-level calls) that trip the breaker open.
+    pub trip_after: u32,
+    /// Virtual time the breaker stays open before admitting one
+    /// half-open probe.
+    pub cooldown: padico_util::simtime::VtDuration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            trip_after: 4,
+            cooldown: 5 * padico_util::simtime::MS,
+        }
+    }
 }
 
 /// Knobs for small-message coalescing (see [`crate::driver::LinkCore`]):
@@ -66,6 +99,8 @@ impl Default for TmConfig {
             connect_timeout: Duration::from_secs(5),
             retry: RetryPolicy::default(),
             coalesce: None,
+            inflight_budget: None,
+            breaker: None,
         }
     }
 }
@@ -78,6 +113,12 @@ pub struct PadicoTM {
     net: Arc<NetAccess>,
     modules: ModuleManager,
     config: TmConfig,
+    /// Node-wide circuit-breaker route table, shared by every
+    /// [`crate::driver::LinkCore`] on this node: breaker state is a
+    /// property of the *route* (fabric, peer), not of any one link, so a
+    /// connection torn down and rebuilt by a higher layer's retry loop
+    /// still sees the tripped state.
+    breaker_routes: Arc<parking_lot::Mutex<std::collections::HashMap<(FabricId, NodeId), crate::driver::BreakerState>>>,
 }
 
 impl PadicoTM {
@@ -101,6 +142,9 @@ impl PadicoTM {
             net,
             modules: ModuleManager::new(),
             config,
+            breaker_routes: Arc::new(parking_lot::Mutex::new(
+                std::collections::HashMap::new(),
+            )),
         }))
     }
 
@@ -151,6 +195,15 @@ impl PadicoTM {
     /// The node's runtime knobs.
     pub fn config(&self) -> &TmConfig {
         &self.config
+    }
+
+    /// The node-wide circuit-breaker route table (one entry per
+    /// (fabric, peer) route that has seen traffic).
+    pub(crate) fn breaker_routes(
+        &self,
+    ) -> Arc<parking_lot::Mutex<std::collections::HashMap<(FabricId, NodeId), crate::driver::BreakerState>>>
+    {
+        Arc::clone(&self.breaker_routes)
     }
 
     /// The node's recovery counters (retries, failovers, backoff charged).

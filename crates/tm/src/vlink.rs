@@ -286,7 +286,7 @@ impl VLinkStream {
         let syn = Payload::from_bytes(syn.freeze());
         let listener = listener_channel(service, dst);
         if dst == tm.node() {
-            tm.net().send_local(listener, syn);
+            tm.net().send_local(listener, syn)?;
         } else {
             tm.net().send(route.fabric.id(), dst, listener, syn)?;
         }

@@ -14,14 +14,27 @@ use padico::core::parallel::{ParValue, ParallelAdapter, ParallelRef};
 use padico::core::paridl::{ArgDef, InterfaceDef, OpDef, ParamKind};
 use padico::core::{DistSeq, Distribution, Grid, GridCcmError, InterceptionPlan};
 use padico::fabric::fabric::FabricKind;
+use padico::fabric::topology::single_cluster;
 use padico::fabric::{presets, FaultPlan, SecurityZone, Topology};
+use padico::orb::cdr::{CdrReader, CdrWriter};
 use padico::orb::profile::OrbProfile;
+use padico::orb::{Orb, OrbError, Servant, ServerCtx};
 use padico::tm::selector::FabricChoice;
-use padico::tm::{RetryPolicy, TmConfig};
-use padico::util::simtime::MS;
+use padico::tm::{BreakerPolicy, PadicoTM, RetryPolicy, TmConfig, TmError};
+use padico::util::simtime::{MS, SEC};
 use padico::util::stats::RecoverySnapshot;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
+
+/// The seed the chaos scenarios run under. CI's multi-seed matrix sets
+/// `CHAOS_SEED`; local runs default to 42. Every determinism assertion
+/// compares two runs of the *same* seed, so any seed must pass.
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
 
 /// Short deadlines (a lost frame costs one reply timeout of wall-clock)
 /// and a widened retry budget for the 20%-drop scenarios.
@@ -34,6 +47,8 @@ fn chaos_config() -> TmConfig {
             ..RetryPolicy::default()
         },
         coalesce: None,
+        inflight_budget: None,
+        breaker: None,
     }
 }
 
@@ -44,6 +59,23 @@ fn chaos_config_coalesced() -> TmConfig {
         coalesce: Some(padico::tm::CoalescePolicy::default()),
         ..chaos_config()
     }
+}
+
+/// The metrics render minus the per-fabric byte counters. Connection
+/// teardown (reader threads releasing dropped links, their FIN/flush
+/// frames) happens at thread-scheduling mercy — possibly after the
+/// scenario's isolated registry window has ended and the next one
+/// begun — so raw byte tallies are the one wall-clock-exposed counter
+/// family. Everything load-bearing (retries, sheds, breaker
+/// transitions, deadline refusals, latency histograms) must still
+/// replay byte-identically and stays in the comparison.
+fn stable_metrics_render() -> String {
+    padico::util::metrics::snapshot()
+        .render()
+        .lines()
+        .filter(|l| !l.starts_with("counter bytes."))
+        .map(|l| format!("{l}\n"))
+        .collect()
 }
 
 fn shift_interface() -> InterfaceDef {
@@ -256,7 +288,7 @@ fn run_traced_failover_with(
     let failover = fabric_names(roots[roots.len() - 1].trace_id);
     (
         padico::util::span::canonical_dump(&spans),
-        padico::util::metrics::snapshot().render(),
+        stable_metrics_render(),
         warmup,
         failover,
         retries,
@@ -265,8 +297,9 @@ fn run_traced_failover_with(
 
 #[test]
 fn same_seed_chaos_yields_byte_identical_trace_trees() {
-    let (dump1, metrics1, _, _, retries) = run_traced_failover(42);
-    let (dump2, metrics2, _, _, _) = run_traced_failover(42);
+    let seed = chaos_seed();
+    let (dump1, metrics1, _, _, retries) = run_traced_failover(seed);
+    let (dump2, metrics2, _, _, _) = run_traced_failover(seed);
     assert!(!dump1.is_empty(), "no spans captured");
     assert!(
         retries > 0,
@@ -282,8 +315,9 @@ fn same_seed_chaos_is_byte_identical_with_coalescing_enabled() {
     // envelopes) but must not perturb determinism: two same-seed runs
     // through coalescing links — pooled buffers and all — replay the
     // identical span tree, metrics registry, and recovery counters.
-    let (dump1, metrics1, _, _, retries) = run_traced_failover_with(42, chaos_config_coalesced());
-    let (dump2, metrics2, _, _, retries2) = run_traced_failover_with(42, chaos_config_coalesced());
+    let seed = chaos_seed();
+    let (dump1, metrics1, _, _, retries) = run_traced_failover_with(seed, chaos_config_coalesced());
+    let (dump2, metrics2, _, _, retries2) = run_traced_failover_with(seed, chaos_config_coalesced());
     assert!(!dump1.is_empty(), "no spans captured");
     assert!(
         retries > 0,
@@ -302,7 +336,7 @@ fn same_seed_chaos_is_byte_identical_with_coalescing_enabled() {
 
 #[test]
 fn failover_trace_shows_the_san_to_socket_route_change() {
-    let (_, _, warmup, failover, _) = run_traced_failover(42);
+    let (_, _, warmup, failover, _) = run_traced_failover(chaos_seed());
     // The healthy invocation rode the SAN; after the mapping death the
     // same invocation path shows up on the socket fabric instead.
     assert!(
@@ -322,7 +356,8 @@ fn failover_trace_shows_the_san_to_socket_route_change() {
 #[test]
 fn san_mapping_death_fails_over_to_socket_with_seeded_drops() {
     let _iso = padico::util::trace::isolated();
-    let (got, recovery, dropped) = run_failover_scenario(42);
+    let seed = chaos_seed();
+    let (got, recovery, dropped) = run_failover_scenario(seed);
 
     // The run actually exercised recovery: frames were dropped, the
     // SAN death forced at least one route failover, and retries backed
@@ -344,7 +379,7 @@ fn san_mapping_death_fails_over_to_socket_with_seeded_drops() {
 
     // Same seed ⇒ identical injected faults ⇒ identical retry counts
     // and recovery time (backoff_ns), per node.
-    let (got2, recovery2, dropped2) = run_failover_scenario(42);
+    let (got2, recovery2, dropped2) = run_failover_scenario(seed);
     assert_eq!(got, got2, "results diverged between same-seed runs");
     assert_eq!(dropped, dropped2, "fault streams diverged");
     assert_eq!(
@@ -465,4 +500,410 @@ fn quorum_loss_is_an_error_not_a_hang() {
         Err(GridCcmError::QuorumLost { alive: 1, total: 2 }) => {}
         other => panic!("expected QuorumLost, got {other:?}"),
     }
+}
+
+// ---------------------------------------------------------------------
+// Overload protection: admission control, circuit breakers, deadlines.
+// These scenarios talk straight GIOP through a plain ORB pair rather
+// than GridCCM — overload semantics live below the parallel layer.
+// ---------------------------------------------------------------------
+
+/// Answers `ok` immediately; `block` parks the dispatch thread (and the
+/// admission slot it holds) until the test releases it.
+struct Blocker {
+    started: mpsc::Sender<()>,
+    release: std::sync::Mutex<mpsc::Receiver<()>>,
+}
+
+impl Servant for Blocker {
+    fn repository_id(&self) -> &str {
+        "IDL:Chaos/Blocker:1.0"
+    }
+
+    fn dispatch(
+        &self,
+        op: &str,
+        _args: &mut CdrReader,
+        reply: &mut CdrWriter,
+        _ctx: &ServerCtx,
+    ) -> Result<(), OrbError> {
+        match op {
+            "block" => {
+                self.started.send(()).ok();
+                self.release.lock().unwrap().recv().ok();
+                Ok(())
+            }
+            "ok" => {
+                reply.write_i32(1);
+                Ok(())
+            }
+            other => Err(OrbError::BadOperation(other.into())),
+        }
+    }
+}
+
+/// A plain ORB pair (client on node 0, server on node 1) booted with
+/// explicit runtime knobs, plus the handles the overload scenarios
+/// need: the per-node runtimes (clocks), the topology (fabrics), and
+/// the node ids (partitions).
+#[allow(clippy::type_complexity)]
+fn orb_pair_with(
+    cfg: TmConfig,
+) -> (
+    Arc<Orb>,
+    Arc<Orb>,
+    Vec<Arc<PadicoTM>>,
+    Arc<Topology>,
+    Vec<padico::util::ids::NodeId>,
+) {
+    let (topo, ids) = single_cluster(2);
+    let topo = Arc::new(topo);
+    let tms = PadicoTM::boot_all_with_config(Arc::clone(&topo), cfg).unwrap();
+    let client = Orb::start(
+        Arc::clone(&tms[0]),
+        "chaos",
+        OrbProfile::omniorb3(),
+        FabricChoice::Auto,
+    )
+    .unwrap();
+    let server = Orb::start(
+        Arc::clone(&tms[1]),
+        "chaos",
+        OrbProfile::omniorb3(),
+        FabricChoice::Auto,
+    )
+    .unwrap();
+    (client, server, tms, topo, ids)
+}
+
+/// Wall-clock wait until the server holds no admission slot: dispatch
+/// threads release their permit just *after* the reply is written, so a
+/// client that wants deterministic admission decisions for its next
+/// request has to wait out that sliver.
+fn await_quiescent(server: &Orb) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.admission_inflight() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server dispatches never drained"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The overload storm: a budget of 2 fully occupied by parked
+/// dispatches, then six probes that must all be shed immediately with
+/// the retryable TRANSIENT. Returns the canonical span dump (blocker
+/// traces excluded — their dispatch spans end on wall-clock release),
+/// the rendered metrics registry, and the inflight high-water mark.
+fn run_overload_storm() -> (String, String, u32) {
+    let _iso = padico::util::trace::isolated();
+    let cfg = TmConfig {
+        default_deadline: Duration::from_millis(150),
+        connect_timeout: Duration::from_millis(500),
+        retry: RetryPolicy {
+            max_attempts: 6,
+            ..RetryPolicy::default()
+        },
+        coalesce: None,
+        inflight_budget: Some(2),
+        breaker: None,
+    };
+    let (client, server, _tms, _topo, _ids) = orb_pair_with(cfg);
+    let (started_tx, started_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    let ior = server.activate(Arc::new(Blocker {
+        started: started_tx,
+        release: std::sync::Mutex::new(release_rx),
+    }));
+    let obj = client.object_ref(ior);
+    let clock = client.tm().clock();
+    let node = client.tm().node().0;
+
+    // Warm-up proves the endpoint works, then drains so its permit
+    // cannot race the blockers below. Every traced step runs under an
+    // explicit root span with a fixed trace id — spans only record
+    // inside an ambient trace, and fixed ids keep the dump replayable.
+    {
+        let _root = padico::util::span::root(clock, node, 1, "chaos.storm", "warmup");
+        obj.request("ok").invoke().unwrap();
+    }
+    await_quiescent(&server);
+
+    // Two oneway blockers occupy the whole budget, started strictly in
+    // sequence so the admission order is deterministic. No root span:
+    // their dispatches end on wall-clock release, the one timestamp the
+    // virtual clock cannot pin down.
+    for _ in 0..2 {
+        obj.request("block").invoke_oneway().unwrap();
+        started_rx.recv().unwrap();
+    }
+
+    // Six probes: each must be shed *immediately* (never queued) with
+    // the retryable TRANSIENT. Probes are not idempotent, so each is
+    // exactly one wire attempt and the shed counter moves by exactly 1.
+    for i in 0..6 {
+        let _root =
+            padico::util::span::root(clock, node, 10 + i, "chaos.storm", format!("probe:{i}"));
+        let err = obj.request("ok").invoke().unwrap_err();
+        assert!(
+            matches!(&err, OrbError::Transient(TmError::Overloaded(_))),
+            "probe {i}: want a shed TRANSIENT, got {err:?}"
+        );
+        assert!(err.is_retryable(), "a shed is retryable by contract");
+    }
+
+    // Release the parked dispatches; once the slots drain the endpoint
+    // must serve again.
+    release_tx.send(()).unwrap();
+    release_tx.send(()).unwrap();
+    await_quiescent(&server);
+    {
+        let _root = padico::util::span::root(clock, node, 100, "chaos.storm", "recovery");
+        obj.request("ok").invoke().unwrap();
+    }
+
+    let counters = padico::util::metrics::snapshot().counters;
+    assert_eq!(
+        counters.get("orb.admission.shed"),
+        Some(&6),
+        "exactly the six probes are shed: {counters:?}"
+    );
+    assert_eq!(
+        counters.get("orb.admission.admitted"),
+        Some(&4),
+        "warm-up + two blockers + recovery are admitted: {counters:?}"
+    );
+    let peak = server.admission_inflight_peak();
+    assert!(peak <= 2, "inflight exceeded the budget: peak {peak}");
+    assert_eq!(peak, 2, "the blockers must have filled the budget");
+
+    // The untraced blockers recorded nothing, so the dump covers the
+    // warm-up, all six sheds, and the recovery — every deterministic
+    // trace of the scenario.
+    (
+        padico::util::span::canonical_dump(&padico::util::span::snapshot()),
+        stable_metrics_render(),
+        peak,
+    )
+}
+
+#[test]
+fn overload_storm_sheds_within_budget_and_replays_byte_identically() {
+    let (dump1, metrics1, peak1) = run_overload_storm();
+    let (dump2, metrics2, peak2) = run_overload_storm();
+    assert!(!dump1.is_empty(), "no spans captured");
+    assert_eq!(dump1, dump2, "shed span trees diverged between runs");
+    assert_eq!(
+        metrics1, metrics2,
+        "admission/shed counters diverged between runs"
+    );
+    assert_eq!(peak1, peak2, "inflight peaks diverged between runs");
+    // CI's multi-seed matrix sets CHAOS_METRICS_OUT to archive the
+    // counter snapshot per seed, so a diverging future run can be
+    // diffed against the recorded baseline offline.
+    if let Ok(path) = std::env::var("CHAOS_METRICS_OUT") {
+        let body = format!(
+            "# chaos seed {} overload storm\n{metrics1}peak_inflight = {peak1}\n",
+            chaos_seed()
+        );
+        std::fs::write(&path, body).expect("write CHAOS_METRICS_OUT");
+    }
+}
+
+/// The breaker scenario end to end: a partition trips the per-route
+/// breakers, an open breaker fails fast without touching the wire, and
+/// after the route heals the half-open probe closes it again. Returns
+/// the canonical span dump and the rendered metrics registry for the
+/// byte-identity comparison.
+fn run_breaker_storm() -> (String, String) {
+    let _iso = padico::util::trace::isolated();
+    let cooldown = 30 * SEC;
+    let cfg = TmConfig {
+        default_deadline: Duration::from_millis(150),
+        connect_timeout: Duration::from_millis(500),
+        retry: RetryPolicy {
+            max_attempts: 6,
+            ..RetryPolicy::default()
+        },
+        coalesce: None,
+        inflight_budget: None,
+        breaker: Some(BreakerPolicy {
+            trip_after: 2,
+            cooldown,
+        }),
+    };
+    let (client, server, tms, topo, ids) = orb_pair_with(cfg);
+    let (_tx, rx) = mpsc::channel();
+    let (started_tx, _started_rx) = mpsc::channel();
+    let obj = client.object_ref(server.activate(Arc::new(Blocker {
+        started: started_tx,
+        release: std::sync::Mutex::new(rx),
+    })));
+    let clock = client.tm().clock();
+    let node = client.tm().node().0;
+
+    // Warm-up over healthy routes. As in the storm scenario, every
+    // step runs under a fixed-trace-id root span so the breaker's
+    // transition spans land in a replayable dump.
+    {
+        let _root = padico::util::span::root(clock, node, 1, "chaos.breaker", "warmup");
+        obj.request("ok").invoke().unwrap();
+    }
+
+    // Every fabric partitions the pair: all sends are refused at the
+    // fabric, each refusal counts towards the breaker trip.
+    for fabric in topo.fabrics() {
+        fabric.faults().partition_pair(ids[0], ids[1]);
+    }
+    let wire_faults = |topo: &Topology| -> u64 {
+        topo.fabrics()
+            .iter()
+            .map(|f| {
+                let s = f.fault_stats();
+                s.dropped + s.link_down_refusals + s.mapping_refusals
+            })
+            .sum()
+    };
+
+    // Failing invokes until every route the selector can reach has
+    // tripped: once nothing reaches the wire any more, the fabric fault
+    // counters freeze.
+    let mut seen = Vec::new();
+    for i in 0..5u64 {
+        let _root =
+            padico::util::span::root(clock, node, 10 + i, "chaos.breaker", format!("trip:{i}"));
+        assert!(
+            obj.request("ok").idempotent().invoke().is_err(),
+            "a fully partitioned invoke cannot succeed"
+        );
+        drop(_root);
+        seen.push(wire_faults(&topo));
+        if seen.len() >= 2 && seen[seen.len() - 1] == seen[seen.len() - 2] {
+            break;
+        }
+    }
+    assert!(
+        seen.len() >= 2 && seen[seen.len() - 1] == seen[seen.len() - 2],
+        "routes never all tripped; fabric fault counts kept moving: {seen:?}"
+    );
+
+    let counters = padico::util::metrics::snapshot().counters;
+    assert!(
+        counters.get("tm.breaker.opened").copied().unwrap_or(0) >= 1,
+        "the breaker never tripped: {counters:?}"
+    );
+    let fast_before = counters
+        .get("tm.breaker.fast_failures")
+        .copied()
+        .unwrap_or(0);
+    assert!(fast_before >= 1, "no fast failures recorded while open");
+
+    // While open the route fails fast: the whole invoke errors without
+    // a single frame reaching any fabric.
+    let wire_before = wire_faults(&topo);
+    {
+        let _root = padico::util::span::root(clock, node, 50, "chaos.breaker", "while-open");
+        assert!(
+            obj.request("ok").idempotent().invoke().is_err(),
+            "the breaker is open — this cannot succeed"
+        );
+    }
+    assert_eq!(
+        wire_faults(&topo),
+        wire_before,
+        "an open breaker must not put anything on the wire"
+    );
+    let counters = padico::util::metrics::snapshot().counters;
+    assert!(
+        counters
+            .get("tm.breaker.fast_failures")
+            .copied()
+            .unwrap_or(0)
+            > fast_before,
+        "the open breaker did not fail fast: {counters:?}"
+    );
+
+    // The route heals and the cooldown elapses on the virtual clock:
+    // the next send is the half-open probe, and its success closes the
+    // breaker — the invoke goes through end to end.
+    for fabric in topo.fabrics() {
+        fabric.faults().heal_pair(ids[0], ids[1]);
+    }
+    tms[0].clock().advance(cooldown + SEC);
+    {
+        let _root = padico::util::span::root(clock, node, 100, "chaos.breaker", "recovery");
+        obj.request("ok").idempotent().invoke().unwrap();
+    }
+    let counters = padico::util::metrics::snapshot().counters;
+    assert!(
+        counters.get("tm.breaker.probes").copied().unwrap_or(0) >= 1,
+        "recovery never went through a half-open probe: {counters:?}"
+    );
+    assert!(
+        counters.get("tm.breaker.closed").copied().unwrap_or(0) >= 1,
+        "the probe's success never closed the breaker: {counters:?}"
+    );
+
+    (
+        padico::util::span::canonical_dump(&padico::util::span::snapshot()),
+        stable_metrics_render(),
+    )
+}
+
+#[test]
+fn breaker_trips_fails_fast_and_recovers_byte_identically() {
+    let (dump1, metrics1) = run_breaker_storm();
+    let (dump2, metrics2) = run_breaker_storm();
+    assert!(!dump1.is_empty(), "no spans captured");
+    assert_eq!(dump1, dump2, "breaker span trees diverged between runs");
+    assert_eq!(
+        metrics1, metrics2,
+        "breaker counters diverged between runs"
+    );
+}
+
+#[test]
+fn expired_deadline_short_circuits_server_dispatch() {
+    let _iso = padico::util::trace::isolated();
+    let (client, server, tms, _topo, _ids) = orb_pair_with(chaos_config());
+    let (started_tx, _started_rx) = mpsc::channel();
+    let (_tx, rx) = mpsc::channel();
+    let obj = client.object_ref(server.activate(Arc::new(Blocker {
+        started: started_tx,
+        release: std::sync::Mutex::new(rx),
+    })));
+
+    // Warm-up establishes the connection while the clocks agree.
+    obj.request("ok").invoke().unwrap();
+    await_quiescent(&server);
+
+    // The server's clock races 10 virtual seconds ahead: any deadline
+    // the client can stamp (now + 150 ms) has already expired when the
+    // request arrives, so the server must refuse to burn dispatch work
+    // and answer the typed TIMEOUT instead.
+    tms[1].clock().advance(10 * SEC);
+    let err = obj.request("ok").invoke().unwrap_err();
+    assert!(
+        matches!(&err, OrbError::DeadlineExceeded(_)),
+        "want the typed TIMEOUT, got {err:?}"
+    );
+    assert!(!err.is_retryable(), "an expired deadline is terminal");
+    let counters = padico::util::metrics::snapshot().counters;
+    assert_eq!(
+        counters.get("orb.deadline.expired_server"),
+        Some(&1),
+        "exactly one dispatch short-circuited: {counters:?}"
+    );
+
+    // The refusal reply carried the server's clock back (causal merge on
+    // receive), so the client's next deadline is stamped far enough in
+    // the future and the call goes through — no poison, no retry storm.
+    obj.request("ok").invoke().unwrap();
+    let counters = padico::util::metrics::snapshot().counters;
+    assert_eq!(
+        counters.get("orb.deadline.expired_server"),
+        Some(&1),
+        "the recovered call must not trip the deadline check again"
+    );
 }

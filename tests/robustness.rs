@@ -212,3 +212,151 @@ fn oversized_and_empty_payloads_roundtrip() {
         assert_eq!(reply.read_u64().unwrap(), size as u64, "size {size}");
     }
 }
+
+/// An ORB pair with a tight end-to-end deadline and a generous retry
+/// budget, plus the fabrics between the two nodes so tests can arm
+/// fault plans.
+fn deadline_pair(
+    deadline: std::time::Duration,
+) -> (Arc<Orb>, Arc<Orb>, Vec<Arc<padico::fabric::SimFabric>>) {
+    let (topo, ids) = single_cluster(2);
+    let topo = Arc::new(topo);
+    let fabrics = topo.fabrics_between(ids[0], ids[1]);
+    let cfg = padico::tm::TmConfig {
+        default_deadline: deadline,
+        connect_timeout: std::time::Duration::from_millis(50),
+        retry: padico::tm::RetryPolicy {
+            max_attempts: 6,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let tms = PadicoTM::boot_all_with_config(topo, cfg).unwrap();
+    let client = Orb::start(
+        Arc::clone(&tms[0]),
+        "rb",
+        OrbProfile::omniorb3(),
+        FabricChoice::Auto,
+    )
+    .unwrap();
+    let server = Orb::start(
+        Arc::clone(&tms[1]),
+        "rb",
+        OrbProfile::omniorb3(),
+        FabricChoice::Auto,
+    )
+    .unwrap();
+    (client, server, fabrics)
+}
+
+#[test]
+fn deadline_expiring_mid_backoff_stops_retries_and_leaks_nothing() {
+    // 2 ms of virtual budget against a retry policy whose backoff series
+    // (50 µs, 200 µs, 800 µs, 3.2 ms, …) overruns it mid-sequence: the
+    // retry loop must stop with the typed TIMEOUT as soon as the budget
+    // is spent — well before the 6-attempt policy limit — and leave no
+    // pending-map entry behind.
+    let (client, server, fabrics) = deadline_pair(std::time::Duration::from_millis(2));
+    let ior = server.activate(Arc::new(FlakyServant));
+    let obj = client.object_ref(ior.clone());
+    obj.request("ok").invoke().unwrap(); // warm-up
+
+    // From here on every frame is dropped: each attempt times out and
+    // the backoff between attempts burns the remaining virtual budget.
+    for f in &fabrics {
+        f.set_fault_plan(padico::fabric::FaultPlan::drops(1, 100));
+    }
+    let before = client.tm().recovery().snapshot().giop_retries;
+    let err = obj.request("ok").idempotent().invoke().unwrap_err();
+    assert!(
+        matches!(err, OrbError::DeadlineExceeded(_)),
+        "an expired budget must surface as the typed TIMEOUT, got {err}"
+    );
+    assert!(!err.is_retryable(), "an expired deadline is terminal");
+    let retries = client.tm().recovery().snapshot().giop_retries - before;
+    assert!(
+        retries >= 1,
+        "the deadline must expire mid-retry, not before the first attempt"
+    );
+    assert!(
+        retries < 5,
+        "the loop must stop when the budget is gone, not ride out all 6 \
+         attempts; recorded {retries} retries"
+    );
+    assert_eq!(
+        client.pending_request_count(ior.node, &ior.endpoint),
+        0,
+        "abandoned attempts must not leak pending-map entries"
+    );
+}
+
+#[test]
+fn cancel_request_suppresses_the_late_reply() {
+    use std::sync::mpsc;
+
+    // A servant that blocks until the test releases it, so the client's
+    // reply deadline reliably expires first.
+    struct Blocker {
+        started: mpsc::Sender<()>,
+        release: std::sync::Mutex<mpsc::Receiver<()>>,
+    }
+    impl Servant for Blocker {
+        fn repository_id(&self) -> &str {
+            "IDL:Rb/Blocker:1.0"
+        }
+        fn dispatch(
+            &self,
+            op: &str,
+            _args: &mut CdrReader,
+            reply: &mut CdrWriter,
+            _ctx: &ServerCtx,
+        ) -> Result<(), OrbError> {
+            match op {
+                "block" => {
+                    self.started.send(()).ok();
+                    self.release.lock().unwrap().recv().ok();
+                    reply.write_i32(7);
+                    Ok(())
+                }
+                "ok" => {
+                    reply.write_i32(1);
+                    Ok(())
+                }
+                other => Err(OrbError::BadOperation(other.into())),
+            }
+        }
+    }
+
+    let (client, server, _fabrics) = deadline_pair(std::time::Duration::from_millis(20));
+    let (started_tx, started_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    let ior = server.activate(Arc::new(Blocker {
+        started: started_tx,
+        release: std::sync::Mutex::new(release_rx),
+    }));
+    let obj = client.object_ref(ior.clone());
+
+    // The invocation gives up after its 20 ms reply deadline and chases
+    // the abandoned request with a best-effort CancelRequest.
+    let err = obj.request("block").invoke().unwrap_err();
+    assert!(err.is_transport(), "abandoned exchange is transport-level: {err}");
+    started_rx.recv().unwrap(); // the dispatch definitely started
+    assert_eq!(client.pending_request_count(ior.node, &ior.endpoint), 0);
+
+    // Give the cancel frame time to reach the server's connection loop,
+    // then let the dispatch finish: its reply must be suppressed.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    release_tx.send(()).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while server.cancels_suppressed() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never suppressed the cancelled reply"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // The connection survived the whole episode.
+    let mut reply = obj.request("ok").invoke().unwrap();
+    assert_eq!(reply.read_i32().unwrap(), 1);
+}
