@@ -6,7 +6,7 @@
 //! benches with `CRITERION_JSON` pointing at a scratch file so their
 //! results land here too.
 
-use padico_bench::{concurrent, fig7, fig8, overload, report};
+use padico_bench::{concurrent, fig7, fig8, overload, report, world};
 use padico_core::redistribute::schedule_cache_stats;
 use padico_fabric::FabricKind;
 use padico_orb::profile::OrbProfile;
@@ -118,7 +118,39 @@ fn main() {
         })
         .unwrap_or_else(|| "null".to_string());
 
+    // The tentpole scale test, run after the observability capture so
+    // its half-million sends don't drown the per-layer byte counters of
+    // the latency/bandwidth benches above.
+    eprintln!("running world_100k (discrete-event progress core)...");
+    let w = world::run_world(100_000, 256, 2_000);
+    eprintln!(
+        "world_100k: {:.0} events/s, peak RSS {:.1} MiB",
+        w.events_per_sec, w.peak_rss_mb
+    );
+
     let sections = vec![
+        // A 100,000-node ring driven end-to-end by the sharded event
+        // heap in one process: world size bounded by memory, not by OS
+        // threads. events/sec is sustained dispatch throughput; peak RSS
+        // is the whole process high-water mark (VmHWM).
+        (
+            "world_100k",
+            format!(
+                "{{\"nodes\":{},\"tokens\":{},\"hops\":{},\"events\":{},\
+                 \"wall_s\":{:.3},\"events_per_sec\":{:.1},\"boot_s\":{:.3},\
+                 \"peak_rss_mb\":{:.1},\"horizon_ms\":{:.3},\"steals\":{}}}",
+                w.nodes,
+                w.tokens,
+                w.hops,
+                w.events,
+                w.wall_s,
+                w.events_per_sec,
+                w.boot_s,
+                w.peak_rss_mb,
+                w.horizon_ms,
+                w.steals
+            ),
+        ),
         ("fig7_bandwidth", report::series_json(&fig7_series)),
         (
             "concurrent_share",

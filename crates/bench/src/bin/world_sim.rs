@@ -1,0 +1,54 @@
+//! Run a token-passing world on the discrete-event progress core.
+//!
+//! Usage: `world_sim [nodes] [tokens] [hops] [floor_events_per_sec]`
+//!
+//! Defaults to the tentpole configuration: 100,000 nodes, 256 tokens,
+//! 2,000 hops — half a million scheduler events through one process
+//! with zero per-node threads. Prints the report as JSON on stdout. If
+//! a throughput floor is given, exits 1 when the measured events/sec
+//! falls below it (the CI smoke gate).
+
+use padico_bench::world;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut next = |default: u64| -> u64 {
+        args.next()
+            .map(|v| v.parse().expect("numeric argument"))
+            .unwrap_or(default)
+    };
+    let nodes = next(100_000) as usize;
+    let tokens = next(256) as usize;
+    let hops = next(2_000);
+    let floor = next(0) as f64;
+
+    eprintln!("booting {nodes}-node world...");
+    let r = world::run_world(nodes, tokens, hops);
+    eprintln!(
+        "world_{}: {} events in {:.2}s ({:.0} events/s), boot {:.2}s, \
+         peak RSS {:.1} MiB, horizon {:.1} ms, {} steals",
+        r.nodes, r.events, r.wall_s, r.events_per_sec, r.boot_s, r.peak_rss_mb, r.horizon_ms, r.steals
+    );
+    println!(
+        "{{\"nodes\":{},\"tokens\":{},\"hops\":{},\"events\":{},\
+         \"wall_s\":{:.3},\"events_per_sec\":{:.1},\"boot_s\":{:.3},\
+         \"peak_rss_mb\":{:.1},\"horizon_ms\":{:.3},\"steals\":{}}}",
+        r.nodes,
+        r.tokens,
+        r.hops,
+        r.events,
+        r.wall_s,
+        r.events_per_sec,
+        r.boot_s,
+        r.peak_rss_mb,
+        r.horizon_ms,
+        r.steals
+    );
+    if floor > 0.0 && r.events_per_sec < floor {
+        eprintln!(
+            "FAIL: {:.0} events/s is below the {floor:.0} events/s floor",
+            r.events_per_sec
+        );
+        std::process::exit(1);
+    }
+}

@@ -25,3 +25,4 @@ pub mod fig8;
 pub mod latency;
 pub mod overload;
 pub mod report;
+pub mod world;

@@ -182,6 +182,11 @@ pub struct SimFabric {
     /// `Some(limit)` for SCI-style bounded mapping tables.
     mapping_limit: Option<usize>,
     members: Vec<NodeId>,
+    /// Same set as `members` — membership checks are on the boot path of
+    /// every node and must stay O(1) for 100k-node worlds.
+    member_set: HashSet<NodeId>,
+    /// Pre-rendered `bytes.<kind>` counter name (one per send otherwise).
+    bytes_counter: String,
     nics: HashMap<NodeId, NicState>,
     state: Mutex<FabricState>,
     faults: FaultInjector,
@@ -229,7 +234,9 @@ impl SimFabric {
             access,
             model,
             mapping_limit,
+            member_set: members.iter().copied().collect(),
             members,
+            bytes_counter: format!("bytes.{kind}"),
             nics,
             state: Mutex::new(FabricState::default()),
             faults: FaultInjector::new(),
@@ -263,7 +270,7 @@ impl SimFabric {
 
     /// Whether `node` is wired to this fabric.
     pub fn has_member(&self, node: NodeId) -> bool {
-        self.members.contains(&node)
+        self.member_set.contains(&node)
     }
 
     /// Whether sends require an established mapping (SCI-style).
@@ -478,7 +485,7 @@ impl SimFabric {
                 span.end_at(*done);
                 // Bytes that occupied the wire (a fault-dropped message
                 // still did — the sender paid in full).
-                padico_util::metrics::counter_add(&format!("bytes.{}", self.kind()), len as u64);
+                padico_util::metrics::counter_add(&self.bytes_counter, len as u64);
             }
             // Refused sends charge no time: the span is a zero-length
             // mark of the failed attempt.

@@ -30,6 +30,7 @@ pub mod faults;
 pub mod model;
 pub mod payload;
 pub mod presets;
+pub mod sched;
 pub mod topology;
 
 pub use error::FabricError;
@@ -40,4 +41,5 @@ pub use fabric::{
 pub use faults::{FaultInjector, FaultPlan, FaultSnapshot};
 pub use model::LinkModel;
 pub use payload::{pool, Payload};
+pub use sched::{NodeHandler, SchedStats, WorldSched};
 pub use topology::{NodeInfo, SecurityZone, Topology, TopologyBuilder};

@@ -1,0 +1,521 @@
+//! # World scheduler — the discrete-event progress core
+//!
+//! One sharded event heap for the whole world instead of one cooperative
+//! I/O thread per node. Every fabric delivery becomes a timestamped
+//! *event record* pushed into a binary heap ordered by virtual time; a
+//! small pool of workers drains the heaps and runs each destination
+//! node's step function inline. This is what lets a single process carry
+//! a 100,000-node topology (`world_100k` bench): node cost drops from an
+//! OS thread + stack to a registered handler closure and a few hundred
+//! bytes of channel state.
+//!
+//! ## Ordering and determinism
+//!
+//! Events are keyed `(vt, src, seq)`:
+//!
+//! * `vt` — the message's virtual arrival time, computed by the fabric
+//!   at send time. The heap is a min-heap on this, so the world makes
+//!   progress in virtual-time order and the scheduler owns the
+//!   virtual-time frontier (exposed as [`WorldSched::horizon`]).
+//! * `src` — the sending node, a deterministic tie-break.
+//! * `seq` — a global monotone counter stamped at post time. For any
+//!   single sender thread this preserves program order, so per-channel
+//!   FIFO delivery matches the threaded engine exactly.
+//!
+//! ## Shards and stealing
+//!
+//! The heap is split into a fixed number of shards; a destination node
+//! maps to its shard by Fibonacci hash, permanently. A worker claims a
+//! shard with a CAS flag before draining it, which means **at most one
+//! worker runs a given node's handler at a time** — node state machines
+//! stay single-threaded without any per-node lock. Workers scan all
+//! shards starting from a home offset, so an idle worker steals whole
+//! shards from a busy one rather than sitting parked.
+//!
+//! ## Zero steady-state allocation
+//!
+//! Event records are boxed [`EventSlot`]s drawn from a
+//! [`pool::RecordPool`] free-list (same discipline as the byte slabs of
+//! PR 6); `tests/alloc_steady_state.rs` asserts zero misses once warm.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use padico_util::ids::NodeId;
+use padico_util::simtime::Vt;
+
+use crate::fabric::Message;
+use crate::payload::pool::RecordPool;
+
+/// A node's step function: invoked by a scheduler worker for every event
+/// addressed to the node, never concurrently with itself.
+pub type NodeHandler = Arc<dyn Fn(Message) + Send + Sync>;
+
+/// How many events a worker pops from a claimed shard per heap-lock
+/// acquisition. Dispatch runs outside the lock (the shard stays claimed,
+/// so per-node serialization holds).
+const BATCH: usize = 32;
+
+/// Idle records kept per scheduler before surplus is freed.
+const RECORD_SHELF_CAP: usize = 4096;
+
+/// The payload of an event record. Boxed and recycled through the record
+/// pool; the scheduler takes the message out before dispatch and returns
+/// the empty slot to the shelf.
+#[derive(Default)]
+pub struct EventSlot {
+    msg: Option<Message>,
+}
+
+/// A scheduled delivery: heap key plus the recycled payload slot.
+struct EventRec {
+    vt: Vt,
+    src: u32,
+    seq: u64,
+    dst: NodeId,
+    slot: Box<EventSlot>,
+}
+
+impl EventRec {
+    fn key(&self) -> (Vt, u32, u64) {
+        (self.vt, self.src, self.seq)
+    }
+}
+
+impl PartialEq for EventRec {
+    fn eq(&self, other: &EventRec) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for EventRec {}
+
+impl PartialOrd for EventRec {
+    fn partial_cmp(&self, other: &EventRec) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventRec {
+    fn cmp(&self, other: &EventRec) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+struct Shard {
+    heap: Mutex<BinaryHeap<std::cmp::Reverse<EventRec>>>,
+    claimed: AtomicBool,
+}
+
+/// Counters for the progress core, reported by the world benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedStats {
+    /// Events pushed into the heap.
+    pub posted: u64,
+    /// Events dispatched to a registered handler.
+    pub delivered: u64,
+    /// Events whose destination had no handler (node gone).
+    pub dropped: u64,
+    /// Events drained from a shard other than the worker's home shard.
+    pub steals: u64,
+    /// Events currently in the heap.
+    pub pending: u64,
+    /// The virtual-time frontier: max vt of any dispatched event.
+    pub horizon: Vt,
+    /// Worker threads serving the heap.
+    pub workers: usize,
+    /// Heap shards.
+    pub shards: usize,
+}
+
+/// The world's discrete-event scheduler. One per [`crate::topology::Topology`],
+/// created lazily on the first `EventLoop`-engine node boot.
+pub struct WorldSched {
+    shards: Vec<Shard>,
+    handlers: RwLock<Vec<Option<NodeHandler>>>,
+    records: RecordPool<EventSlot>,
+    seq: AtomicU64,
+    pending: AtomicU64,
+    in_flight: AtomicU64,
+    posted: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    steals: AtomicU64,
+    watermark: AtomicU64,
+    stop: AtomicBool,
+    park: Mutex<()>,
+    park_cv: Condvar,
+    idle: Mutex<()>,
+    idle_cv: Condvar,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+}
+
+impl std::fmt::Debug for WorldSched {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldSched")
+            .field("shards", &self.shards.len())
+            .field("workers", &self.worker_count)
+            .field("pending", &self.pending.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn shard_of(node: NodeId, shards: usize) -> usize {
+    let h = u64::from(node.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+    (h as usize) % shards
+}
+
+impl WorldSched {
+    /// Start a scheduler with `shards` heap shards served by `workers`
+    /// threads. `workers == 0` is valid for tests and single-threaded
+    /// driving via [`WorldSched::run_until_idle`].
+    pub fn start(shards: usize, workers: usize) -> Arc<WorldSched> {
+        let sched = Arc::new(WorldSched {
+            shards: (0..shards.max(1))
+                .map(|_| Shard {
+                    heap: Mutex::new(BinaryHeap::new()),
+                    claimed: AtomicBool::new(false),
+                })
+                .collect(),
+            handlers: RwLock::new(Vec::new()),
+            records: RecordPool::new(RECORD_SHELF_CAP),
+            seq: AtomicU64::new(0),
+            pending: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            posted: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            watermark: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            park: Mutex::new(()),
+            park_cv: Condvar::new(),
+            idle: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            workers: Mutex::new(Vec::new()),
+            worker_count: workers,
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let s = Arc::clone(&sched);
+            let handle = thread::Builder::new()
+                .name(format!("padico-sched-{w}"))
+                .spawn(move || s.worker_loop(w))
+                .expect("spawn scheduler worker");
+            handles.push(handle);
+        }
+        *sched.workers.lock() = handles;
+        sched
+    }
+
+    /// Install `handler` as the step function for `node`. Replaces any
+    /// previous handler (latest wins).
+    pub fn register(&self, node: NodeId, handler: NodeHandler) {
+        let idx = node.0 as usize;
+        let mut handlers = self.handlers.write();
+        if handlers.len() <= idx {
+            handlers.resize(idx + 1, None);
+        }
+        handlers[idx] = Some(handler);
+    }
+
+    /// Remove `node`'s handler; later events for it are counted dropped,
+    /// like frames arriving at a powered-off NIC.
+    pub fn unregister(&self, node: NodeId) {
+        let idx = node.0 as usize;
+        let mut handlers = self.handlers.write();
+        if idx < handlers.len() {
+            handlers[idx] = None;
+        }
+    }
+
+    /// Schedule delivery of `msg` to `dst` at virtual time `vt`.
+    pub fn post(&self, dst: NodeId, vt: Vt, src: NodeId, msg: Message) {
+        let mut slot = self.records.take();
+        slot.msg = Some(msg);
+        let rec = EventRec {
+            vt,
+            src: src.0,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            dst,
+            slot,
+        };
+        self.posted.fetch_add(1, Ordering::Relaxed);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let shard = &self.shards[shard_of(dst, self.shards.len())];
+        shard.heap.lock().push(std::cmp::Reverse(rec));
+        self.park_cv.notify_one();
+    }
+
+    /// One full scan over all shards starting at `home`; returns whether
+    /// any event was dispatched.
+    fn drain_pass(&self, home: usize, scratch: &mut Vec<EventRec>) -> bool {
+        let n = self.shards.len();
+        let mut did_work = false;
+        for i in 0..n {
+            let idx = (home + i) % n;
+            let shard = &self.shards[idx];
+            if shard
+                .claimed
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            loop {
+                {
+                    let mut heap = shard.heap.lock();
+                    for _ in 0..BATCH {
+                        match heap.pop() {
+                            Some(std::cmp::Reverse(rec)) => scratch.push(rec),
+                            None => break,
+                        }
+                    }
+                }
+                if scratch.is_empty() {
+                    break;
+                }
+                let batch = scratch.len() as u64;
+                if i != 0 {
+                    self.steals.fetch_add(batch, Ordering::Relaxed);
+                }
+                // in_flight rises BEFORE pending falls so quiescence
+                // checks never observe a false-idle window.
+                self.in_flight.fetch_add(batch, Ordering::SeqCst);
+                self.pending.fetch_sub(batch, Ordering::SeqCst);
+                for mut rec in scratch.drain(..) {
+                    self.watermark.fetch_max(rec.vt, Ordering::Relaxed);
+                    let handler = {
+                        let handlers = self.handlers.read();
+                        handlers.get(rec.dst.0 as usize).and_then(|h| h.clone())
+                    };
+                    if let Some(msg) = rec.slot.msg.take() {
+                        match handler {
+                            Some(h) => {
+                                h(msg);
+                                self.delivered.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => {
+                                self.dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    self.records.put(rec.slot);
+                    self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+                did_work = true;
+            }
+            shard.claimed.store(false, Ordering::Release);
+        }
+        did_work
+    }
+
+    fn worker_loop(&self, home: usize) {
+        let mut scratch = Vec::with_capacity(BATCH);
+        while !self.stop.load(Ordering::Relaxed) {
+            if self.drain_pass(home, &mut scratch) {
+                continue;
+            }
+            if self.pending.load(Ordering::SeqCst) == 0
+                && self.in_flight.load(Ordering::SeqCst) == 0
+            {
+                self.idle_cv.notify_all();
+            }
+            let mut guard = self.park.lock();
+            if self.pending.load(Ordering::SeqCst) == 0 && !self.stop.load(Ordering::Relaxed) {
+                self.park_cv
+                    .wait_for(&mut guard, Duration::from_micros(500));
+            }
+        }
+    }
+
+    /// Drain events on the calling thread until the heap is empty.
+    /// Dispatch order is fully deterministic with `workers == 0`.
+    pub fn run_until_idle(&self) {
+        let mut scratch = Vec::with_capacity(BATCH);
+        while self.drain_pass(0, &mut scratch) {}
+    }
+
+    /// Block until no events are pending or in flight, or `timeout`
+    /// elapses. Returns `true` when the world is quiescent.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.idle.lock();
+        loop {
+            if self.pending.load(Ordering::SeqCst) == 0
+                && self.in_flight.load(Ordering::SeqCst) == 0
+            {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            self.idle_cv
+                .wait_for(&mut guard, Duration::from_micros(500));
+        }
+    }
+
+    /// The scheduler-owned virtual-time frontier: the largest arrival
+    /// time dispatched so far.
+    pub fn horizon(&self) -> Vt {
+        self.watermark.load(Ordering::Relaxed)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            posted: self.posted.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            pending: self.pending.load(Ordering::SeqCst),
+            horizon: self.horizon(),
+            workers: self.worker_count,
+            shards: self.shards.len(),
+        }
+    }
+
+    /// Stop and join the worker pool. Idempotent; events still in the
+    /// heap stay there (the world is being torn down).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.park_cv.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{EndpointAddr, Message};
+    use crate::payload::{pool, Payload};
+    use padico_util::ids::ChannelId;
+
+    fn msg(src: NodeId, tag: u64) -> Message {
+        Message {
+            src: EndpointAddr { node: src, port: 1 },
+            channel: ChannelId(tag),
+            arrival: 0,
+            recv_cost: 0,
+            corrupted: false,
+            payload: Payload::from_vec(vec![0u8; 8]),
+        }
+    }
+
+    #[test]
+    fn events_dispatch_in_virtual_time_order() {
+        let sched = WorldSched::start(4, 0);
+        let seen: Arc<Mutex<Vec<(Vt, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        sched.register(
+            NodeId(0),
+            Arc::new(move |m: Message| sink.lock().push((m.arrival, m.channel.0))),
+        );
+        // Post out of virtual-time order; same-vt events tie-break on seq.
+        for (vt, tag) in [(50u64, 1u64), (10, 2), (30, 3), (10, 4), (20, 5)] {
+            let mut m = msg(NodeId(7), tag);
+            m.arrival = vt;
+            sched.post(NodeId(0), vt, NodeId(7), m);
+        }
+        sched.run_until_idle();
+        let got = seen.lock().clone();
+        assert_eq!(got, vec![(10, 2), (10, 4), (20, 5), (30, 3), (50, 1)]);
+        assert_eq!(sched.horizon(), 50);
+        let stats = sched.stats();
+        assert_eq!(stats.delivered, 5);
+        assert_eq!(stats.pending, 0);
+        sched.stop();
+    }
+
+    #[test]
+    fn unregistered_destination_counts_dropped() {
+        let sched = WorldSched::start(2, 0);
+        sched.post(NodeId(3), 5, NodeId(0), msg(NodeId(0), 1));
+        sched.run_until_idle();
+        assert_eq!(sched.stats().dropped, 1);
+        assert_eq!(sched.stats().delivered, 0);
+        sched.stop();
+    }
+
+    #[test]
+    fn worker_pool_quiesces_after_burst() {
+        let sched = WorldSched::start(8, 2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for n in 0..16u32 {
+            let h = Arc::clone(&hits);
+            sched.register(
+                NodeId(n),
+                Arc::new(move |_m| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        for i in 0..512u64 {
+            let dst = NodeId((i % 16) as u32);
+            sched.post(dst, i, NodeId(99), msg(NodeId(99), i));
+        }
+        assert!(sched.quiesce(Duration::from_secs(10)), "burst must drain");
+        assert_eq!(hits.load(Ordering::Relaxed), 512);
+        assert_eq!(sched.stats().delivered, 512);
+        sched.stop();
+    }
+
+    #[test]
+    fn event_records_recycle_through_the_pool() {
+        let sched = WorldSched::start(2, 0);
+        sched.register(NodeId(0), Arc::new(|_m| {}));
+        // Warm the shelf.
+        for i in 0..8u64 {
+            sched.post(NodeId(0), i, NodeId(1), msg(NodeId(1), i));
+        }
+        sched.run_until_idle();
+        let before = pool::record_stats();
+        for i in 0..100u64 {
+            sched.post(NodeId(0), i, NodeId(1), msg(NodeId(1), i));
+            sched.run_until_idle();
+        }
+        let after = pool::record_stats();
+        assert_eq!(after.misses, before.misses, "warm records must not allocate");
+        assert!(after.hits >= before.hits + 100);
+        sched.stop();
+    }
+
+    #[test]
+    fn handler_replacement_is_latest_wins() {
+        let sched = WorldSched::start(2, 0);
+        let first = Arc::new(AtomicU64::new(0));
+        let second = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&first);
+        sched.register(
+            NodeId(1),
+            Arc::new(move |_m| {
+                f.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        let s = Arc::clone(&second);
+        sched.register(
+            NodeId(1),
+            Arc::new(move |_m| {
+                s.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        sched.post(NodeId(1), 1, NodeId(0), msg(NodeId(0), 1));
+        sched.run_until_idle();
+        assert_eq!(first.load(Ordering::Relaxed), 0);
+        assert_eq!(second.load(Ordering::Relaxed), 1);
+        sched.unregister(NodeId(1));
+        sched.post(NodeId(1), 2, NodeId(0), msg(NodeId(0), 2));
+        sched.run_until_idle();
+        assert_eq!(sched.stats().dropped, 1);
+        sched.stop();
+    }
+}

@@ -10,9 +10,10 @@
 
 use crate::fabric::SimFabric;
 use crate::presets::FabricPreset;
+use crate::sched::WorldSched;
 use padico_util::ids::{FabricId, NodeId};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Trust level of a node's location (paper §2 / §6).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -42,6 +43,24 @@ pub struct Topology {
     nodes: Vec<NodeInfo>,
     fabrics: Vec<Arc<SimFabric>>,
     by_name: HashMap<String, NodeId>,
+    /// The world's discrete-event scheduler, started lazily on first use
+    /// (only `EventLoop`-engine nodes touch it; a purely thread-backed
+    /// world never pays for the worker pool).
+    sched: OnceLock<Arc<WorldSched>>,
+}
+
+/// Heap shards in the world scheduler. Fixed so node→shard placement is
+/// a pure function of the node id.
+const SCHED_SHARDS: usize = 64;
+
+impl Drop for Topology {
+    fn drop(&mut self) {
+        // Workers hold an Arc to the scheduler, so they must be stopped
+        // explicitly; the topology outlives every node of its world.
+        if let Some(sched) = self.sched.get() {
+            sched.stop();
+        }
+    }
 }
 
 impl Topology {
@@ -98,6 +117,20 @@ impl Topology {
             }
             _ => false,
         }
+    }
+
+    /// The world scheduler serving this topology's event-loop nodes.
+    /// Started on first call: 64 shards, worker pool sized to half the
+    /// available cores (clamped to 1..=4 — the workload is event
+    /// dispatch, not computation).
+    pub fn sched(&self) -> &Arc<WorldSched> {
+        self.sched.get_or_init(|| {
+            let workers = std::thread::available_parallelism()
+                .map(|p| p.get() / 2)
+                .unwrap_or(1)
+                .clamp(1, 4);
+            WorldSched::start(SCHED_SHARDS, workers)
+        })
     }
 
     /// Nodes of a given machine, in id order.
@@ -165,6 +198,7 @@ impl TopologyBuilder {
             nodes: self.nodes,
             fabrics,
             by_name,
+            sched: OnceLock::new(),
         }
     }
 }

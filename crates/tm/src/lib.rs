@@ -42,12 +42,12 @@ pub mod security;
 pub mod selector;
 pub mod vlink;
 
-pub use arbitration::{ChannelRx, NetAccess, TM_SERVICE_PORT};
+pub use arbitration::{ChannelHandler, ChannelRx, IoEvent, NetAccess, NodeCell, TM_SERVICE_PORT};
 pub use circuit::{Circuit, CircuitSpec};
 pub use driver::{coalesce_stats, ArbitratedDriver, CoalesceStats, LinkCore};
 pub use error::TmError;
 pub use faults::{is_retryable, RetryPolicy};
 pub use module::{ModuleManager, PadicoModule};
-pub use runtime::{BreakerPolicy, CoalescePolicy, PadicoTM, TmConfig};
+pub use runtime::{BreakerPolicy, CoalescePolicy, EngineKind, PadicoTM, TmConfig};
 pub use selector::{FabricChoice, Route};
 pub use vlink::{VLinkListener, VLinkStream};

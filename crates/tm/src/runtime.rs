@@ -44,6 +44,41 @@ pub struct TmConfig {
     /// `None` (the default) never trips; routes are re-probed on every
     /// call exactly as before.
     pub breaker: Option<BreakerPolicy>,
+    /// Which progress engine drives this node's arbitration layer.
+    pub engine: EngineKind,
+}
+
+/// The progress engine behind a node's arbitration layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// One cooperative I/O thread per node (the classic model; required
+    /// for real-socket personalities that block in the kernel).
+    Threaded,
+    /// No per-node thread: the topology-wide discrete-event scheduler
+    /// ([`padico_fabric::WorldSched`]) delivers fabric events to the
+    /// node's step function in virtual-time order. This is what scales
+    /// to 100k-node worlds.
+    EventLoop,
+}
+
+impl EngineKind {
+    /// Engine selection from the `PADICO_ENGINE` environment variable:
+    /// `event` / `eventloop` / `event-loop` pick [`EngineKind::EventLoop`],
+    /// anything else (including unset) picks [`EngineKind::Threaded`].
+    /// This is how CI runs the whole suite under both engines without
+    /// touching call sites.
+    pub fn from_env() -> EngineKind {
+        match std::env::var("PADICO_ENGINE").as_deref() {
+            Ok("event") | Ok("eventloop") | Ok("event-loop") => EngineKind::EventLoop,
+            _ => EngineKind::Threaded,
+        }
+    }
+}
+
+impl Default for EngineKind {
+    fn default() -> Self {
+        EngineKind::from_env()
+    }
 }
 
 /// Knobs for the per-route circuit breaker in
@@ -101,6 +136,7 @@ impl Default for TmConfig {
             coalesce: None,
             inflight_budget: None,
             breaker: None,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -134,7 +170,7 @@ impl PadicoTM {
         config: TmConfig,
     ) -> Result<Arc<PadicoTM>, TmError> {
         let clock = SimClock::new();
-        let net = NetAccess::bring_up(&topology, node, clock.share())?;
+        let net = NetAccess::bring_up_with(&topology, node, clock.share(), config.engine)?;
         Ok(Arc::new(PadicoTM {
             topology,
             node,
@@ -195,6 +231,11 @@ impl PadicoTM {
     /// The node's runtime knobs.
     pub fn config(&self) -> &TmConfig {
         &self.config
+    }
+
+    /// The progress engine driving this node.
+    pub fn engine(&self) -> EngineKind {
+        self.config.engine
     }
 
     /// The node-wide circuit-breaker route table (one entry per

@@ -451,15 +451,20 @@ impl VLinkStream {
     /// Close the sending direction (peer reads return EOF after draining).
     /// Flushes any coalesced frames so the FIN is on the wire when this
     /// returns.
+    ///
+    /// Closing is an explicit act and the ONLY source of FIN frames:
+    /// merely dropping a stream is abortive — no FIN, no flush, no wire
+    /// traffic. Streams are often dropped by detached reader threads (or
+    /// on a timed-out connect attempt) at wall-clock mercy, and a
+    /// drop-time FIN would land in whatever metrics window happens to be
+    /// open — the exact nondeterminism that kept per-fabric `bytes.*`
+    /// counters out of same-seed identity comparisons. It would also
+    /// fork the threaded and event engines' traces: every frame must
+    /// exist in both worlds for the cross-engine replay to stay
+    /// byte-identical.
     pub fn close(&self) -> Result<(), TmError> {
         self.send_frame(KIND_FIN, Payload::new())?;
         self.core.flush()
-    }
-}
-
-impl Drop for VLinkStream {
-    fn drop(&mut self) {
-        let _ = self.close();
     }
 }
 

@@ -32,6 +32,13 @@ echo "== experiment bins (human-readable output)"
 cargo run --release -q -p padico-bench --bin fig7_bandwidth -- 3
 cargo run --release -q -p padico-bench --bin concurrent_share
 
+echo "== world_10k smoke (discrete-event core throughput floor)"
+# A 10k-node ring must sustain at least 10k events/s end-to-end; well
+# below any real regression (a healthy run does >100k events/s even on
+# throttled CI hosts). The full 100k world runs inside bench_snapshot.
+cargo run --release -q -p padico-bench --bin world_sim -- \
+  10000 128 800 "${WORLD_FLOOR_EVENTS_PER_SEC:-10000}"
+
 echo "== assembling BENCH_${date_tag}.json"
 cargo run --release -q -p padico-bench --bin bench_snapshot -- \
   "$date_tag" "$criterion_jsonl" "BENCH_${date_tag}.json"

@@ -15,6 +15,9 @@ cargo test -q
 echo "== cargo test --features chaos -q --test chaos"
 cargo test --features chaos -q --test chaos
 
+echo "== cargo test --features chaos -q --test engine_equivalence"
+cargo test --features chaos -q --test engine_equivalence
+
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,55 @@
+//! Engine-equivalence suite: the threaded and discrete-event progress
+//! engines must replay the same seeded chaos world byte-identically.
+//!
+//! This lives in its OWN test binary — one test, one process — on
+//! purpose: the comparison includes the per-fabric `bytes.*` counters,
+//! and those survive only in a process that runs nothing racing
+//! wall-clock deadlines. The storm scenarios in the `chaos` binary do
+//! exactly that (a server's reply can hit the wire just as the client
+//! gives up), and such a stray frame lands in whatever isolated registry
+//! window happens to be open — possibly this test's. The failover
+//! scenario itself is fully quiesced between invocations, so alone in a
+//! process its byte tallies are a pure function of the seed and the
+//! engine.
+#![cfg(feature = "chaos")]
+
+mod chaos_world;
+
+use chaos_world::{chaos_config, chaos_seed, run_traced_failover_with};
+use padico::tm::{EngineKind, TmConfig};
+
+#[test]
+fn threaded_and_event_engines_replay_the_same_chaos_world_identically() {
+    // The engine-equivalence guarantee: the same seeded chaos scenario
+    // driven by per-node I/O threads and by the discrete-event world
+    // scheduler produces the identical trace tree, recovery counters,
+    // and metrics registry — byte counters included.
+    let seed = chaos_seed();
+    let threaded = TmConfig {
+        engine: EngineKind::Threaded,
+        ..chaos_config()
+    };
+    let event = TmConfig {
+        engine: EngineKind::EventLoop,
+        ..chaos_config()
+    };
+    let t = run_traced_failover_with(seed, threaded);
+    let e = run_traced_failover_with(seed, event);
+    assert!(!t.dump.is_empty(), "no spans captured");
+    assert_eq!(t.dump, e.dump, "span trees diverged across engines");
+    assert_eq!(t.warmup, e.warmup, "warm-up routes diverged across engines");
+    assert_eq!(t.failover, e.failover, "failover routes diverged across engines");
+    assert_eq!(t.retries, e.retries, "recovery counters diverged across engines");
+    // Full metrics registry, per-fabric bytes.* included: with stream
+    // drop abortive under both engines, the two worlds must put exactly
+    // the same frames on the wire.
+    assert!(
+        t.metrics.contains("counter bytes."),
+        "the render must include the byte counters"
+    );
+    assert_eq!(t.metrics, e.metrics, "metrics diverged across engines");
+    // And the event engine's own same-seed identity on top.
+    let e2 = run_traced_failover_with(seed, event);
+    assert_eq!(e.dump, e2.dump, "event-engine span trees diverged");
+    assert_eq!(e.metrics, e2.metrics, "event-engine metrics diverged");
+}

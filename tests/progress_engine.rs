@@ -156,11 +156,22 @@ fn concurrent_corba_and_mpi_flows_keep_solo_latency() {
     let r = rig();
     let mpi = r.run_mpi();
     let corba = r.run_corba();
-    // One cooperative I/O thread per node — the receiver multiplexes the
-    // ORB's Ethernet traffic and the circuit's Myrinet traffic on one
-    // engine, and neither flow gets a private thread.
+    // One coherent engine per node — the receiver multiplexes the ORB's
+    // Ethernet traffic and the circuit's Myrinet traffic on one engine,
+    // and neither flow gets a private thread. Under the threaded engine
+    // that is exactly one I/O thread; under the event engine it is zero
+    // (the node is a handler in the world scheduler).
+    let want_threads = match padico::tm::EngineKind::default() {
+        padico::tm::EngineKind::Threaded => 1,
+        padico::tm::EngineKind::EventLoop => 0,
+    };
     for tm in &r.tms {
-        assert_eq!(tm.net().io_thread_count(), 1, "one engine on {}", tm.node());
+        assert_eq!(
+            tm.net().io_thread_count(),
+            want_threads,
+            "one engine on {}",
+            tm.node()
+        );
     }
     let mpi_shared = mpi.join().unwrap();
     let corba_shared = corba.join().unwrap();
