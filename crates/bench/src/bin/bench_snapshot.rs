@@ -128,6 +128,49 @@ fn main() {
         w.events_per_sec, w.peak_rss_mb
     );
 
+    // The same world with the flight recorder on: 1-in-64 token span
+    // sampling + virtual-time timeseries. Gated: full observability may
+    // cost at most WORLD_OBS_OVERHEAD_MAX (default 1.05 = 5%) of the
+    // baseline's events/s.
+    eprintln!("running world_100k with flight recorder (overhead gate)...");
+    let w_obs = world::run_world_with(100_000, 256, 2_000, world::WorldObs::Full);
+    let overhead = w.events_per_sec / w_obs.events_per_sec.max(1e-9);
+    let overhead_max: f64 = std::env::var("WORLD_OBS_OVERHEAD_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.05);
+    eprintln!(
+        "world_100k_obs: {:.0} events/s ({:.1}% overhead, max {:.1}%), \
+         {} lane samples, {} sampled spans, {} ts points",
+        w_obs.events_per_sec,
+        (overhead - 1.0) * 100.0,
+        (overhead_max - 1.0) * 100.0,
+        w_obs.lane_samples,
+        w_obs.sampled_spans,
+        w_obs.ts_points
+    );
+
+    // Scheduler lane telemetry + timeseries registry state after both
+    // world runs (the `sched.*` series come from the lane recorder).
+    let ts = padico_util::timeseries::snapshot();
+    let ts_section = {
+        let mut body = String::from("{");
+        for (i, (name, s)) in ts.series.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "\"{name}\":{{\"points\":{},\"windows\":{},\"dropped\":{},\"evicted\":{}}}",
+                s.total_count(),
+                s.occupied().len(),
+                s.dropped_samples,
+                s.evicted_windows
+            ));
+        }
+        body.push('}');
+        body
+    };
+
     let sections = vec![
         // A 100,000-node ring driven end-to-end by the sharded event
         // heap in one process: world size bounded by memory, not by OS
@@ -151,6 +194,34 @@ fn main() {
                 w.steals
             ),
         ),
+        // The same world with the flight recorder on, plus the measured
+        // events/s overhead ratio the gate enforces.
+        (
+            "world_100k_obs",
+            format!(
+                "{{\"events_per_sec\":{:.1},\"overhead_ratio\":{:.4},\
+                 \"overhead_max\":{:.4},\"lane_samples\":{},\
+                 \"lane_dropped\":{},\"sampled_spans\":{},\"ts_points\":{}}}",
+                w_obs.events_per_sec,
+                overhead,
+                overhead_max,
+                w_obs.lane_samples,
+                w_obs.lane_dropped,
+                w_obs.sampled_spans,
+                w_obs.ts_points
+            ),
+        ),
+        // Scheduler lane stats of the flight-recorder world run.
+        (
+            "sched",
+            format!(
+                "{{\"delivered\":{},\"steals\":{},\"lane_samples\":{},\
+                 \"lane_dropped\":{}}}",
+                w_obs.events, w_obs.steals, w_obs.lane_samples, w_obs.lane_dropped
+            ),
+        ),
+        // Per-series totals of the virtual-time telemetry windows.
+        ("timeseries", ts_section),
         ("fig7_bandwidth", report::series_json(&fig7_series)),
         (
             "concurrent_share",
@@ -240,4 +311,16 @@ fn main() {
     let json = report::snapshot_json(&date, &criterion_jsonl, &sections);
     std::fs::write(&out_path, &json).expect("write snapshot file");
     eprintln!("wrote {out_path}");
+
+    if overhead > overhead_max {
+        eprintln!(
+            "FAIL: full observability costs {:.1}% of world_100k events/s \
+             (max {:.1}%) — {:.0} -> {:.0} events/s",
+            (overhead - 1.0) * 100.0,
+            (overhead_max - 1.0) * 100.0,
+            w.events_per_sec,
+            w_obs.events_per_sec
+        );
+        std::process::exit(1);
+    }
 }

@@ -1,14 +1,45 @@
 //! Run a token-passing world on the discrete-event progress core.
 //!
-//! Usage: `world_sim [nodes] [tokens] [hops] [floor_events_per_sec]`
+//! Usage: `world_sim [nodes] [tokens] [hops] [floor_events_per_sec] [obs]`
 //!
 //! Defaults to the tentpole configuration: 100,000 nodes, 256 tokens,
 //! 2,000 hops — half a million scheduler events through one process
 //! with zero per-node threads. Prints the report as JSON on stdout. If
 //! a throughput floor is given, exits 1 when the measured events/sec
-//! falls below it (the CI smoke gate).
+//! falls below it (the CI smoke gate). `obs` is `off` (default) or
+//! `full`: full turns on the flight recorder — 1-in-64 token span
+//! sampling plus virtual-time timeseries — which the overhead gate in
+//! `bench_snapshot` requires to stay within 5% of the `off` baseline.
 
-use padico_bench::world;
+use padico_bench::world::{self, WorldObs};
+
+fn report_json(r: &world::WorldReport) -> String {
+    format!(
+        "{{\"nodes\":{},\"tokens\":{},\"hops\":{},\"events\":{},\
+         \"wall_s\":{:.3},\"events_per_sec\":{:.1},\"boot_s\":{:.3},\
+         \"peak_rss_mb\":{:.1},\"horizon_ms\":{:.3},\"steals\":{},\
+         \"obs\":\"{}\",\"lane_samples\":{},\"lane_dropped\":{},\
+         \"sampled_spans\":{},\"ts_points\":{}}}",
+        r.nodes,
+        r.tokens,
+        r.hops,
+        r.events,
+        r.wall_s,
+        r.events_per_sec,
+        r.boot_s,
+        r.peak_rss_mb,
+        r.horizon_ms,
+        r.steals,
+        match r.obs {
+            WorldObs::Off => "off",
+            WorldObs::Full => "full",
+        },
+        r.lane_samples,
+        r.lane_dropped,
+        r.sampled_spans,
+        r.ts_points
+    )
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -21,29 +52,32 @@ fn main() {
     let tokens = next(256) as usize;
     let hops = next(2_000);
     let floor = next(0) as f64;
+    let obs = match args.next().as_deref() {
+        None | Some("off") => WorldObs::Off,
+        Some("full") => WorldObs::Full,
+        Some(other) => panic!("obs mode must be `off` or `full`, got `{other}`"),
+    };
 
-    eprintln!("booting {nodes}-node world...");
-    let r = world::run_world(nodes, tokens, hops);
+    eprintln!("booting {nodes}-node world (obs {obs:?})...");
+    let r = world::run_world_with(nodes, tokens, hops, obs);
     eprintln!(
         "world_{}: {} events in {:.2}s ({:.0} events/s), boot {:.2}s, \
-         peak RSS {:.1} MiB, horizon {:.1} ms, {} steals",
-        r.nodes, r.events, r.wall_s, r.events_per_sec, r.boot_s, r.peak_rss_mb, r.horizon_ms, r.steals
-    );
-    println!(
-        "{{\"nodes\":{},\"tokens\":{},\"hops\":{},\"events\":{},\
-         \"wall_s\":{:.3},\"events_per_sec\":{:.1},\"boot_s\":{:.3},\
-         \"peak_rss_mb\":{:.1},\"horizon_ms\":{:.3},\"steals\":{}}}",
+         peak RSS {:.1} MiB, horizon {:.1} ms, {} steals, \
+         {} lane samples ({} dropped), {} sampled spans, {} ts points",
         r.nodes,
-        r.tokens,
-        r.hops,
         r.events,
         r.wall_s,
         r.events_per_sec,
         r.boot_s,
         r.peak_rss_mb,
         r.horizon_ms,
-        r.steals
+        r.steals,
+        r.lane_samples,
+        r.lane_dropped,
+        r.sampled_spans,
+        r.ts_points
     );
+    println!("{}", report_json(&r));
     if floor > 0.0 && r.events_per_sec < floor {
         eprintln!(
             "FAIL: {:.0} events/s is below the {floor:.0} events/s floor",

@@ -13,10 +13,27 @@
 
 use padico_fabric::topology::Topology;
 use padico_fabric::{presets, Payload, SecurityZone};
-use padico_tm::{EngineKind, PadicoTM, TmConfig};
+use padico_tm::{EngineKind, PadicoTM, TmConfig, TraceSampling};
 use padico_util::ids::ChannelId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// How much of the observability stack a world run carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorldObs {
+    /// No per-hop instrumentation (the historical baseline). Scheduler
+    /// lane telemetry still runs — it is always on.
+    Off,
+    /// Flight recorder on: head-based span sampling at 1-in-64 tokens
+    /// (a sampled token gets a root span *per hop*) plus a virtual-time
+    /// timeseries point per sampled hop. This is the configuration the
+    /// ≤5% events/s overhead gate measures.
+    Full,
+}
+
+/// Sampling rate used by [`WorldObs::Full`]: one in this many tokens is
+/// traced end to end.
+pub const OBS_SAMPLE_EVERY: u32 = 64;
 
 /// One logical channel shared by every node of the world: the ring
 /// protocol needs no demultiplexing beyond the destination node, and a
@@ -47,6 +64,15 @@ pub struct WorldReport {
     pub horizon_ms: f64,
     /// Cross-shard steals performed by the worker pool.
     pub steals: u64,
+    /// What the run carried (see [`WorldObs`]).
+    pub obs: WorldObs,
+    /// Scheduler lane-telemetry samples retained / dropped at the end.
+    pub lane_samples: u64,
+    pub lane_dropped: u64,
+    /// Spans the sampled tokens left in the buffers (`world.hop` layer).
+    pub sampled_spans: u64,
+    /// Points the run folded into the `world.hop` timeseries.
+    pub ts_points: u64,
 }
 
 /// Peak RSS of this process in MiB (`VmHWM` from `/proc/self/status`),
@@ -70,7 +96,15 @@ pub fn peak_rss_mb() -> f64 {
 /// forwarded `hops` times before it retires. Panics if the scheduler
 /// fails to quiesce within the deadline (a liveness bug, not load).
 pub fn run_world(n: usize, tokens: usize, hops: u64) -> WorldReport {
+    run_world_with(n, tokens, hops, WorldObs::Off)
+}
+
+/// [`run_world`] with an explicit observability mode — `Full` is the
+/// flight-recorder configuration the overhead gate compares against
+/// `Off`.
+pub fn run_world_with(n: usize, tokens: usize, hops: u64, obs: WorldObs) -> WorldReport {
     assert!(n >= 2 && tokens >= 1 && hops >= 1);
+    let prev_sampling = padico_util::span::sampling();
     let boot_start = std::time::Instant::now();
     let mut b = Topology::builder();
     let ids = b.machine("w", "world-ring", n, SecurityZone::Trusted);
@@ -78,6 +112,10 @@ pub fn run_world(n: usize, tokens: usize, hops: u64) -> WorldReport {
     let topo = Arc::new(b.build());
     let cfg = TmConfig {
         engine: EngineKind::EventLoop,
+        trace_sampling: match obs {
+            WorldObs::Off => TraceSampling::Always,
+            WorldObs::Full => TraceSampling::SampleEvery(OBS_SAMPLE_EVERY),
+        },
         ..TmConfig::default()
     };
     let tms = PadicoTM::boot_all_with_config(Arc::clone(&topo), cfg).unwrap();
@@ -92,6 +130,7 @@ pub fn run_world(n: usize, tokens: usize, hops: u64) -> WorldReport {
         let net = Arc::clone(tm.net());
         let clock = tm.clock().share();
         let next = ids[(i + 1) % n];
+        let node_id = ids[i].0;
         let completed = Arc::clone(&completed);
         tm.net()
             .on_channel(
@@ -103,9 +142,29 @@ pub fn run_world(n: usize, tokens: usize, hops: u64) -> WorldReport {
                     let token = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
                     if hops_left == 0 {
                         completed.fetch_add(1, Ordering::Relaxed);
+                        if obs == WorldObs::Full {
+                            padico_util::timeseries::bump("world.token.retired", clock.now());
+                        }
                         return;
                     }
-                    clock.advance(net.cell().jitter(JITTER_NS));
+                    // Under Full observability a sampled token is traced
+                    // hop by hop: the root-span gate is the same
+                    // trace-id hash every other layer uses, so the cost
+                    // of an unsampled hop is one hash.
+                    let _hop_span = (obs == WorldObs::Full).then(|| {
+                        padico_util::span::root(
+                            &clock,
+                            node_id,
+                            token,
+                            "world.hop",
+                            "hop",
+                        )
+                    });
+                    let jitter = net.cell().jitter(JITTER_NS);
+                    clock.advance(jitter);
+                    if obs == WorldObs::Full && padico_util::span::trace_sampled(token) {
+                        padico_util::timeseries::record("world.hop", clock.now(), jitter);
+                    }
                     let mut wire = Vec::with_capacity(16);
                     wire.extend_from_slice(&(hops_left - 1).to_le_bytes());
                     wire.extend_from_slice(&token.to_le_bytes());
@@ -149,6 +208,19 @@ pub fn run_world(n: usize, tokens: usize, hops: u64) -> WorldReport {
         tokens as u64 * (hops + 1),
         "event count must be exactly tokens x (hops+1)"
     );
+    let sampled_spans = match obs {
+        WorldObs::Off => 0,
+        WorldObs::Full => padico_util::span::snapshot()
+            .iter()
+            .filter(|s| s.layer == "world.hop")
+            .count() as u64,
+    };
+    let ts_points = padico_util::timeseries::snapshot()
+        .series("world.hop")
+        .map_or(0, |s| s.total_count());
+    // Sampling policy is process-global (installed at boot): put back
+    // whatever was in force before this run.
+    padico_util::span::set_sampling(prev_sampling);
     WorldReport {
         nodes: n,
         tokens,
@@ -160,5 +232,10 @@ pub fn run_world(n: usize, tokens: usize, hops: u64) -> WorldReport {
         peak_rss_mb: peak_rss_mb(),
         horizon_ms: after.horizon as f64 / 1e6,
         steals: after.steals - before.steals,
+        obs,
+        lane_samples: after.lane_samples,
+        lane_dropped: after.lane_dropped,
+        sampled_spans,
+        ts_points,
     }
 }

@@ -1,22 +1,42 @@
-//! One-stop observability snapshot for a whole grid run.
+//! One-stop observability snapshot for a whole grid run — the flight
+//! recorder's assembly point.
 //!
 //! The lower layers each keep their own books: spans land in the
 //! process-global span buffers ([`padico_util::span`]), latency
 //! histograms and byte counters in the metrics registry
-//! ([`padico_util::metrics`]), retry/failover totals in the recovery
-//! stats ([`padico_util::stats`]), and schedule reuse in the
+//! ([`padico_util::metrics`]), their windowed twins in the timeseries
+//! registry ([`padico_util::timeseries`]), retry/failover totals in the
+//! recovery stats ([`padico_util::stats`]), scheduler lane samples in
+//! [`padico_fabric::WorldSched`], and schedule reuse in the
 //! redistribution cache ([`crate::redistribute::schedule_cache_stats`]).
-//! This module folds all of them into a single [`MetricsSnapshot`] so a
-//! bench harness or an example dumps one coherent picture.
+//! This module folds all of them into one [`ObservabilitySnapshot`] so a
+//! bench harness, the control service, or an example dumps one coherent
+//! picture — and exports the whole thing as a single Perfetto trace via
+//! [`ObservabilitySnapshot::flight_recorder_json`].
 
+use padico_fabric::{LaneSample, Topology};
 use padico_util::metrics::MetricsSnapshot;
 use padico_util::span::{self, CriticalPath, Span};
+use padico_util::timeseries::{self, TimeSeriesSnapshot};
 
 use crate::redistribute::schedule_cache_stats;
 
+/// Synthetic Perfetto "process" carrying the scheduler lane tracks: one
+/// thread row per worker, one per shard group. Far above any node id, so
+/// it never collides with a node's pid in the combined export.
+const SCHED_PID: u64 = 900_000;
+
+/// Synthetic Perfetto "process" carrying one counter track per
+/// timeseries.
+const TIMESERIES_PID: u64 = 900_001;
+
+/// Shard rows in the lane export are grouped so a 64-shard scheduler
+/// renders as a readable handful of tracks rather than 64.
+const SHARD_GROUPS: usize = 8;
+
 /// The metrics registry plus recovery counters plus schedule-cache,
-/// segment-pool and coalescing counters, merged under deterministic
-/// names.
+/// segment-pool, coalescing and span-buffer counters, merged under
+/// deterministic names.
 pub fn metrics_snapshot() -> MetricsSnapshot {
     let mut snap = padico_util::metrics::snapshot_with_recovery();
     let cache = schedule_cache_stats();
@@ -32,28 +52,67 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
         ("pool.outstanding", pool.outstanding),
         ("tm.coalesce.frames_coalesced", coalesce.frames_coalesced),
         ("tm.coalesce.flushes", coalesce.flushes),
+        ("span.retained", span::retained()),
+        ("span.dropped", span::dropped()),
     ] {
         snap.counters.insert(name.to_string(), v);
     }
     snap
 }
 
-/// Everything observable about a run: the merged metrics and the merged
-/// span buffers of every node.
+/// Everything observable about a run: the merged metrics, the windowed
+/// timeseries, the merged span buffers of every node, and (when a world
+/// scheduler is running) its lane telemetry.
 pub struct ObservabilitySnapshot {
     pub metrics: MetricsSnapshot,
+    pub timeseries: TimeSeriesSnapshot,
     pub spans: Vec<Span>,
-    /// Spans discarded because a per-node buffer overflowed.
+    /// Spans discarded because a per-node or the process-wide buffer
+    /// overflowed.
     pub dropped_spans: u64,
+    /// Scheduler lane samples (empty for thread-per-node worlds or when
+    /// captured without a topology).
+    pub lanes: Vec<LaneSample>,
+    /// Lane samples dropped to the lane buffer cap.
+    pub dropped_lanes: u64,
 }
 
 impl ObservabilitySnapshot {
+    /// Capture the process-global state. Lane telemetry needs a
+    /// topology; use [`ObservabilitySnapshot::capture_world`] to get it.
     pub fn capture() -> Self {
         ObservabilitySnapshot {
             metrics: metrics_snapshot(),
+            timeseries: timeseries::snapshot(),
             spans: span::snapshot(),
             dropped_spans: span::dropped(),
+            lanes: Vec::new(),
+            dropped_lanes: 0,
         }
+    }
+
+    /// [`ObservabilitySnapshot::capture`] plus the lane telemetry of
+    /// `topo`'s world scheduler, if one was started. Deliberately does
+    /// not start a scheduler: observing a threaded world must not boot
+    /// a worker pool.
+    pub fn capture_world(topo: &Topology) -> Self {
+        let mut snap = Self::capture();
+        if let Some(sched) = topo.sched_started() {
+            let stats = sched.stats();
+            snap.lanes = sched.lane_samples();
+            snap.dropped_lanes = stats.lane_dropped;
+            for (name, v) in [
+                ("sched.posted", stats.posted),
+                ("sched.delivered", stats.delivered),
+                ("sched.dropped", stats.dropped),
+                ("sched.steals", stats.steals),
+                ("sched.lane_samples", stats.lane_samples),
+                ("sched.lane_dropped", stats.lane_dropped),
+            ] {
+                snap.metrics.counters.insert(name.to_string(), v);
+            }
+        }
+        snap
     }
 
     /// The spans of one trace (one logical GridCCM invocation).
@@ -76,15 +135,134 @@ impl ObservabilitySnapshot {
         span::chrome_trace_json(&self.spans)
     }
 
-    /// Deterministic text rendering: metrics first, then one line per
-    /// span in canonical order.
+    /// The full flight-recorder export: one Perfetto JSON document
+    /// merging the span slices (pid = node), the scheduler lane tracks
+    /// (one row per worker, one per shard group, with batch/occupancy/
+    /// lag counters and steal instants), and one counter track per
+    /// timeseries. Load the whole thing in <https://ui.perfetto.dev>.
+    pub fn flight_recorder_json(&self) -> String {
+        let mut events = span::chrome_trace_events(&self.spans);
+        self.lane_events(&mut events);
+        self.timeseries_events(&mut events);
+        format!(
+            "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}\n",
+            events.join(",")
+        )
+    }
+
+    fn lane_events(&self, events: &mut Vec<String>) {
+        if self.lanes.is_empty() {
+            return;
+        }
+        events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{SCHED_PID},\"tid\":0,\
+             \"args\":{{\"name\":\"sched-lanes\"}}}}"
+        ));
+        let shards = self
+            .lanes
+            .iter()
+            .map(|s| s.shard as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let groups = SHARD_GROUPS.min(shards);
+        let group_of = |shard: u32| (shard as usize * groups) / shards;
+        let mut workers: Vec<u32> = self.lanes.iter().map(|s| s.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        for w in &workers {
+            events.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{SCHED_PID},\"tid\":{},\
+                 \"args\":{{\"name\":\"worker-{w}\"}}}}",
+                w + 1
+            ));
+        }
+        for g in 0..groups {
+            let lo = (g * shards) / groups;
+            let hi = (((g + 1) * shards) / groups).saturating_sub(1);
+            events.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{SCHED_PID},\"tid\":{},\
+                 \"args\":{{\"name\":\"shards-{lo}-{hi}\"}}}}",
+                100 + g
+            ));
+        }
+        for s in &self.lanes {
+            let g = group_of(s.shard);
+            // Batch size as a per-worker counter track; steals as
+            // thread-scoped instants on the worker's row.
+            events.push(format!(
+                "{{\"ph\":\"C\",\"name\":\"batch.worker-{}\",\"pid\":{SCHED_PID},\
+                 \"tid\":{},\"ts\":{},\"args\":{{\"events\":{}}}}}",
+                s.worker,
+                s.worker + 1,
+                span::us(s.vt),
+                s.batch
+            ));
+            if s.stolen {
+                events.push(format!(
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"steal:shard{}\",\
+                     \"cat\":\"sched\",\"pid\":{SCHED_PID},\"tid\":{},\"ts\":{}}}",
+                    s.shard,
+                    s.worker + 1,
+                    span::us(s.vt)
+                ));
+            }
+            // Occupancy and horizon lag as per-shard-group counters.
+            events.push(format!(
+                "{{\"ph\":\"C\",\"name\":\"occupancy.shards-{g}\",\"pid\":{SCHED_PID},\
+                 \"tid\":{},\"ts\":{},\"args\":{{\"events\":{}}}}}",
+                100 + g,
+                span::us(s.vt),
+                s.occupancy
+            ));
+            events.push(format!(
+                "{{\"ph\":\"C\",\"name\":\"lag.shards-{g}\",\"pid\":{SCHED_PID},\
+                 \"tid\":{},\"ts\":{},\"args\":{{\"ns\":{}}}}}",
+                100 + g,
+                span::us(s.vt),
+                s.lag
+            ));
+        }
+    }
+
+    fn timeseries_events(&self, events: &mut Vec<String>) {
+        if self.timeseries.series.is_empty() {
+            return;
+        }
+        events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{TIMESERIES_PID},\"tid\":0,\
+             \"args\":{{\"name\":\"timeseries\"}}}}"
+        ));
+        for (name, series) in &self.timeseries.series {
+            for (idx, w) in series.occupied() {
+                events.push(format!(
+                    "{{\"ph\":\"C\",\"name\":\"ts.{}\",\"pid\":{TIMESERIES_PID},\"tid\":0,\
+                     \"ts\":{},\"args\":{{\"count\":{},\"sum\":{}}}}}",
+                    span::json_escape(name),
+                    span::us(idx.saturating_mul(series.window_ns)),
+                    w.count,
+                    w.sum
+                ));
+            }
+        }
+    }
+
+    /// Deterministic text rendering: metrics first, then the timeseries
+    /// windows, then one line per span in canonical order.
     pub fn render(&self) -> String {
         let mut out = self.metrics.render();
+        out.push_str(&self.timeseries.render());
         out.push_str(&format!(
             "spans: {} captured, {} dropped\n",
             self.spans.len(),
             self.dropped_spans
         ));
+        if !self.lanes.is_empty() || self.dropped_lanes > 0 {
+            out.push_str(&format!(
+                "lanes: {} samples, {} dropped\n",
+                self.lanes.len(),
+                self.dropped_lanes
+            ));
+        }
         out.push_str(&span::canonical_dump(&self.spans));
         out
     }
@@ -117,8 +295,69 @@ mod tests {
             .counters
             .contains_key("tm.coalesce.frames_coalesced"));
         assert!(snap.metrics.counters.contains_key("tm.coalesce.flushes"));
+        assert!(snap.metrics.counters.contains_key("span.dropped"));
         let rendered = snap.render();
         assert!(rendered.contains("counter schedule_cache.misses"));
+        assert!(rendered.contains("counter span.dropped"));
         assert!(rendered.contains("spans: "));
+    }
+
+    #[test]
+    fn flight_recorder_merges_spans_timeseries_and_lanes() {
+        let _iso = padico_util::trace::isolated();
+        let clock = padico_util::simtime::SimClock::new();
+        {
+            let _r = padico_util::span::root(&clock, 0, 9, "ccm.invoke", "invoke:x");
+            clock.advance(1000);
+        }
+        padico_util::timeseries::bump("orb.admission.shed", 500);
+        let mut snap = ObservabilitySnapshot::capture();
+        snap.lanes = vec![
+            LaneSample {
+                worker: 0,
+                shard: 3,
+                vt: 700,
+                batch: 32,
+                occupancy: 5,
+                lag: 120,
+                stolen: true,
+            },
+            LaneSample {
+                worker: 1,
+                shard: 0,
+                vt: 900,
+                batch: 7,
+                occupancy: 0,
+                lag: 0,
+                stolen: false,
+            },
+        ];
+        let json = snap.flight_recorder_json();
+        for needle in [
+            "\"traceEvents\"",
+            "invoke:x",
+            "sched-lanes",
+            "batch.worker-0",
+            "occupancy.shards-",
+            "lag.shards-",
+            "steal:shard3",
+            "ts.orb.admission.shed",
+            "timeseries",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Balanced JSON, same discipline as the span exporter test.
+        let braces: i64 = json
+            .chars()
+            .map(|c| match c {
+                '{' => 1,
+                '}' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(braces, 0);
+        let rendered = snap.render();
+        assert!(rendered.contains("timeseries orb.admission.shed"));
+        assert!(rendered.contains("lanes: 2 samples"));
     }
 }

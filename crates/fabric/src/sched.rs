@@ -112,6 +112,38 @@ struct Shard {
     claimed: AtomicBool,
 }
 
+/// One scheduler-lane telemetry sample, recorded per dispatched batch
+/// (not per event — one sample per `BATCH` pops keeps the flight
+/// recorder's cost a rounding error at world scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneSample {
+    /// Worker that drained the batch (`run_until_idle` reports 0).
+    pub worker: u32,
+    /// Shard the batch came from.
+    pub shard: u32,
+    /// Virtual arrival time of the newest event in the batch.
+    pub vt: Vt,
+    /// Events in the batch (1..=BATCH).
+    pub batch: u32,
+    /// Events left in the shard's heap after the pop.
+    pub occupancy: u32,
+    /// How far the batch's oldest event trailed the global virtual-time
+    /// frontier when drained (ns) — the horizon lag of this shard.
+    pub lag: u64,
+    /// Whether the worker drained a shard other than its home shard.
+    pub stolen: bool,
+}
+
+/// Retained lane samples: bounded like every other flight-recorder
+/// buffer; overflow is counted, never silently ignored.
+const LANE_CAP: usize = 1 << 16;
+
+#[derive(Default)]
+struct LaneLog {
+    samples: Vec<LaneSample>,
+    dropped: u64,
+}
+
 /// Counters for the progress core, reported by the world benches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SchedStats {
@@ -131,6 +163,10 @@ pub struct SchedStats {
     pub workers: usize,
     /// Heap shards.
     pub shards: usize,
+    /// Lane telemetry samples retained (≤ the lane buffer cap).
+    pub lane_samples: u64,
+    /// Lane telemetry samples dropped to the buffer cap.
+    pub lane_dropped: u64,
 }
 
 /// The world's discrete-event scheduler. One per [`crate::topology::Topology`],
@@ -147,6 +183,7 @@ pub struct WorldSched {
     dropped: AtomicU64,
     steals: AtomicU64,
     watermark: AtomicU64,
+    lanes: Mutex<LaneLog>,
     stop: AtomicBool,
     park: Mutex<()>,
     park_cv: Condvar,
@@ -193,6 +230,7 @@ impl WorldSched {
             dropped: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             watermark: AtomicU64::new(0),
+            lanes: Mutex::new(LaneLog::default()),
             stop: AtomicBool::new(false),
             park: Mutex::new(()),
             park_cv: Condvar::new(),
@@ -269,6 +307,7 @@ impl WorldSched {
                 continue;
             }
             loop {
+                let occupancy;
                 {
                     let mut heap = shard.heap.lock();
                     for _ in 0..BATCH {
@@ -277,6 +316,7 @@ impl WorldSched {
                             None => break,
                         }
                     }
+                    occupancy = heap.len() as u32;
                 }
                 if scratch.is_empty() {
                     break;
@@ -285,6 +325,7 @@ impl WorldSched {
                 if i != 0 {
                     self.steals.fetch_add(batch, Ordering::Relaxed);
                 }
+                self.record_lane_sample(home, idx, i != 0, occupancy, scratch);
                 // in_flight rises BEFORE pending falls so quiescence
                 // checks never observe a false-idle window.
                 self.in_flight.fetch_add(batch, Ordering::SeqCst);
@@ -314,6 +355,53 @@ impl WorldSched {
             shard.claimed.store(false, Ordering::Release);
         }
         did_work
+    }
+
+    /// Fold one dispatched batch into the lane log and the `sched.*`
+    /// timeseries. Batch granularity bounds the cost: one lane push and
+    /// two windowed folds per `BATCH` events. The `sched.*` series are
+    /// timed by which worker won which shard — host scheduling, not the
+    /// seed — so determinism comparisons strip them (see
+    /// `tests/chaos_world`).
+    fn record_lane_sample(
+        &self,
+        home: usize,
+        shard: usize,
+        stolen: bool,
+        occupancy: u32,
+        batch: &[EventRec],
+    ) {
+        let oldest = batch.first().map_or(0, |r| r.vt);
+        let newest = batch.last().map_or(0, |r| r.vt);
+        let sample = LaneSample {
+            worker: home as u32,
+            shard: shard as u32,
+            vt: newest,
+            batch: batch.len() as u32,
+            occupancy,
+            lag: self.watermark.load(Ordering::Relaxed).saturating_sub(oldest),
+            stolen,
+        };
+        padico_util::timeseries::record("sched.delivered", newest, batch.len() as u64);
+        if stolen {
+            padico_util::timeseries::record("sched.steals", newest, batch.len() as u64);
+        }
+        let mut lanes = self.lanes.lock();
+        if lanes.samples.len() < LANE_CAP {
+            lanes.samples.push(sample);
+        } else {
+            lanes.dropped += 1;
+        }
+    }
+
+    /// The retained lane telemetry, in recording order.
+    pub fn lane_samples(&self) -> Vec<LaneSample> {
+        self.lanes.lock().samples.clone()
+    }
+
+    /// Drop retained lane samples (benches use this between phases).
+    pub fn clear_lanes(&self) {
+        *self.lanes.lock() = LaneLog::default();
     }
 
     fn worker_loop(&self, home: usize) {
@@ -369,6 +457,10 @@ impl WorldSched {
 
     /// Current counters.
     pub fn stats(&self) -> SchedStats {
+        let (lane_samples, lane_dropped) = {
+            let lanes = self.lanes.lock();
+            (lanes.samples.len() as u64, lanes.dropped)
+        };
         SchedStats {
             posted: self.posted.load(Ordering::Relaxed),
             delivered: self.delivered.load(Ordering::Relaxed),
@@ -378,6 +470,8 @@ impl WorldSched {
             horizon: self.horizon(),
             workers: self.worker_count,
             shards: self.shards.len(),
+            lane_samples,
+            lane_dropped,
         }
     }
 
@@ -486,6 +580,35 @@ mod tests {
         let after = pool::record_stats();
         assert_eq!(after.misses, before.misses, "warm records must not allocate");
         assert!(after.hits >= before.hits + 100);
+        sched.stop();
+    }
+
+    #[test]
+    fn lane_telemetry_samples_batches() {
+        let _iso = padico_util::trace::isolated();
+        let sched = WorldSched::start(4, 0);
+        sched.register(NodeId(0), Arc::new(|_m| {}));
+        for i in 0..100u64 {
+            sched.post(NodeId(0), i, NodeId(1), msg(NodeId(1), i));
+        }
+        sched.run_until_idle();
+        let samples = sched.lane_samples();
+        assert!(!samples.is_empty(), "batches must be sampled");
+        let total: u64 = samples.iter().map(|s| u64::from(s.batch)).sum();
+        assert_eq!(total, 100, "every event belongs to exactly one batch");
+        for s in &samples {
+            assert!(s.batch as usize <= BATCH);
+            assert_eq!(s.worker, 0);
+            assert!(!s.stolen, "single-thread drain steals nothing");
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.lane_samples, samples.len() as u64);
+        assert_eq!(stats.lane_dropped, 0);
+        // The batches also land in the sched.delivered timeseries.
+        let ts = padico_util::timeseries::snapshot();
+        assert_eq!(ts.series("sched.delivered").unwrap().total_count(), samples.len() as u64);
+        sched.clear_lanes();
+        assert!(sched.lane_samples().is_empty());
         sched.stop();
     }
 

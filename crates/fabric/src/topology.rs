@@ -133,6 +133,14 @@ impl Topology {
         })
     }
 
+    /// The world scheduler, only if some event-loop node already started
+    /// it. Introspection paths (the control service's `snapshot()`) use
+    /// this so that *observing* a thread-per-node world does not boot a
+    /// worker pool it never asked for.
+    pub fn sched_started(&self) -> Option<&Arc<WorldSched>> {
+        self.sched.get()
+    }
+
     /// Nodes of a given machine, in id order.
     pub fn machine_nodes(&self, machine: &str) -> Vec<NodeId> {
         self.nodes

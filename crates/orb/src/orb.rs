@@ -463,6 +463,10 @@ impl Orb {
                     // TRANSIENT immediately (oneways are silently dropped
                     // — there is nobody to answer).
                     let Some(permit) = self.admission.try_admit() else {
+                        padico_util::timeseries::bump(
+                            "orb.admission.shed",
+                            self.tm.clock().now(),
+                        );
                         trace_debug!(
                             "orb",
                             "{}: shed request {request_id} (`{operation}`): \
@@ -595,6 +599,7 @@ impl Orb {
         // make theirs. Answer the typed TIMEOUT instead.
         if deadline != 0 && clock.now() >= deadline {
             counter_add("orb.deadline.expired_server", 1);
+            padico_util::timeseries::bump("orb.deadline.expired_server", clock.now());
             trace_debug!(
                 "orb",
                 "{}: request {request_id} (`{operation}`) arrived {} vns past \
@@ -806,6 +811,7 @@ impl Orb {
     /// Account one GIOP retry: charge the policy's backoff to the node's
     /// virtual clock and bump the recovery counters.
     fn note_giop_retry(&self, retry: u32, policy: &padico_tm::RetryPolicy) {
+        padico_util::timeseries::bump("recovery.giop_retries", self.tm.clock().now());
         let charged = policy.charge_backoff(self.tm.clock(), retry);
         let recovery = self.tm.recovery();
         padico_tm::faults::note(recovery, |r| &r.giop_retries);

@@ -199,8 +199,13 @@ fn breaker_note_failure(tm: &PadicoTM, fabric: FabricId, dst: NodeId) {
 }
 
 /// Zero-length transition span under the `tm.breaker` layer, end
-/// pinned to the deterministic transition stamp.
+/// pinned to the deterministic transition stamp (the Perfetto exporter
+/// renders zero-duration spans as instant events). The transition also
+/// lands in the flight recorder's `tm.breaker.<kind>` timeseries, so a
+/// campaign shows *which window* the route opened in.
 fn breaker_transition_span(tm: &PadicoTM, name: String, at: Vt) {
+    let kind = name.split(':').next().unwrap_or("transition");
+    padico_util::timeseries::bump(&format!("tm.breaker.{kind}"), at);
     let mut span = padico_util::span::child(tm.clock(), tm.node().0, "tm.breaker", name);
     span.end_at(at);
 }
@@ -477,6 +482,10 @@ impl LinkCore {
                     breaker_note_failure(&self.tm, fabric, dst);
                     let rec = self.tm.recovery();
                     faults::note(rec, |r| &r.send_retries);
+                    padico_util::timeseries::bump(
+                        "recovery.send_retries",
+                        self.tm.clock().now(),
+                    );
                     let charged = policy.charge_backoff(self.tm.clock(), attempt);
                     faults::note_backoff(rec, charged);
                     self.try_failover(&err);
@@ -668,6 +677,7 @@ impl LinkCore {
                 Err(err) if attempt < policy.max_attempts && err.is_transient() => {
                     let rec = tm.recovery();
                     faults::note(rec, |r| &r.connect_retries);
+                    padico_util::timeseries::bump("recovery.connect_retries", tm.clock().now());
                     let charged = policy.charge_backoff(tm.clock(), attempt);
                     faults::note_backoff(rec, charged);
                     if err.is_link_level() {

@@ -48,6 +48,7 @@ pub use driver::{coalesce_stats, ArbitratedDriver, CoalesceStats, LinkCore};
 pub use error::TmError;
 pub use faults::{is_retryable, RetryPolicy};
 pub use module::{ModuleManager, PadicoModule};
+pub use padico_util::span::TraceSampling;
 pub use runtime::{BreakerPolicy, CoalescePolicy, EngineKind, PadicoTM, TmConfig};
 pub use selector::{FabricChoice, Route};
 pub use vlink::{VLinkListener, VLinkStream};

@@ -46,6 +46,13 @@ pub struct TmConfig {
     pub breaker: Option<BreakerPolicy>,
     /// Which progress engine drives this node's arbitration layer.
     pub engine: EngineKind,
+    /// Head-based trace sampling policy, installed process-globally at
+    /// boot (the span layer is process-global; the last boot wins, so
+    /// set it once cluster-wide like `coalesce`). `Always` records every
+    /// trace; `SampleEvery(n)` keeps ~1/n of the causal trees, selected
+    /// by trace-id hash, which is how tracing stays on at 100k nodes
+    /// within the events/s overhead budget.
+    pub trace_sampling: padico_util::span::TraceSampling,
 }
 
 /// The progress engine behind a node's arbitration layer.
@@ -137,6 +144,7 @@ impl Default for TmConfig {
             inflight_budget: None,
             breaker: None,
             engine: EngineKind::default(),
+            trace_sampling: padico_util::span::TraceSampling::Always,
         }
     }
 }
@@ -170,6 +178,7 @@ impl PadicoTM {
         config: TmConfig,
     ) -> Result<Arc<PadicoTM>, TmError> {
         let clock = SimClock::new();
+        padico_util::span::set_sampling(config.trace_sampling);
         let net = NetAccess::bring_up_with(&topology, node, clock.share(), config.engine)?;
         Ok(Arc::new(PadicoTM {
             topology,

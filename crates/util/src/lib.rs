@@ -13,6 +13,10 @@
 //!   (Perfetto) exporter.
 //! * [`metrics`] — a process-global registry of named counters and
 //!   virtual-time histograms (per-layer latency, bytes on the wire).
+//! * [`timeseries`] — the flight recorder's windowed view of the same
+//!   observations: counters/histograms folded into fixed-width
+//!   virtual-time windows in a bounded ring, so campaigns show *when*
+//!   sheds, breaker trips, steals and retries happened.
 //! * [`stats`] — small statistics helpers for the benchmark harness
 //!   (mean, percentiles, throughput conversion).
 //! * [`xml`] — a minimal XML parser/writer. CCM deployment descriptors are
@@ -27,6 +31,7 @@ pub mod rng;
 pub mod simtime;
 pub mod span;
 pub mod stats;
+pub mod timeseries;
 pub mod trace;
 pub mod xml;
 

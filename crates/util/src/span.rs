@@ -32,6 +32,65 @@ use crate::simtime::{SimClock, Vt, VtDuration};
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Head-based trace sampling policy: decided once per trace at
+/// [`root`] time from a hash of the trace id, so the whole causal tree
+/// — children, remote dispatches, retries — is kept or skipped as a
+/// unit (a skipped root installs no ambient context, so children come
+/// up disabled and the wire carries no context to adopt). The hash is a
+/// pure function of the trace id, which is itself deterministic, so two
+/// same-seed runs sample the identical set of traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TraceSampling {
+    /// Record every trace (the default; what every test relies on).
+    #[default]
+    Always,
+    /// Record roughly one trace in `n`, selected by trace-id hash.
+    /// `SampleEvery(0)` and `SampleEvery(1)` behave like [`Always`].
+    SampleEvery(u32),
+}
+
+static SAMPLE_N: AtomicU32 = AtomicU32::new(0);
+
+/// Install the process-global sampling policy (the TM applies
+/// `TmConfig::trace_sampling` here at boot). [`crate::trace::isolated`]
+/// resets the policy to [`TraceSampling::Always`] inside its scope and
+/// restores the previous policy on drop.
+pub fn set_sampling(policy: TraceSampling) {
+    let n = match policy {
+        TraceSampling::Always => 0,
+        TraceSampling::SampleEvery(n) => n,
+    };
+    SAMPLE_N.store(n, Ordering::Relaxed);
+}
+
+/// The current process-global sampling policy.
+pub fn sampling() -> TraceSampling {
+    match SAMPLE_N.load(Ordering::Relaxed) {
+        0 => TraceSampling::Always,
+        n => TraceSampling::SampleEvery(n),
+    }
+}
+
+/// Whether a trace with this id is recorded under the current policy.
+/// Exposed so workloads can pre-compute which of their deterministic
+/// ids will be traced (the world bench keys per-hop instrumentation off
+/// exactly this).
+pub fn trace_sampled(trace_id: u64) -> bool {
+    let n = SAMPLE_N.load(Ordering::Relaxed);
+    if n <= 1 {
+        return true;
+    }
+    // FNV-1a over the id bytes: cheap, stable, and decorrelated from
+    // sequential id allocation patterns.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in trace_id.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h.is_multiple_of(u64::from(n))
+}
 
 /// One completed unit of traced work.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -203,16 +262,20 @@ impl Drop for SpanGuard {
             .explicit_end
             .unwrap_or_else(|| open.clock.now())
             .max(open.span.start);
-        crate::metrics::observe(
-            &format!("latency.{}", open.span.layer),
-            open.span.duration(),
-        );
+        let latency_name = format!("latency.{}", open.span.layer);
+        crate::metrics::observe(&latency_name, open.span.duration());
+        // The same observation windowed over virtual time: the flight
+        // recorder's view of where in the run this layer was slow.
+        crate::timeseries::record(&latency_name, open.span.end, open.span.duration());
         record(open.span);
     }
 }
 
 /// Open a root span: the start of a new causal tree. The caller supplies
-/// the trace id (GridCCM uses its deterministic invocation id).
+/// the trace id (GridCCM uses its deterministic invocation id). Under a
+/// [`TraceSampling::SampleEvery`] policy an unsampled trace id returns a
+/// disabled guard: no context is installed, so the entire tree — local
+/// children and remote dispatches alike — stays out of the buffers.
 pub fn root(
     clock: &SimClock,
     node: u32,
@@ -220,6 +283,9 @@ pub fn root(
     layer: &'static str,
     name: impl Into<String>,
 ) -> SpanGuard {
+    if !trace_sampled(trace_id) {
+        return SpanGuard { open: None };
+    }
     SpanGuard::start(clock, node, trace_id, 0, layer, name.into(), 0)
 }
 
@@ -261,9 +327,16 @@ pub fn child_retry(
 /// counted, not silently ignored.
 const NODE_CAP: usize = 1 << 16;
 
+/// Process-wide span cap across *all* nodes. The per-node cap alone is
+/// no bound at world scale — 100k nodes x 64k spans would be licence to
+/// eat the heap node by node. Past this cap everything drops (and is
+/// counted); turn on sampling instead of raising it.
+const TOTAL_CAP: usize = 1 << 20;
+
 #[derive(Default)]
 struct Buffers {
     per_node: BTreeMap<u32, Vec<Span>>,
+    total: usize,
     dropped: u64,
 }
 
@@ -272,9 +345,14 @@ static BUFFERS: Mutex<Option<Buffers>> = Mutex::new(None);
 fn record(span: Span) {
     let mut guard = BUFFERS.lock();
     let buffers = guard.get_or_insert_with(Buffers::default);
+    if buffers.total >= TOTAL_CAP {
+        buffers.dropped += 1;
+        return;
+    }
     let buf = buffers.per_node.entry(span.node).or_default();
     if buf.len() < NODE_CAP {
         buf.push(span);
+        buffers.total += 1;
     } else {
         buffers.dropped += 1;
     }
@@ -308,9 +386,14 @@ pub fn snapshot_trace(trace_id: u64) -> Vec<Span> {
     out
 }
 
-/// Spans recorded but dropped to the per-node cap.
+/// Spans recorded but dropped to the per-node or process-wide cap.
 pub fn dropped() -> u64 {
     BUFFERS.lock().as_ref().map_or(0, |b| b.dropped)
+}
+
+/// Spans currently retained across every node buffer.
+pub fn retained() -> u64 {
+    BUFFERS.lock().as_ref().map_or(0, |b| b.total as u64)
 }
 
 /// Drop every recorded span.
@@ -333,7 +416,10 @@ pub(crate) fn take() -> Vec<Span> {
 
 /// Restore previously taken spans.
 pub(crate) fn restore(spans: Vec<Span>) {
-    let mut buffers = Buffers::default();
+    let mut buffers = Buffers {
+        total: spans.len(),
+        ..Buffers::default()
+    };
     for span in spans {
         buffers.per_node.entry(span.node).or_default().push(span);
     }
@@ -446,7 +532,8 @@ fn attribute(
 // Chrome-trace (Perfetto) export
 // ---------------------------------------------------------------------
 
-fn json_escape(s: &str) -> String {
+/// Minimal JSON string escaping shared by every trace exporter.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -463,14 +550,20 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Microseconds with nanosecond fraction, as Chrome's `ts`/`dur` expect.
-fn us(ns: u64) -> String {
+pub fn us(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
-/// Export spans as Chrome trace-event JSON (load in `chrome://tracing`
-/// or <https://ui.perfetto.dev>): one complete ("X") event per span,
-/// `pid` = node, `tid` = layer, with span/parent/retry ids in `args`.
-pub fn chrome_trace_json(spans: &[Span]) -> String {
+/// Build the individual Chrome trace events for a span set, one JSON
+/// object per string. Exposed so other exporters (the flight recorder's
+/// combined export in `padico-core::observability`) can merge these
+/// with their own track sets before wrapping in a `traceEvents` array.
+///
+/// Spans with a non-zero duration become complete ("X") slices; spans
+/// whose start equals their end — breaker transitions are the canonical
+/// case — become thread-scoped instant ("i") events, because a
+/// zero-width slice is invisible in the Perfetto UI.
+pub fn chrome_trace_events(spans: &[Span]) -> Vec<String> {
     // Stable small integer per layer for the tid.
     let mut layers: Vec<&'static str> = spans.iter().map(|s| s.layer).collect();
     layers.sort_unstable();
@@ -501,25 +594,45 @@ pub fn chrome_trace_json(spans: &[Span]) -> String {
         ));
     }
     for s in spans {
-        events.push(format!(
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-             \"pid\":{},\"tid\":{},\"args\":{{\"trace\":\"{:#x}\",\"span\":\"{:#x}\",\
-             \"parent\":\"{:#x}\",\"retry_of\":\"{:#x}\"}}}}",
-            json_escape(&s.name),
-            json_escape(s.layer),
-            us(s.start),
-            us(s.duration()),
-            s.node,
-            tid_of(s.layer),
-            s.trace_id,
-            s.span_id,
-            s.parent,
-            s.retry_of
-        ));
+        let args = format!(
+            "\"args\":{{\"trace\":\"{:#x}\",\"span\":\"{:#x}\",\
+             \"parent\":\"{:#x}\",\"retry_of\":\"{:#x}\"}}",
+            s.trace_id, s.span_id, s.parent, s.retry_of
+        );
+        if s.duration() == 0 {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+                 \"pid\":{},\"tid\":{},{args}}}",
+                json_escape(&s.name),
+                json_escape(s.layer),
+                us(s.start),
+                s.node,
+                tid_of(s.layer),
+            ));
+        } else {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{},\"tid\":{},{args}}}",
+                json_escape(&s.name),
+                json_escape(s.layer),
+                us(s.start),
+                us(s.duration()),
+                s.node,
+                tid_of(s.layer),
+            ));
+        }
     }
+    events
+}
+
+/// Export spans as Chrome trace-event JSON (load in `chrome://tracing`
+/// or <https://ui.perfetto.dev>): one complete ("X") event per span
+/// (instant "i" for zero-duration transitions), `pid` = node, `tid` =
+/// layer, with span/parent/retry ids in `args`.
+pub fn chrome_trace_json(spans: &[Span]) -> String {
     format!(
         "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}\n",
-        events.join(",")
+        chrome_trace_events(spans).join(",")
     )
 }
 
@@ -757,5 +870,86 @@ mod tests {
         let h = snap.histogram("latency.tm.vlink").unwrap();
         assert_eq!(h.count, 1);
         assert_eq!(h.sum, 64);
+        // The windowed twin of the histogram.
+        let ts = crate::timeseries::snapshot();
+        assert_eq!(ts.series("latency.tm.vlink").unwrap().total_count(), 1);
+    }
+
+    #[test]
+    fn sampling_drops_whole_trees_deterministically() {
+        let _iso = crate::trace::isolated();
+        let c = clock();
+        set_sampling(TraceSampling::SampleEvery(4));
+        let sampled: Vec<u64> = (0..64).filter(|id| trace_sampled(*id)).collect();
+        assert!(!sampled.is_empty(), "some ids must pass a 1-in-4 policy");
+        assert!(sampled.len() < 64, "some ids must be dropped");
+        for id in 0..64u64 {
+            let r = root(&c, 0, id, "ccm.invoke", format!("invoke:{id}"));
+            assert_eq!(r.is_active(), trace_sampled(id));
+            // Children follow the root's fate via ambient context.
+            let k = child(&c, 0, "orb.giop", format!("request:{id}"));
+            assert_eq!(k.is_active(), trace_sampled(id));
+            c.advance(10);
+        }
+        let spans = snapshot();
+        let mut traced: Vec<u64> = spans.iter().map(|s| s.trace_id).collect();
+        traced.sort_unstable();
+        traced.dedup();
+        assert_eq!(traced, sampled);
+        // The decision is a pure function of the id: re-evaluating gives
+        // the identical set.
+        assert_eq!(
+            (0..64).filter(|id| trace_sampled(*id)).collect::<Vec<u64>>(),
+            sampled
+        );
+        set_sampling(TraceSampling::Always);
+        assert!(trace_sampled(sampled.len() as u64 + 1));
+    }
+
+    #[test]
+    fn isolation_resets_sampling_policy() {
+        let outer = crate::trace::isolated();
+        set_sampling(TraceSampling::SampleEvery(8));
+        {
+            let _inner = crate::trace::isolated();
+            assert_eq!(sampling(), TraceSampling::Always);
+        }
+        assert_eq!(sampling(), TraceSampling::SampleEvery(8));
+        set_sampling(TraceSampling::Always);
+        drop(outer);
+    }
+
+    #[test]
+    fn buffers_stay_bounded_and_count_drops() {
+        let _iso = crate::trace::isolated();
+        let c = clock();
+        let over = 64;
+        for i in 0..NODE_CAP + over {
+            let _r = root(&c, 1, 1, "fabric.link", format!("tx:{i}"));
+        }
+        assert_eq!(snapshot().len(), NODE_CAP);
+        assert_eq!(dropped(), over as u64);
+        assert_eq!(retained(), NODE_CAP as u64);
+    }
+
+    #[test]
+    fn zero_duration_spans_export_as_instant_events() {
+        let _iso = crate::trace::isolated();
+        let c = clock();
+        {
+            let _r = root(&c, 0, 5, "tm.breaker", "open:n1");
+            // No clock advance: a state transition has no duration.
+        }
+        {
+            let _r = root(&c, 0, 6, "orb.giop", "request");
+            c.advance(100);
+        }
+        let json = chrome_trace_json(&snapshot());
+        assert!(
+            json.contains("\"ph\":\"i\",\"s\":\"t\""),
+            "transitions must render as instant events: {json}"
+        );
+        assert!(json.contains("\"ph\":\"X\""), "slices still export");
+        assert!(!json.contains("\"dur\":0.000"), "no invisible slices");
     }
 }

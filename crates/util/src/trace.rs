@@ -141,9 +141,10 @@ thread_local! {
 }
 
 /// Scoped isolation for every piece of global observability state: the
-/// trace ring, the minimum level, the span buffers and the metrics
-/// registry. Taking the guard serializes against guards on other threads
-/// (so concurrently-running tests cannot interleave), swaps all state out
+/// trace ring, the minimum level, the span buffers, the span-sampling
+/// policy, the metrics registry and the timeseries registry. Taking the
+/// guard serializes against guards on other threads (so
+/// concurrently-running tests cannot interleave), swaps all state out
 /// to a clean slate, and restores the captured state on drop — the
 /// surrounding process never observes the scope's events. Nesting on one
 /// thread is allowed; drop guards in LIFO order.
@@ -151,8 +152,10 @@ pub struct Isolated {
     _serial: Option<parking_lot::MutexGuard<'static, ()>>,
     ring: Option<Ring>,
     min_level: Level,
+    sampling: crate::span::TraceSampling,
     spans: Vec<crate::span::Span>,
     metrics: crate::metrics::MetricsSnapshot,
+    timeseries: crate::timeseries::TsState,
 }
 
 /// Enter an isolated observability scope (see [`Isolated`]).
@@ -170,12 +173,16 @@ pub fn isolated() -> Isolated {
     let ring = RING.lock().take();
     let prev_level = min_level();
     set_min_level(Level::Info);
+    let prev_sampling = crate::span::sampling();
+    crate::span::set_sampling(crate::span::TraceSampling::Always);
     Isolated {
         _serial: serial,
         ring,
         min_level: prev_level,
+        sampling: prev_sampling,
         spans: crate::span::take(),
         metrics: crate::metrics::take(),
+        timeseries: crate::timeseries::take(),
     }
 }
 
@@ -183,8 +190,10 @@ impl Drop for Isolated {
     fn drop(&mut self) {
         *RING.lock() = self.ring.take();
         set_min_level(self.min_level);
+        crate::span::set_sampling(self.sampling);
         crate::span::restore(std::mem::take(&mut self.spans));
         crate::metrics::restore(std::mem::take(&mut self.metrics));
+        crate::timeseries::restore(std::mem::take(&mut self.timeseries));
         ISO_DEPTH.with(|d| d.set(d.get() - 1));
     }
 }

@@ -39,6 +39,14 @@ echo "== world_10k smoke (discrete-event core throughput floor)"
 cargo run --release -q -p padico-bench --bin world_sim -- \
   10000 128 800 "${WORLD_FLOOR_EVENTS_PER_SEC:-10000}"
 
+echo "== world_10k with flight recorder (span sampling + vt timeseries)"
+# Same smoke with full observability on — the proper ≤5% overhead gate
+# over the 100k world runs inside bench_snapshot (WORLD_OBS_OVERHEAD_MAX
+# to tune; it adds world_100k_obs, sched, and timeseries sections to the
+# snapshot JSON).
+cargo run --release -q -p padico-bench --bin world_sim -- \
+  10000 128 800 "${WORLD_FLOOR_EVENTS_PER_SEC:-10000}" full
+
 echo "== assembling BENCH_${date_tag}.json"
 cargo run --release -q -p padico-bench --bin bench_snapshot -- \
   "$date_tag" "$criterion_jsonl" "BENCH_${date_tag}.json"

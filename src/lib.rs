@@ -19,6 +19,7 @@
 //! `examples/quickstart.rs`.
 
 pub use padico_ccm as ccm;
+pub use padico_control as control;
 pub use padico_core as core;
 pub use padico_fabric as fabric;
 pub use padico_mpi as mpi;

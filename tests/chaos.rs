@@ -23,7 +23,9 @@ use padico::orb::cdr::{CdrReader, CdrWriter};
 use padico::orb::profile::OrbProfile;
 use padico::orb::{Orb, OrbError, Servant, ServerCtx};
 use padico::tm::selector::FabricChoice;
-use padico::tm::{BreakerPolicy, EngineKind, PadicoTM, RetryPolicy, TmConfig, TmError};
+use padico::tm::{
+    BreakerPolicy, EngineKind, PadicoTM, RetryPolicy, TmConfig, TmError, TraceSampling,
+};
 use padico::util::simtime::{MS, SEC};
 use padico::util::stats::RecoverySnapshot;
 use std::sync::{mpsc, Arc};
@@ -421,6 +423,7 @@ fn run_overload_storm() -> (String, String, u32) {
         inflight_budget: Some(2),
         breaker: None,
         engine: EngineKind::default(),
+        trace_sampling: TraceSampling::Always,
     };
     let (client, server, _tms, _topo, _ids) = orb_pair_with(cfg);
     let (started_tx, started_rx) = mpsc::channel();
@@ -491,6 +494,17 @@ fn run_overload_storm() -> (String, String, u32) {
     assert!(peak <= 2, "inflight exceeded the budget: peak {peak}");
     assert_eq!(peak, 2, "the blockers must have filled the budget");
 
+    // CI's failure path sets CHAOS_FLIGHT_OUT and re-runs the suite to
+    // capture the full flight-recorder export (spans + telemetry
+    // windows as a Perfetto trace) as a build artifact for offline
+    // triage of the failing seed. Written here, while this scenario's
+    // isolated registry window is still open.
+    if let Ok(path) = std::env::var("CHAOS_FLIGHT_OUT") {
+        let json = padico::core::observability::ObservabilitySnapshot::capture()
+            .flight_recorder_json();
+        std::fs::write(&path, json).expect("write CHAOS_FLIGHT_OUT");
+    }
+
     // The untraced blockers recorded nothing, so the dump covers the
     // warm-up, all six sheds, and the recovery — every deterministic
     // trace of the scenario.
@@ -546,6 +560,7 @@ fn run_breaker_storm() -> (String, String) {
             cooldown,
         }),
         engine: EngineKind::default(),
+        trace_sampling: TraceSampling::Always,
     };
     let (client, server, tms, topo, ids) = orb_pair_with(cfg);
     let (_tx, rx) = mpsc::channel();

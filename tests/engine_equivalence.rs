@@ -15,8 +15,8 @@
 
 mod chaos_world;
 
-use chaos_world::{chaos_config, chaos_seed, run_traced_failover_with};
-use padico::tm::{EngineKind, TmConfig};
+use chaos_world::{chaos_config, chaos_seed, run_traced_failover_with, strip_sched};
+use padico::tm::{EngineKind, TmConfig, TraceSampling};
 
 #[test]
 fn threaded_and_event_engines_replay_the_same_chaos_world_identically() {
@@ -52,4 +52,63 @@ fn threaded_and_event_engines_replay_the_same_chaos_world_identically() {
     let e2 = run_traced_failover_with(seed, event);
     assert_eq!(e.dump, e2.dump, "event-engine span trees diverged");
     assert_eq!(e.metrics, e2.metrics, "event-engine metrics diverged");
+}
+
+#[test]
+fn telemetry_windows_and_sampled_traces_replay_identically_across_engines() {
+    // The flight-recorder additions ride the same determinism contract:
+    // virtual-time telemetry windows fold identically under both
+    // engines (minus the `sched.*` lane series, which sample wall-clock
+    // batch composition and exist only on the event engine), and
+    // head-based trace sampling keeps the identical *subset* of causal
+    // trees — the sampled set is a pure function of the deterministic
+    // trace ids, not of thread scheduling.
+    let seed = chaos_seed();
+    let threaded = TmConfig {
+        engine: EngineKind::Threaded,
+        ..chaos_config()
+    };
+    let event = TmConfig {
+        engine: EngineKind::EventLoop,
+        ..chaos_config()
+    };
+
+    // Full-tracing runs: the telemetry windows must match byte for byte
+    // once the wall-clock-sampled sched.* series are stripped.
+    let t = run_traced_failover_with(seed, threaded.clone());
+    let e = run_traced_failover_with(seed, event.clone());
+    assert!(
+        t.timeseries.contains("timeseries latency."),
+        "span latencies must feed the vt windows: {}",
+        t.timeseries
+    );
+    assert_eq!(
+        strip_sched(&t.timeseries),
+        strip_sched(&e.timeseries),
+        "telemetry windows diverged across engines"
+    );
+    // The threaded engine has no world scheduler, so no lane series.
+    assert!(!t.timeseries.contains("timeseries sched."));
+
+    // Sampled runs: SampleEvery(2) must keep a strict, identical subset
+    // of the four invocation trees under both engines.
+    let sampled = |engine: EngineKind| TmConfig {
+        engine,
+        trace_sampling: TraceSampling::SampleEvery(2),
+        ..chaos_config()
+    };
+    let ts = run_traced_failover_with(seed, sampled(EngineKind::Threaded));
+    let es = run_traced_failover_with(seed, sampled(EngineKind::EventLoop));
+    assert!(ts.roots > 0, "SampleEvery(2) kept no invocation trees");
+    assert_eq!(ts.roots, es.roots, "sampled tree count diverged");
+    assert_eq!(ts.dump, es.dump, "sampled span trees diverged across engines");
+    assert!(
+        ts.dump.len() < t.dump.len(),
+        "a sampled dump must be strictly smaller than the full dump"
+    );
+    assert_eq!(
+        strip_sched(&ts.timeseries),
+        strip_sched(&es.timeseries),
+        "sampled-run telemetry windows diverged across engines"
+    );
 }

@@ -218,3 +218,59 @@ fn separate_invocations_get_separate_traces() {
     assert!(!obs.trace(roots[0].trace_id).is_empty());
     assert!(!obs.trace(roots[1].trace_id).is_empty());
 }
+
+#[test]
+fn control_service_serves_the_flight_recorder_over_giop() {
+    // The introspection path end to end: a GridCCM invocation leaves
+    // spans, latency windows, and counters in the flight recorder; a
+    // ControlServant on the server node exposes them through the ORB;
+    // a client on another node retrieves them with plain GIOP requests
+    // — the stack observing itself through its own invocation path.
+    let _iso = padico::util::trace::isolated();
+    let grid = Grid::single_cluster(3).unwrap();
+    let par = shift_handle(&grid, 0, &[1, 2]);
+    let values: Vec<f64> = (0..64).map(|i| i as f64).collect();
+    invoke_shift(&par, &values, 1.5);
+
+    let ior = padico::control::serve(&grid.node(1).env.orb);
+    let client = padico::control::ControlClient::attach(&grid.node(0).env.orb, ior);
+
+    let (node, vt) = client.ping().unwrap();
+    assert_eq!(node, 1);
+    assert!(vt > 0);
+
+    // The remote snapshot must agree with a local capture on the
+    // deterministic parts: same invocation root, same latency series.
+    let snap = client.snapshot().unwrap();
+    assert!(snap.contains("timeseries latency.ccm.invoke"), "snapshot:\n{snap}");
+    assert!(snap.contains("histogram latency.ccm.invoke"));
+
+    let local = ObservabilitySnapshot::capture();
+    let root = local
+        .spans
+        .iter()
+        .find(|s| s.layer == "ccm.invoke")
+        .expect("invocation root recorded")
+        .clone();
+    let remote_tree = client.trace(root.trace_id).unwrap();
+    // The control poll itself adds orb/tm spans to the buffers, but the
+    // finished invocation's tree is immutable — the served dump of that
+    // trace must match the local one byte for byte.
+    assert_eq!(
+        remote_tree,
+        padico::util::span::canonical_dump(&local.trace(root.trace_id)),
+        "served trace diverged from the local flight recorder"
+    );
+
+    let w = client.windows("latency.ccm.invoke").unwrap();
+    assert_eq!(
+        w.rows.iter().map(|r| r.count).sum::<u64>(),
+        1,
+        "one invocation, one latency sample: {w:?}"
+    );
+
+    let json = client.dump().unwrap();
+    assert!(json.contains("traceEvents"));
+    assert!(json.contains("invoke:"));
+    assert!(json.contains("ts.latency.ccm.invoke"));
+}
