@@ -83,6 +83,10 @@ pub fn layer_pingpong(layer: Layer, fabric_kind: FabricKind, rounds: usize) -> (
                         for _ in 0..rounds {
                             c1.recv().unwrap();
                             c1.send(0, 0, Payload::from_vec(payload.clone())).unwrap();
+                            // The echo is this side's protocol barrier:
+                            // nothing else will flush a coalesced reply
+                            // (the pinger is already blocked in recv).
+                            c1.flush().unwrap();
                         }
                     }
                 });

@@ -6,7 +6,7 @@
 //! benches with `CRITERION_JSON` pointing at a scratch file so their
 //! results land here too.
 
-use padico_bench::{concurrent, fig7, fig8, overload, report, world};
+use padico_bench::{concurrent, fig7, fig8, overload, report, serving, world};
 use padico_core::redistribute::schedule_cache_stats;
 use padico_fabric::FabricKind;
 use padico_orb::profile::OrbProfile;
@@ -101,6 +101,14 @@ fn main() {
     let coalesce = padico_tm::coalesce_stats();
     eprintln!("running overload storm (admission shedding under pressure)...");
     let storm = overload::run(8, 2, 32, std::time::Duration::from_micros(500));
+    eprintln!("running serving storm (10k pipelined two-way invocations)...");
+    let serve = serving::run(10_000, 8);
+    eprintln!(
+        "serving_storm: {:.0} req/s, p50 {:.0} µs, p99 {:.0} µs, \
+         {} threads / {} pending at peak",
+        serve.throughput_rps, serve.p50_us, serve.p99_us, serve.peak_threads,
+        serve.peak_pending
+    );
 
     // Everything the runs above left in the observability layer: span
     // latency histograms, per-fabric byte counters, recovery totals.
@@ -124,8 +132,12 @@ fn main() {
     eprintln!("running world_100k (discrete-event progress core)...");
     let w = world::run_world(100_000, 256, 2_000);
     eprintln!(
-        "world_100k: {:.0} events/s, peak RSS {:.1} MiB",
-        w.events_per_sec, w.peak_rss_mb
+        "world_100k: {:.0} events/s, peak RSS {:.1} MiB, parallel boot \
+         {:.2}s ({:.0} nodes/s)",
+        w.events_per_sec,
+        w.peak_rss_mb,
+        w.boot_s,
+        w.nodes as f64 / w.boot_s.max(1e-9)
     );
 
     // The same world with the flight recorder on: 1-in-64 token span
@@ -181,7 +193,8 @@ fn main() {
             format!(
                 "{{\"nodes\":{},\"tokens\":{},\"hops\":{},\"events\":{},\
                  \"wall_s\":{:.3},\"events_per_sec\":{:.1},\"boot_s\":{:.3},\
-                 \"peak_rss_mb\":{:.1},\"horizon_ms\":{:.3},\"steals\":{}}}",
+                 \"boot_nodes_per_s\":{:.1},\"peak_rss_mb\":{:.1},\
+                 \"horizon_ms\":{:.3},\"steals\":{}}}",
                 w.nodes,
                 w.tokens,
                 w.hops,
@@ -189,6 +202,7 @@ fn main() {
                 w.wall_s,
                 w.events_per_sec,
                 w.boot_s,
+                w.nodes as f64 / w.boot_s.max(1e-9),
                 w.peak_rss_mb,
                 w.horizon_ms,
                 w.steals
@@ -275,6 +289,28 @@ fn main() {
             format!(
                 "{{\"frames_coalesced\":{},\"coalesce_flushes\":{}}}",
                 coalesce.frames_coalesced, coalesce.flushes
+            ),
+        ),
+        // The serving path: 10k concurrent two-way invocations from 8
+        // submitter threads, every one pipelined through the single
+        // pooled RequestMux connection. peak_threads is the whole
+        // process's OS thread count at the instant all 10k handles were
+        // in flight — the proof that outstanding requests cost
+        // pending-table entries, not blocked threads.
+        (
+            "serving_storm",
+            format!(
+                "{{\"requests\":{},\"submitters\":{},\"peak_threads\":{},\
+                 \"peak_pending\":{},\"p50_us\":{:.1},\"p99_us\":{:.1},\
+                 \"throughput_rps\":{:.1},\"wall_s\":{:.3}}}",
+                serve.requests,
+                serve.submitters,
+                serve.peak_threads,
+                serve.peak_pending,
+                serve.p50_us,
+                serve.p99_us,
+                serve.throughput_rps,
+                serve.wall_s
             ),
         ),
         // Admission control under pressure: 8 clients against an

@@ -1,0 +1,77 @@
+//! Run the serving-path storm: concurrent two-way invocations pipelined
+//! through one pooled RequestMux connection.
+//!
+//! Usage: `serving_storm [requests] [submitters] [min_rps] [p99_max_us] [threads_max]`
+//!
+//! Defaults to the tentpole configuration — 10,000 requests from 8
+//! threads — and prints the report as JSON on stdout. The three gates
+//! (all optional, 0 disables) are the CI regression fence: throughput
+//! must stay above `min_rps`, the p99 sojourn below `p99_max_us`, and
+//! the process thread count while all requests were in flight below
+//! `threads_max` (the proof that outstanding requests are pending-table
+//! entries, not blocked threads).
+
+use padico_bench::serving;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut next = |default: u64| -> u64 {
+        args.next()
+            .map(|v| v.parse().expect("numeric argument"))
+            .unwrap_or(default)
+    };
+    let requests = next(10_000) as usize;
+    let submitters = next(8) as usize;
+    let min_rps = next(0) as f64;
+    let p99_max_us = next(0) as f64;
+    let threads_max = next(0) as usize;
+
+    eprintln!("storming {requests} two-way invocations from {submitters} threads...");
+    let r = serving::run(requests, submitters);
+    eprintln!(
+        "serving_storm: {} requests in {:.3}s ({:.0} req/s), p50 {:.0} µs, \
+         p99 {:.0} µs, {} threads / {} pending at peak",
+        r.requests, r.wall_s, r.throughput_rps, r.p50_us, r.p99_us, r.peak_threads,
+        r.peak_pending
+    );
+    println!(
+        "{{\"requests\":{},\"submitters\":{},\"peak_threads\":{},\
+         \"peak_pending\":{},\"p50_us\":{:.1},\"p99_us\":{:.1},\
+         \"throughput_rps\":{:.1},\"wall_s\":{:.3}}}",
+        r.requests,
+        r.submitters,
+        r.peak_threads,
+        r.peak_pending,
+        r.p50_us,
+        r.p99_us,
+        r.throughput_rps,
+        r.wall_s
+    );
+
+    let mut failed = false;
+    if min_rps > 0.0 && r.throughput_rps < min_rps {
+        eprintln!(
+            "FAIL: {:.0} req/s is below the {min_rps:.0} req/s floor",
+            r.throughput_rps
+        );
+        failed = true;
+    }
+    if p99_max_us > 0.0 && r.p99_us > p99_max_us {
+        eprintln!(
+            "FAIL: p99 {:.0} µs exceeds the {p99_max_us:.0} µs ceiling",
+            r.p99_us
+        );
+        failed = true;
+    }
+    if threads_max > 0 && r.peak_threads > threads_max {
+        eprintln!(
+            "FAIL: {} threads while {} requests were in flight (max {threads_max}) \
+             — outstanding requests must not cost blocked threads",
+            r.peak_threads, r.requests
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

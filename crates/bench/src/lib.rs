@@ -16,7 +16,10 @@
 //!
 //! [`overload`] is ours, not the paper's: it measures the admission
 //! controller's shed rate and the admitted requests' tail latency when
-//! offered load exceeds the inflight budget.
+//! offered load exceeds the inflight budget. So is [`serving`]: 10k
+//! concurrent two-way invocations pipelined through one pooled RequestMux
+//! connection, with a thread-count proof that outstanding requests cost
+//! pending-table entries rather than blocked threads.
 
 pub mod ablation;
 pub mod concurrent;
@@ -25,4 +28,5 @@ pub mod fig8;
 pub mod latency;
 pub mod overload;
 pub mod report;
+pub mod serving;
 pub mod world;

@@ -213,6 +213,20 @@ impl ControlClient {
             .read_string()
     }
 
+    /// One overview fetch: `ping` and `snapshot` submitted back-to-back
+    /// on the pooled connection — the two requests pipeline over a
+    /// single stream and their replies route back by request id — then
+    /// collected together. Returns `(node, virtual now, snapshot text)`.
+    pub fn overview(&self) -> Result<(u32, Vt, String), OrbError> {
+        let ping = self.obj.request("ping").idempotent().submit();
+        let snap = self.obj.request("snapshot").idempotent().submit();
+        let mut p = ping.wait()?;
+        let node = p.read_u32()?;
+        let now = p.read_u64()?;
+        let snapshot = snap.wait()?.read_string()?;
+        Ok((node, now, snapshot))
+    }
+
     /// The occupied virtual-time windows of one timeseries on the
     /// served node (empty when the series does not exist there).
     pub fn windows(&self, series: &str) -> Result<SeriesWindows, OrbError> {

@@ -319,51 +319,42 @@ impl ParallelRef {
         )?;
         drop(redist_span);
 
-        // One derived invocation per target server, concurrently — every
-        // client node participates in inter-component communication. The
-        // span context and ambient deadline do not cross thread spawns on
-        // their own: capture them here and adopt them inside each fan-out
-        // thread, so a parallel call made from inside a servant dispatch
-        // stays bounded by (and traced under) the original request.
-        let ctx = padico_util::span::current();
-        let ambient_deadline = padico_orb::deadline::current().unwrap_or(0);
-        let mut replies: Vec<(usize, Result<WireReply, GridCcmError>)> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for &v in &targets {
-                    let args = &args;
-                    let schedules = &schedules;
-                    let target = &self.replicas[survivors[v]];
-                    handles.push((
-                        v,
-                        scope.spawn(move || {
-                            let _adopt = ctx.map(padico_util::span::adopt);
-                            let _deadline = padico_orb::deadline::adopt(ambient_deadline);
-                            let tm = target.orb().tm();
-                            let _target_span = padico_util::span::child(
-                                tm.clock(),
-                                tm.node().0,
-                                "ccm.target",
-                                format!("target:{v}"),
-                            );
-                            self.invoke_one(
-                                target,
-                                derived,
-                                op,
-                                args,
-                                schedules,
-                                v,
-                                server_size,
-                                inv_id,
-                            )
-                        }),
-                    ));
-                }
-                handles
-                    .into_iter()
-                    .map(|(v, h)| (v, h.join().expect("invoke thread panicked")))
-                    .collect()
-            });
+        // One derived invocation per target server, pipelined over each
+        // peer's pooled mux connection: every submit returns immediately
+        // with a reply handle, so N targets cost N outstanding requests
+        // and zero fan-out threads; the replies are collected afterwards
+        // in rank order. Marshalling and sending stay on this thread, so
+        // the span context and ambient deadline of a parallel call made
+        // from inside a servant dispatch apply to every derived request
+        // without any capture-and-adopt dance.
+        let mut inflight = Vec::with_capacity(targets.len());
+        for &v in &targets {
+            let target = &self.replicas[survivors[v]];
+            let tm = target.orb().tm();
+            let mut target_span = padico_util::span::child(
+                tm.clock(),
+                tm.node().0,
+                "ccm.target",
+                format!("target:{v}"),
+            );
+            let submitted =
+                self.submit_one(target, derived, op, args, &schedules, v, server_size, inv_id);
+            // The span stays open (detached) until this target's reply
+            // resolves, so it still covers the full derived invocation.
+            target_span.detach();
+            inflight.push((v, target_span, submitted));
+        }
+        let mut replies: Vec<(usize, Result<WireReply, GridCcmError>)> = inflight
+            .into_iter()
+            .map(|(v, span, submitted)| {
+                let outcome = submitted.and_then(|pending| {
+                    let mut reply = pending.wait()?;
+                    read_reply(&mut reply)
+                });
+                drop(span);
+                (v, outcome)
+            })
+            .collect();
         replies.sort_by_key(|(v, _)| *v);
 
         // Surface a non-transport error over a transport one: the former
@@ -458,8 +449,11 @@ impl ParallelRef {
         }
     }
 
+    /// Marshal and send one derived request; the returned handle resolves
+    /// to the reply (`invoke_round` waits on all targets after the whole
+    /// batch is airborne).
     #[allow(clippy::too_many_arguments)]
-    fn invoke_one(
+    fn submit_one(
         &self,
         target: &ObjectRef,
         derived: &str,
@@ -469,7 +463,7 @@ impl ParallelRef {
         server_rank: usize,
         server_size: usize,
         inv_id: u64,
-    ) -> Result<WireReply, GridCcmError> {
+    ) -> Result<padico_orb::orb::AsyncReply, GridCcmError> {
         // The GridCCM layer's own bookkeeping cost per derived request.
         target.orb().tm().clock().advance(GRIDCCM_CLIENT_NS);
         // Derived requests are idempotent: the adapter de-duplicates by
@@ -509,8 +503,7 @@ impl ParallelRef {
                 _ => unreachable!("validated"),
             }
         }
-        let mut reply = request.invoke()?;
-        read_reply(&mut reply)
+        Ok(request.submit())
     }
 }
 

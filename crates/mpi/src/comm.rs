@@ -242,7 +242,12 @@ impl Communicator {
                 MatchEngine::encode_header(self.comm_id, tag),
                 payload,
             )
-            .map_err(MpiError::from)
+            .map_err(MpiError::from)?;
+        // Eager protocol: an MPI send completes only once the message is
+        // on the wire, so the send itself is the coalescing barrier — a
+        // rank blocked in a matching recv must not wait on a frame parked
+        // in our batch.
+        self.engine.circuit.flush().map_err(MpiError::from)
     }
 
     /// Typed tagged send (encodes with one copy).

@@ -33,12 +33,14 @@ pub mod error;
 pub mod esiop;
 pub mod giop;
 pub mod ior;
+pub mod mux;
 pub mod orb;
 pub mod poa;
 pub mod profile;
 
 pub use error::OrbError;
 pub use ior::{Ior, ObjectKey};
-pub use orb::{ObjectRef, Orb, RequestBuilder};
+pub use mux::{ReplyHandle, RequestMux};
+pub use orb::{AsyncReply, ObjectRef, Orb, RequestBuilder};
 pub use poa::{Poa, Servant, ServerCtx};
 pub use profile::{MarshalStrategy, OrbProfile};

@@ -15,8 +15,8 @@
 use bytes::Bytes;
 use padico_tm::runtime::PadicoTM;
 use padico_tm::selector::FabricChoice;
-use padico_tm::{ArbitratedDriver, TmError};
-use padico_util::ids::{IdGen, NodeId};
+use padico_tm::TmError;
+use padico_util::ids::NodeId;
 use padico_util::metrics::counter_add;
 use padico_util::{trace_debug, trace_info};
 use parking_lot::Mutex;
@@ -26,9 +26,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::cdr::{CdrReader, CdrWriter};
-use crate::error::{classify_transport, OrbError};
+use crate::error::OrbError;
 use crate::giop::{self, GiopMessage, LocateStatus, ReplyStatus};
 use crate::ior::Ior;
+use crate::mux::{self, ReplyHandle, RequestMux};
 use crate::poa::{Poa, Servant, ServerCtx};
 use crate::profile::{MarshalStrategy, OrbProfile};
 use padico_fabric::Payload;
@@ -62,8 +63,11 @@ pub struct Orb {
     choice: FabricChoice,
     poa: Arc<Poa>,
     endpoint_service: String,
-    conns: Mutex<HashMap<(NodeId, String), Arc<ClientConn>>>,
-    request_ids: IdGen,
+    /// Pooled client connections, one [`RequestMux`] per (node, peer
+    /// endpoint): the mux owns the stream, the pending-reply table, and
+    /// request-id allocation, so every invocation to the same peer
+    /// pipelines over one connection.
+    conns: Mutex<HashMap<(NodeId, String), Arc<RequestMux>>>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
     shutting_down: Arc<AtomicBool>,
     protocol: WireProtocol,
@@ -107,7 +111,16 @@ impl AdmissionController {
     /// keep their metrics snapshots unchanged.
     fn try_admit(self: &Arc<Self>) -> Option<AdmissionPermit> {
         let Some(budget) = self.budget else {
-            return Some(AdmissionPermit { ctl: None });
+            // Unbounded admission still counts in-flight dispatches:
+            // `Orb::admission_inflight` is the quiescence probe tests
+            // poll, and it must see running dispatches whether or not a
+            // budget gates them. (The `orb.admission.admitted` counter
+            // stays budget-only — it meters admission *decisions*.)
+            let cur = self.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+            self.peak.fetch_max(cur, Ordering::AcqRel);
+            return Some(AdmissionPermit {
+                ctl: Some(Arc::clone(self)),
+            });
         };
         loop {
             let cur = self.inflight.load(Ordering::Acquire);
@@ -144,85 +157,6 @@ impl Drop for AdmissionPermit {
     }
 }
 
-/// Client side of one GIOP connection, with full request multiplexing:
-/// many requests may be outstanding at once (nested invocations through a
-/// shared connection are common in component graphs), and a dedicated
-/// reader thread routes each Reply/LocateReply to its waiting requester
-/// by request id.
-struct ClientConn {
-    stream: Arc<padico_tm::vlink::VLinkStream>,
-    /// Serializes frame *writes* only.
-    write_lock: Mutex<()>,
-    /// Outstanding requests awaiting their reply.
-    pending: Arc<Mutex<HashMap<u32, crossbeam::channel::Sender<GiopMessage>>>>,
-}
-
-impl ClientConn {
-    /// Register interest in `request_id`, then send the frame.
-    fn send_request(
-        &self,
-        request_id: u32,
-        frame: padico_fabric::Payload,
-        expect_reply: bool,
-    ) -> Result<Option<crossbeam::channel::Receiver<GiopMessage>>, OrbError> {
-        let rx = if expect_reply {
-            let (tx, rx) = crossbeam::channel::bounded(1);
-            self.pending.lock().insert(request_id, tx);
-            Some(rx)
-        } else {
-            None
-        };
-        let _w = self.write_lock.lock();
-        // Reply waits ride a channel fed by the reader thread, not a recv
-        // on this core — flush so a coalesced request cannot sit queued.
-        if let Err(e) = self.stream.write_payload(frame).and_then(|()| self.stream.flush()) {
-            if expect_reply {
-                self.pending.lock().remove(&request_id);
-            }
-            return Err(e.into());
-        }
-        Ok(rx)
-    }
-
-    /// Await the routed reply for `request_id`, for at most `deadline`.
-    ///
-    /// A lost reply (the request or the reply frame was dropped on the
-    /// wire) surfaces as `TRANSIENT` after the deadline instead of
-    /// blocking the caller forever; the pending entry is removed so a
-    /// straggler reply to the stale id is simply discarded by the reader.
-    /// A best-effort GIOP `CancelRequest` chases the abandoned request so
-    /// a server still working on it can suppress the (now unwanted)
-    /// reply — always GIOP-framed, since servers auto-detect per frame.
-    fn await_reply(
-        &self,
-        request_id: u32,
-        rx: crossbeam::channel::Receiver<GiopMessage>,
-        deadline: std::time::Duration,
-    ) -> Result<GiopMessage, OrbError> {
-        match rx.recv_timeout(deadline) {
-            Ok(msg) => Ok(msg),
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                self.pending.lock().remove(&request_id);
-                counter_add("orb.cancel.sent", 1);
-                {
-                    let _w = self.write_lock.lock();
-                    let _ = self
-                        .stream
-                        .write_payload(giop::encode_cancel(request_id))
-                        .and_then(|()| self.stream.flush());
-                }
-                Err(classify_transport(TmError::Timeout(format!(
-                    "GIOP reply to request {request_id}"
-                ))))
-            }
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                self.pending.lock().remove(&request_id);
-                Err(OrbError::CommFailure(TmError::Closed))
-            }
-        }
-    }
-}
-
 /// Read the reason string out of an exceptional reply body (shed or
 /// deadline replies carry one); malformed bodies degrade to a stock text
 /// rather than masking the real failure with a marshal error.
@@ -232,37 +166,6 @@ fn reply_reason(strategy: MarshalStrategy, body: &Payload) -> String {
         MarshalStrategy::ZeroCopy => CdrReader::new(body),
     };
     r.read_string().unwrap_or_else(|_| "unspecified".into())
-}
-
-/// Reader loop of one client connection: routes replies to requesters.
-fn client_reader(
-    stream: Arc<padico_tm::vlink::VLinkStream>,
-    pending: Arc<Mutex<HashMap<u32, crossbeam::channel::Sender<GiopMessage>>>>,
-) {
-    while let Ok(Some(frame)) = stream.read_frame() {
-        let first = frame.segments().next().and_then(|s| s.first().copied());
-        let decoded = if first == Some(crate::esiop::MAGIC) {
-            crate::esiop::decode(&frame)
-        } else {
-            giop::decode(&frame)
-        };
-        let msg = match decoded {
-            Ok(msg) => msg,
-            Err(_) => continue,
-        };
-        let request_id = match &msg {
-            GiopMessage::Reply { request_id, .. }
-            | GiopMessage::LocateReply { request_id, .. } => *request_id,
-            GiopMessage::CloseConnection => break,
-            _ => continue,
-        };
-        if let Some(tx) = pending.lock().remove(&request_id) {
-            let _ = tx.send(msg);
-        }
-    }
-    // Connection is gone: wake every waiter with an error (drop the
-    // senders so their recv fails).
-    pending.lock().clear();
 }
 
 impl Orb {
@@ -297,7 +200,6 @@ impl Orb {
             poa: Arc::new(Poa::new()),
             endpoint_service,
             conns: Mutex::new(HashMap::new()),
-            request_ids: IdGen::new(),
             accept_thread: Mutex::new(None),
             shutting_down: Arc::new(AtomicBool::new(false)),
             protocol,
@@ -407,13 +309,17 @@ impl Orb {
     }
 
     /// Serve one inbound connection. Frames are read sequentially, but
-    /// each Request is dispatched on its own thread (replies are written
+    /// each Request is dispatched off the read loop (replies are written
     /// back under a per-connection write lock): component graphs routinely
     /// nest invocations through shared connections, and a blocking
-    /// dispatch must not starve the requests queued behind it.
+    /// dispatch must not starve the requests queued behind it. Dispatches
+    /// run on a grow-on-demand worker pool, so a pipelined client storm
+    /// costs worker threads proportional to concurrent dispatches, not to
+    /// requests submitted.
     fn serve_connection(self: Arc<Self>, stream: padico_tm::vlink::VLinkStream) {
         let stream = Arc::new(stream);
         let write_lock = Arc::new(Mutex::new(()));
+        let pool = mux::DispatchPool::new(format!("orb-{}-dispatch", self.tm.node()), 16);
         // Requests this connection is still dispatching, keyed by request
         // id; the flag flips to true when a CancelRequest arrives and the
         // dispatch thread then suppresses its reply write. Entries are
@@ -426,17 +332,9 @@ impl Orb {
                 Ok(Some(frame)) => frame,
                 Ok(None) | Err(_) => return, // peer closed
             };
-            // Auto-detect the protocol of each frame.
-            let first = frame.segments().next().and_then(|s| s.first().copied());
-            let wire = if first == Some(crate::esiop::MAGIC) {
-                WireProtocol::Esiop
-            } else {
-                WireProtocol::Giop
-            };
-            let decoded = match wire {
-                WireProtocol::Esiop => crate::esiop::decode(&frame),
-                WireProtocol::Giop => giop::decode(&frame),
-            };
+            // One decode/auto-detect path for the whole ORB: the same
+            // routine the client-side mux pump uses.
+            let (wire, decoded) = mux::decode_any(&frame);
             let msg = match decoded {
                 Ok(msg) => msg,
                 Err(_) => {
@@ -500,7 +398,7 @@ impl Orb {
                     let stream = Arc::clone(&stream);
                     let write_lock = Arc::clone(&write_lock);
                     let cancel_reg = Arc::clone(&cancel_reg);
-                    std::thread::spawn(move || {
+                    pool.submit(move || {
                         let _slot = permit;
                         orb.dispatch_request(
                             &stream,
@@ -722,11 +620,7 @@ impl Orb {
         }
     }
 
-    fn connection(
-        &self,
-        node: NodeId,
-        endpoint: &str,
-    ) -> Result<Arc<ClientConn>, OrbError> {
+    fn connection(&self, node: NodeId, endpoint: &str) -> Result<Arc<RequestMux>, OrbError> {
         {
             let conns = self.conns.lock();
             if let Some(c) = conns.get(&(node, endpoint.to_string())) {
@@ -738,20 +632,11 @@ impl Orb {
                 .vlink_connect(node, endpoint, self.choice)
                 .map_err(OrbError::from)?,
         );
-        let pending = Arc::new(Mutex::new(HashMap::new()));
-        {
-            let stream = Arc::clone(&stream);
-            let pending = Arc::clone(&pending);
-            std::thread::Builder::new()
-                .name(format!("orb-{}-reader", self.tm.node()))
-                .spawn(move || client_reader(stream, pending))
-                .expect("spawn client reader");
-        }
-        let conn = Arc::new(ClientConn {
+        let conn = RequestMux::establish(
             stream,
-            write_lock: Mutex::new(()),
-            pending,
-        });
+            self.tm.config().engine,
+            format!("orb-{}-reader", self.tm.node()),
+        )?;
         self.conns
             .lock()
             .insert((node, endpoint.to_string()), Arc::clone(&conn));
@@ -772,7 +657,7 @@ impl Orb {
         self.conns
             .lock()
             .get(&(node, endpoint.to_string()))
-            .map_or(0, |c| c.pending.lock().len())
+            .map_or(0, |c| c.pending_len())
     }
 
     /// High-water mark of concurrently admitted dispatches over this
@@ -895,15 +780,15 @@ impl ObjectRef {
             }
             let attempt = || -> Result<GiopMessage, OrbError> {
                 let conn = orb.connection(self.ior.node, &self.ior.endpoint)?;
-                let request_id = orb.request_ids.next() as u32;
-                let rx = conn
-                    .send_request(
+                let request_id = conn.next_request_id();
+                let handle = conn
+                    .submit(
                         request_id,
                         giop::encode_locate_request(request_id, self.ior.key),
                         true,
                     )?
                     .expect("reply expected");
-                conn.await_reply(request_id, rx, std::time::Duration::from_nanos(remaining))
+                handle.wait(std::time::Duration::from_nanos(remaining))
             };
             match attempt() {
                 Ok(GiopMessage::LocateReply { status, .. }) => {
@@ -1008,17 +893,32 @@ impl RequestBuilder {
     /// Invoke and wait for the reply; returns a reader over the reply
     /// body on `NO_EXCEPTION`.
     pub fn invoke(self) -> Result<CdrReader, OrbError> {
-        self.invoke_inner(true).map(|r| r.expect("reply present"))
+        self.submit_inner(true)
+            .wait_inner()
+            .map(|r| r.expect("reply present"))
     }
 
-    /// Invoke without waiting for any reply (CORBA `oneway`).
+    /// Invoke without waiting for any reply (CORBA `oneway`). "Waiting"
+    /// here is about the *reply*: a oneway whose send failed still rides
+    /// the retry loop before the error surfaces.
     pub fn invoke_oneway(self) -> Result<(), OrbError> {
-        self.invoke_inner(false).map(|_| ())
+        self.submit_inner(false).wait_inner().map(|_| ())
     }
 
-    fn invoke_inner(self, response_expected: bool) -> Result<Option<CdrReader>, OrbError> {
-        let orb = &self.target.orb;
-        let ior = &self.target.ior;
+    /// Two-phase invoke: frame and send the request *now*, collect the
+    /// reply *later* with [`AsyncReply::wait`]. N outstanding requests
+    /// cost N pending-table entries on the pooled connection, not N
+    /// blocked threads, and replies may complete out of order — the mux
+    /// routes each one to its handle by request id. A send error is
+    /// parked in the handle for `wait` to retry or surface, so a caller
+    /// can fan out a whole batch before looking at any outcome.
+    pub fn submit(self) -> AsyncReply {
+        self.submit_inner(true)
+    }
+
+    fn submit_inner(self, response_expected: bool) -> AsyncReply {
+        let orb = Arc::clone(&self.target.orb);
+        let ior = self.target.ior.clone();
         let clock = orb.tm.clock();
         let args = self.args.finish();
         let factor = orb.protocol.fixed_cost_factor();
@@ -1041,109 +941,235 @@ impl RequestBuilder {
         let deadline_vt = crate::deadline::clamp(
             clock.now() + orb.tm.config().default_deadline.as_nanos() as u64,
         );
-        let mut retry = 0u32;
-        let mut prev_attempt_span = 0u64;
-        let msg = loop {
-            let remaining = deadline_vt.saturating_sub(clock.now());
-            if remaining == 0 {
-                counter_add("orb.deadline.expired_client", 1);
-                return Err(OrbError::DeadlineExceeded(format!(
-                    "budget spent before attempt {} of `{}`",
-                    retry + 1,
-                    self.operation
-                )));
-            }
-            // One span per GIOP attempt; a re-issue links back to the
-            // attempt it replaces so the trace shows the recovery story.
-            let attempt_span = padico_util::span::child_retry(
-                clock,
-                orb.tm.node().0,
-                "orb.giop",
-                format!("request:{}:attempt{}", self.operation, retry + 1),
-                prev_attempt_span,
-            );
-            // The wire carries (trace id, this attempt's span id) so the
-            // server parents its dispatch span on this exact attempt.
-            let (wire_trace, wire_parent) = padico_util::span::current()
-                .map_or((0, 0), |c| (c.trace_id, c.span_id));
-            let attempt = || -> Result<Option<GiopMessage>, OrbError> {
-                let request_id = orb.request_ids.next() as u32;
-                let frame = match orb.protocol {
-                    WireProtocol::Giop => giop::encode_request(
-                        request_id,
-                        response_expected,
-                        ior.key,
-                        &self.operation,
-                        wire_trace,
-                        wire_parent,
-                        deadline_vt,
-                        args.clone(),
-                    ),
-                    WireProtocol::Esiop => crate::esiop::encode_request(
-                        request_id,
-                        response_expected,
-                        ior.key,
-                        &self.operation,
-                        wire_trace,
-                        wire_parent,
-                        deadline_vt,
-                        args.clone(),
-                    ),
-                };
-                let conn = orb.connection(ior.node, &ior.endpoint)?;
-                match conn.send_request(request_id, frame, response_expected)? {
-                    Some(rx) => conn
-                        .await_reply(
-                            request_id,
-                            rx,
-                            std::time::Duration::from_nanos(remaining),
-                        )
-                        .map(Some),
-                    None => Ok(None),
-                }
+        let parent_ctx = padico_util::span::current();
+        let mut pending = AsyncReply {
+            orb,
+            ior,
+            operation: self.operation,
+            args,
+            response_expected,
+            policy,
+            deadline_vt,
+            retry: 0,
+            prev_attempt_span: 0,
+            parent_ctx,
+            attempt: AttemptState::Failed(OrbError::System("unsent".into())),
+        };
+        pending.start_attempt();
+        pending
+    }
+}
+
+/// An invocation in flight: the request frame is on (or chasing) the
+/// wire and its reply will be routed back by request id through the
+/// peer's pooled [`RequestMux`] connection. Holding an `AsyncReply`
+/// costs one pending-table entry, not a blocked thread; under the
+/// event-loop engine completion arrives as a scheduler event.
+///
+/// Retries, breakers, admission, deadlines, and span propagation behave
+/// exactly as in the blocking path: `invoke()` *is* `submit()` + `wait()`.
+pub struct AsyncReply {
+    orb: Arc<Orb>,
+    ior: Ior,
+    operation: String,
+    /// The marshalled arguments (not the framed request) are what we
+    /// keep for re-issue: each attempt gets a *fresh* request id so a
+    /// straggler reply to an abandoned attempt can never be mistaken
+    /// for the reply of the retry.
+    args: Payload,
+    response_expected: bool,
+    policy: padico_tm::RetryPolicy,
+    deadline_vt: u64,
+    retry: u32,
+    prev_attempt_span: u64,
+    /// Trace context ambient at submit time. Attempts started later
+    /// (retries inside `wait`) re-adopt it, so re-issues parent onto the
+    /// caller's trace even when `wait` runs on another thread.
+    parent_ctx: Option<padico_util::span::SpanCtx>,
+    attempt: AttemptState,
+}
+
+/// Where the current GIOP attempt of an [`AsyncReply`] stands.
+enum AttemptState {
+    /// Sent; the mux completes `handle` when the reply is routed. The
+    /// attempt span is detached — still recording, closed when the
+    /// attempt resolves — exactly as the blocking path scoped it.
+    Waiting {
+        span: padico_util::span::SpanGuard,
+        /// `None` for oneways (nothing to wait on).
+        handle: Option<ReplyHandle>,
+        /// Reply budget, fixed *before* the send like the blocking path:
+        /// time the request spends on the wire spends the budget.
+        budget: std::time::Duration,
+    },
+    /// The attempt never got airborne (budget already spent, or the send
+    /// itself failed); `wait` applies the retry decision.
+    Failed(OrbError),
+}
+
+impl AsyncReply {
+    /// The operation this invocation targets.
+    pub fn operation(&self) -> &str {
+        &self.operation
+    }
+
+    /// Block until the reply lands (or the budget is spent) and return a
+    /// reader over the reply body on `NO_EXCEPTION`.
+    pub fn wait(self) -> Result<CdrReader, OrbError> {
+        self.wait_inner().map(|r| r.expect("reply present"))
+    }
+
+    /// Start one GIOP attempt: open its span, frame the request with a
+    /// fresh request id, and hand it to the peer's mux.
+    fn start_attempt(&mut self) {
+        let orb = Arc::clone(&self.orb);
+        let clock = orb.tm.clock();
+        let remaining = self.deadline_vt.saturating_sub(clock.now());
+        if remaining == 0 {
+            counter_add("orb.deadline.expired_client", 1);
+            self.attempt = AttemptState::Failed(OrbError::DeadlineExceeded(format!(
+                "budget spent before attempt {} of `{}`",
+                self.retry + 1,
+                self.operation
+            )));
+            return;
+        }
+        // Install the submit-time context for the span parentage and the
+        // transport's own tracing; restored on scope exit.
+        let _ctx = self.parent_ctx.map(padico_util::span::adopt);
+        // One span per GIOP attempt; a re-issue links back to the
+        // attempt it replaces so the trace shows the recovery story.
+        let mut attempt_span = padico_util::span::child_retry(
+            clock,
+            orb.tm.node().0,
+            "orb.giop",
+            format!("request:{}:attempt{}", self.operation, self.retry + 1),
+            self.prev_attempt_span,
+        );
+        // The wire carries (trace id, this attempt's span id) so the
+        // server parents its dispatch span on this exact attempt.
+        let (wire_trace, wire_parent) =
+            padico_util::span::current().map_or((0, 0), |c| (c.trace_id, c.span_id));
+        let sent = (|| -> Result<Option<ReplyHandle>, OrbError> {
+            let conn = orb.connection(self.ior.node, &self.ior.endpoint)?;
+            let request_id = conn.next_request_id();
+            let frame = match orb.protocol {
+                WireProtocol::Giop => giop::encode_request(
+                    request_id,
+                    self.response_expected,
+                    self.ior.key,
+                    &self.operation,
+                    wire_trace,
+                    wire_parent,
+                    self.deadline_vt,
+                    self.args.clone(),
+                ),
+                WireProtocol::Esiop => crate::esiop::encode_request(
+                    request_id,
+                    self.response_expected,
+                    self.ior.key,
+                    &self.operation,
+                    wire_trace,
+                    wire_parent,
+                    self.deadline_vt,
+                    self.args.clone(),
+                ),
             };
-            // Overload replies convert to typed errors *before* the retry
-            // decision: a shed (`Transient` status) is retryable and rides
-            // the normal backoff, an expired deadline is terminal.
-            let outcome = attempt().and_then(|msg| match msg {
-                Some(GiopMessage::Reply {
-                    status: ReplyStatus::Transient,
-                    body,
-                    ..
-                }) => Err(OrbError::Transient(TmError::Overloaded(reply_reason(
-                    orb.profile.strategy,
-                    &body,
-                )))),
-                Some(GiopMessage::Reply {
-                    status: ReplyStatus::DeadlineExceeded,
-                    body,
-                    ..
-                }) => Err(OrbError::DeadlineExceeded(reply_reason(
-                    orb.profile.strategy,
-                    &body,
-                ))),
-                other => Ok(other),
-            });
+            conn.submit(request_id, frame, self.response_expected)
+        })();
+        self.attempt = match sent {
+            Ok(handle) => {
+                // The span outlives this scope — it closes when the
+                // attempt resolves in `wait` — so hand the thread its
+                // previous context back now.
+                attempt_span.detach();
+                AttemptState::Waiting {
+                    span: attempt_span,
+                    handle,
+                    budget: std::time::Duration::from_nanos(remaining),
+                }
+            }
+            Err(err) => {
+                // A send that never left this node still closes its
+                // attempt span, exactly like the blocking path did.
+                self.prev_attempt_span = attempt_span.id();
+                drop(attempt_span);
+                AttemptState::Failed(err)
+            }
+        };
+    }
+
+    /// Resolve the current attempt: wait for its routed reply (if one is
+    /// expected), convert overload replies to typed errors *before* the
+    /// retry decision — a shed (`Transient` status) is retryable and
+    /// rides the normal backoff, an expired deadline is terminal — and
+    /// close the attempt span.
+    fn resolve_attempt(&mut self) -> Result<Option<GiopMessage>, OrbError> {
+        let state = std::mem::replace(
+            &mut self.attempt,
+            AttemptState::Failed(OrbError::System("attempt already resolved".into())),
+        );
+        match state {
+            AttemptState::Failed(err) => Err(err),
+            AttemptState::Waiting {
+                span,
+                handle,
+                budget,
+            } => {
+                let outcome = match handle {
+                    None => Ok(None),
+                    Some(handle) => handle.wait(budget).and_then(|msg| match msg {
+                        GiopMessage::Reply {
+                            status: ReplyStatus::Transient,
+                            body,
+                            ..
+                        } => Err(OrbError::Transient(TmError::Overloaded(reply_reason(
+                            self.orb.profile.strategy,
+                            &body,
+                        )))),
+                        GiopMessage::Reply {
+                            status: ReplyStatus::DeadlineExceeded,
+                            body,
+                            ..
+                        } => Err(OrbError::DeadlineExceeded(reply_reason(
+                            self.orb.profile.strategy,
+                            &body,
+                        ))),
+                        other => Ok(Some(other)),
+                    }),
+                };
+                self.prev_attempt_span = span.id();
+                drop(span);
+                outcome
+            }
+        }
+    }
+
+    fn wait_inner(mut self) -> Result<Option<CdrReader>, OrbError> {
+        let orb = Arc::clone(&self.orb);
+        let clock = orb.tm.clock();
+        let factor = orb.protocol.fixed_cost_factor();
+        let msg = loop {
+            let outcome = self.resolve_attempt();
             let outcome_was_shed =
                 matches!(&outcome, Err(OrbError::Transient(TmError::Overloaded(_))));
-            prev_attempt_span = attempt_span.id();
-            drop(attempt_span);
             match outcome {
                 Ok(Some(msg)) => break msg,
                 Ok(None) => return Ok(None),
                 Err(err) => {
-                    retry += 1;
-                    if retry >= policy.max_attempts || !orb.transport_retryable(&err) {
+                    self.retry += 1;
+                    if self.retry >= self.policy.max_attempts || !orb.transport_retryable(&err) {
                         return Err(err);
                     }
-                    orb.note_giop_retry(retry, &policy);
+                    orb.note_giop_retry(self.retry, &self.policy);
                     // The cached connection may be the broken thing:
                     // evict it so the next attempt reconnects (and the
                     // VLink layer gets the chance to fail over). A shed
                     // reply proves the connection works — keep it.
                     if !outcome_was_shed {
-                        orb.drop_connection(ior.node, &ior.endpoint);
+                        orb.drop_connection(self.ior.node, &self.ior.endpoint);
                     }
+                    self.start_attempt();
                 }
             }
         };

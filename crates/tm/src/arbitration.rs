@@ -386,6 +386,13 @@ impl ChannelRx {
     pub fn recv_raw(&self) -> Result<Message, TmError> {
         self.rx.recv().map_err(|_| TmError::Closed)
     }
+
+    /// Non-blocking receive without charging any clock. Used when a
+    /// receiver is being handed over to a reactive handler: already-queued
+    /// messages drain through the handler, which does its own delivery.
+    pub fn try_recv_raw(&self) -> Option<Message> {
+        self.rx.try_recv().ok()
+    }
 }
 
 impl Drop for ChannelRx {

@@ -164,6 +164,15 @@ impl Circuit {
         Ok((src, user, body))
     }
 
+    /// Push any coalesced frames to the wire now (no-op when coalescing
+    /// is off). With coalescing on by default, call this at protocol
+    /// barriers — after the last send of a burst, before blocking on a
+    /// peer that is waiting for it. Entering this circuit's own receive
+    /// path flushes implicitly.
+    pub fn flush(&self) -> Result<(), TmError> {
+        self.core.flush()
+    }
+
     /// Receive the next message from any rank: `(src_rank, header, body)`.
     pub fn recv(&self) -> Result<(u32, u64, Payload), TmError> {
         if let Some(entry) = self.stash.lock().pop_front() {
@@ -266,9 +275,11 @@ mod tests {
     fn recv_from_stashes_other_ranks() {
         let circuits = cluster_circuits(3);
         circuits[1].send(0, 1, Payload::from_vec(vec![1])).unwrap();
+        circuits[1].flush().unwrap();
         // Wait until rank 1's message is queued, then send from rank 2.
         std::thread::sleep(std::time::Duration::from_millis(20));
         circuits[2].send(0, 2, Payload::from_vec(vec![2])).unwrap();
+        circuits[2].flush().unwrap();
         std::thread::sleep(std::time::Duration::from_millis(20));
         // Ask for rank 2 first: rank 1's message must be stashed, not lost.
         let (h2, p2) = circuits[0].recv_from(2).unwrap();
@@ -302,6 +313,7 @@ mod tests {
         let circuits = cluster_circuits(2);
         assert!(circuits[0].try_recv().unwrap().is_none());
         circuits[1].send(0, 3, Payload::from_vec(vec![8])).unwrap();
+        circuits[1].flush().unwrap();
         // Poll until the progress engine delivers.
         let mut got = None;
         for _ in 0..200 {

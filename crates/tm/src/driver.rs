@@ -103,6 +103,58 @@ struct CoalesceBox {
     pending: Mutex<VecDeque<Message>>,
 }
 
+/// Strip a coalescing envelope off one wire message and hand each
+/// sub-frame to `sink`, in order. Shared by the pull receive path (which
+/// queues into the [`CoalesceBox`]) and the reactive path (which runs
+/// sub-frames straight through the channel handler).
+fn split_envelope(msg: Message, mut sink: impl FnMut(Message)) -> Result<(), TmError> {
+    let Some(tag) = msg.payload.first_byte() else {
+        return Err(TmError::Protocol("empty wire envelope".into()));
+    };
+    let (_tag, rest) = msg.payload.split_at(1);
+    let sub = |payload: Payload| Message {
+        src: msg.src,
+        channel: msg.channel,
+        arrival: msg.arrival,
+        recv_cost: msg.recv_cost,
+        corrupted: false,
+        payload,
+    };
+    match tag {
+        ENV_SINGLE => sink(sub(rest)),
+        ENV_AGG => {
+            if rest.len() < 4 {
+                return Err(TmError::Protocol("truncated aggregate header".into()));
+            }
+            let (cnt, rest) = rest.split_at(4);
+            let count =
+                u32::from_le_bytes(cnt.to_contiguous()[..].try_into().expect("4")) as usize;
+            if rest.len() < 4 * count {
+                return Err(TmError::Protocol("truncated aggregate length table".into()));
+            }
+            let (lens, mut body) = rest.split_at(4 * count);
+            let lens = lens.to_contiguous();
+            for i in 0..count {
+                let flen =
+                    u32::from_le_bytes(lens[4 * i..4 * i + 4].try_into().expect("4")) as usize;
+                if flen > body.len() {
+                    return Err(TmError::Protocol("aggregate sub-frame overrun".into()));
+                }
+                let (frame, tail) = body.split_at(flen);
+                body = tail;
+                sink(sub(frame));
+            }
+            if !body.is_empty() {
+                return Err(TmError::Protocol("trailing bytes after aggregate".into()));
+            }
+        }
+        other => {
+            return Err(TmError::Protocol(format!("bad envelope tag {other}")));
+        }
+    }
+    Ok(())
+}
+
 /// Per-route circuit-breaker state (see
 /// [`crate::runtime::BreakerPolicy`]). The "half-open" state of the
 /// classic three-state machine is instantaneous here: the admit check
@@ -224,9 +276,28 @@ pub struct LinkCore {
     /// notices: channel ids are fabric-independent and the encrypt
     /// decision depends only on the peers' trust, not the carrying fabric.
     route: Mutex<Route>,
-    rx: Mutex<ChannelRx>,
+    rx: Mutex<RxState>,
     /// Small-message coalescing, when the runtime config enables it.
     coalesce: Option<CoalesceBox>,
+}
+
+/// Receive mode of a [`LinkCore`]: pull-style (a subscribed receiver the
+/// owner drains with `recv_intact*`) or handed over to a reactive channel
+/// handler that runs inline on the node's progress engine.
+enum RxState {
+    Queued(ChannelRx),
+    Reactive(ChannelId),
+}
+
+impl RxState {
+    fn queued(&self) -> Result<&ChannelRx, TmError> {
+        match self {
+            RxState::Queued(rx) => Ok(rx),
+            RxState::Reactive(ch) => Err(TmError::Protocol(format!(
+                "channel {ch} handed to a reactive handler; pull receive unavailable"
+            ))),
+        }
+    }
 }
 
 impl LinkCore {
@@ -266,9 +337,67 @@ impl LinkCore {
             paradigm,
             layer,
             route: Mutex::new(route),
-            rx: Mutex::new(rx),
+            rx: Mutex::new(RxState::Queued(rx)),
             coalesce,
         }
+    }
+
+    /// Hand this link's receive channel over to a reactive handler that
+    /// runs inline on the node's progress engine: under the event-loop
+    /// engine that is a scheduler worker, so frames complete as scheduler
+    /// events with no reader thread parked on the link.
+    ///
+    /// The wrapper replays anything already queued, then swaps the Live
+    /// subscription for the handler (messages landing in the gap park and
+    /// replay in order). Callers must invoke this while the link is
+    /// quiescent inbound — e.g. a client connection right after its
+    /// handshake, before the first request is on the wire. `on_msg` sees
+    /// intact, envelope-demuxed messages, already delivered to the node
+    /// clock; corrupted deliveries are discarded here exactly like the
+    /// pull path does.
+    pub fn go_reactive(
+        &self,
+        on_msg: Arc<dyn Fn(Message) + Send + Sync>,
+    ) -> Result<(), TmError> {
+        let tm = Arc::clone(&self.tm);
+        let coalescing = self.coalesce.is_some();
+        let deliver = move |msg: Message| {
+            msg.deliver(tm.clock());
+            if msg.corrupted {
+                faults::note(tm.recovery(), |r| &r.corrupt_discards);
+                return;
+            }
+            if coalescing {
+                // A malformed envelope on a reactive link has no caller
+                // to answer; drop the wire message like a corrupt frame.
+                let _ = split_envelope(msg, |sub| on_msg(sub));
+            } else {
+                on_msg(msg);
+            }
+        };
+        let handler: crate::arbitration::ChannelHandler = Arc::new(deliver);
+        let channel = {
+            let mut state = self.rx.lock();
+            let channel = match &*state {
+                RxState::Queued(rx) => {
+                    // Drain what the Live queue already holds into the
+                    // handler before unsubscribing: those messages are
+                    // lost with the receiver otherwise.
+                    while let Some(msg) = rx.try_recv_raw() {
+                        handler(msg);
+                    }
+                    rx.channel()
+                }
+                RxState::Reactive(ch) => {
+                    return Err(TmError::Protocol(format!(
+                        "channel {ch} is already reactive"
+                    )))
+                }
+            };
+            *state = RxState::Reactive(channel);
+            channel
+        };
+        self.tm.net().on_channel(channel, handler)
     }
 
     pub fn tm(&self) -> &Arc<PadicoTM> {
@@ -388,52 +517,8 @@ impl LinkCore {
     /// Demux one received wire message (coalescing enabled): strip the
     /// envelope and queue the sub-frame(s), in order, as messages.
     fn ingest_wire(&self, cbox: &CoalesceBox, msg: Message) -> Result<(), TmError> {
-        let Some(tag) = msg.payload.first_byte() else {
-            return Err(TmError::Protocol("empty wire envelope".into()));
-        };
-        let (_tag, rest) = msg.payload.split_at(1);
-        let sub = |payload: Payload| Message {
-            src: msg.src,
-            channel: msg.channel,
-            arrival: msg.arrival,
-            recv_cost: msg.recv_cost,
-            corrupted: false,
-            payload,
-        };
         let mut pending = cbox.pending.lock();
-        match tag {
-            ENV_SINGLE => pending.push_back(sub(rest)),
-            ENV_AGG => {
-                if rest.len() < 4 {
-                    return Err(TmError::Protocol("truncated aggregate header".into()));
-                }
-                let (cnt, rest) = rest.split_at(4);
-                let count =
-                    u32::from_le_bytes(cnt.to_contiguous()[..].try_into().expect("4")) as usize;
-                if rest.len() < 4 * count {
-                    return Err(TmError::Protocol("truncated aggregate length table".into()));
-                }
-                let (lens, mut body) = rest.split_at(4 * count);
-                let lens = lens.to_contiguous();
-                for i in 0..count {
-                    let flen = u32::from_le_bytes(lens[4 * i..4 * i + 4].try_into().expect("4"))
-                        as usize;
-                    if flen > body.len() {
-                        return Err(TmError::Protocol("aggregate sub-frame overrun".into()));
-                    }
-                    let (frame, tail) = body.split_at(flen);
-                    body = tail;
-                    pending.push_back(sub(frame));
-                }
-                if !body.is_empty() {
-                    return Err(TmError::Protocol("trailing bytes after aggregate".into()));
-                }
-            }
-            other => {
-                return Err(TmError::Protocol(format!("bad envelope tag {other}")));
-            }
-        }
-        Ok(())
+        split_envelope(msg, |sub| pending.push_back(sub))
     }
 
     /// Transmit one wire message — THE send loop.
@@ -533,7 +618,7 @@ impl LinkCore {
         loop {
             let msg = {
                 let rx = self.rx.lock();
-                rx.recv_timeout(self.tm.clock(), timeout)?
+                rx.queued()?.recv_timeout(self.tm.clock(), timeout)?
             };
             if msg.corrupted {
                 // With coalescing this discards the whole wire message:
@@ -576,7 +661,7 @@ impl LinkCore {
         loop {
             let msg = {
                 let rx = self.rx.lock();
-                rx.recv(self.tm.clock())?
+                rx.queued()?.recv(self.tm.clock())?
             };
             if msg.corrupted {
                 faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
@@ -598,7 +683,7 @@ impl LinkCore {
             return Ok(Some(m));
         }
         loop {
-            match self.rx.lock().try_recv(self.tm.clock())? {
+            match self.rx.lock().queued()?.try_recv(self.tm.clock())? {
                 Some(msg) if msg.corrupted => {
                     faults::note(self.tm.recovery(), |r| &r.corrupt_discards);
                 }
@@ -776,6 +861,7 @@ mod tests {
         // next write must retry, fail over, and still deliver.
         s.route().fabric.faults().partition_pair(a.node(), b.node());
         s.write_all(b"ping").unwrap();
+        s.flush().unwrap();
         let mut buf = [0u8; 4];
         server.read_exact(&mut buf).unwrap();
         assert_eq!(&buf, b"ping");
@@ -803,6 +889,7 @@ mod tests {
         circuits[0]
             .send(1, 9, Payload::from_vec(vec![4, 2]))
             .unwrap();
+        circuits[0].flush().unwrap();
         let (src, h, body) = circuits[1].recv().unwrap();
         assert_eq!((src, h, body.to_vec()), (0, 9, vec![4, 2]));
         assert_ne!(circuits[0].route().fabric.id(), original, "failed over");
@@ -984,6 +1071,7 @@ mod tests {
         });
         let s = a.vlink_connect(a.node(), "self", FabricChoice::Auto).unwrap();
         s.write_all(&[7, 8, 9]).unwrap();
+        s.flush().unwrap();
         assert_eq!(t.join().unwrap(), [7, 8, 9]);
     }
 
@@ -1065,6 +1153,7 @@ mod tests {
             }
             let expect = payload.to_vec();
             circuits[0].send(1, case as u64, payload).unwrap();
+            circuits[0].flush().unwrap();
             let (_, h, body) = circuits[1].recv().unwrap();
             assert_eq!(h, case as u64);
             assert_eq!(body.to_vec(), expect, "case {case}");
@@ -1228,6 +1317,9 @@ mod tests {
                 trip_after: 1,
                 cooldown,
             }),
+            // Uncoalesced so each write is its own wire attempt and the
+            // breaker errors surface on the write, not a later flush.
+            coalesce: None,
             ..TmConfig::default()
         };
         let tms = PadicoTM::boot_all_with_config(Arc::new(topo), cfg).unwrap();

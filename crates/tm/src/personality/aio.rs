@@ -86,7 +86,9 @@ pub fn aio_write(stream: Arc<VLinkStream>, data: Vec<u8>) -> AioOp {
     let worker = Arc::clone(&shared);
     std::thread::spawn(move || {
         let len = data.len();
-        match stream.write_all(&data) {
+        // An AIO write is complete when the bytes are on the wire, so
+        // flush the coalescer before publishing Done.
+        match stream.write_all(&data).and_then(|()| stream.flush()) {
             Ok(()) => worker.complete(AioStatus::Done(len)),
             Err(e) => worker.complete(AioStatus::Failed(e.to_string())),
         }

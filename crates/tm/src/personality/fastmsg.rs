@@ -35,8 +35,11 @@ impl<'a> FmChannel<'a> {
     }
 
     /// Send `payload` to `dst_rank`, to be dispatched to `handler_id`.
+    /// An active message fires immediately (the receiver's handler is
+    /// the completion), so each send is its own coalescing barrier.
     pub fn send(&self, dst_rank: usize, handler_id: u32, payload: Payload) -> Result<(), TmError> {
-        self.circuit.send(dst_rank, u64::from(handler_id), payload)
+        self.circuit.send(dst_rank, u64::from(handler_id), payload)?;
+        self.circuit.flush()
     }
 
     /// Dispatch all currently pending messages; returns how many ran.

@@ -59,8 +59,11 @@ impl<'a> PackingConnection<'a> {
     }
 
     /// Flush the accumulated segments as one circuit message.
+    /// `mad_end_packing` is Madeleine's wire barrier, so the message
+    /// leaves now even when the circuit coalesces small frames.
     pub fn end_packing(self) -> Result<(), TmError> {
-        self.circuit.send(self.dst_rank, 0, self.payload)
+        self.circuit.send(self.dst_rank, 0, self.payload)?;
+        self.circuit.flush()
     }
 }
 

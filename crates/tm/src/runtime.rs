@@ -33,8 +33,11 @@ pub struct TmConfig {
     /// Retry budget + backoff for stream ops, handshakes, and failover.
     pub retry: RetryPolicy,
     /// Small-message coalescing policy for every link on this node.
-    /// `None` (the default) sends each frame as its own wire message.
-    /// Must be set cluster-wide (the envelope changes the wire format).
+    /// On by default with [`CoalescePolicy::default`] now that both
+    /// engines replay the envelope byte-identically; `None` sends each
+    /// frame as its own wire message (opt out cluster-wide via
+    /// `PADICO_COALESCE=off`, or per-config by setting the field —
+    /// the envelope changes the wire format, so all nodes must agree).
     pub coalesce: Option<CoalescePolicy>,
     /// Bounded inflight-dispatch budget for this node's ORB endpoint.
     /// `None` (the default) admits everything; `Some(b)` load-sheds
@@ -134,13 +137,26 @@ impl Default for CoalescePolicy {
     }
 }
 
+impl CoalescePolicy {
+    /// The cluster-wide default: coalescing on, unless the
+    /// `PADICO_COALESCE` environment variable opts out with `off` / `0`
+    /// / `none`. Mirrors [`EngineKind::from_env`] so CI can run the
+    /// suite both ways without touching call sites.
+    pub fn default_from_env() -> Option<CoalescePolicy> {
+        match std::env::var("PADICO_COALESCE").as_deref() {
+            Ok("off") | Ok("0") | Ok("none") => None,
+            _ => Some(CoalescePolicy::default()),
+        }
+    }
+}
+
 impl Default for TmConfig {
     fn default() -> Self {
         TmConfig {
             default_deadline: Duration::from_secs(30),
             connect_timeout: Duration::from_secs(5),
             retry: RetryPolicy::default(),
-            coalesce: None,
+            coalesce: CoalescePolicy::default_from_env(),
             inflight_budget: None,
             breaker: None,
             engine: EngineKind::default(),
@@ -148,6 +164,10 @@ impl Default for TmConfig {
         }
     }
 }
+
+/// Worlds at or above this node count boot with sharded parallel
+/// construction in [`PadicoTM::boot_all_with_config`].
+pub const PARALLEL_BOOT_THRESHOLD: usize = 64;
 
 /// The PadicoTM runtime of one grid node.
 pub struct PadicoTM {
@@ -200,18 +220,61 @@ impl PadicoTM {
     }
 
     /// [`PadicoTM::boot_all`] with explicit runtime knobs on every node.
+    ///
+    /// Large worlds boot in parallel: node construction only touches
+    /// per-node state plus lock-guarded shared tables (fabric endpoint
+    /// maps, the world scheduler's handler slots, both keyed by node
+    /// id), so construction is sharded across `available_parallelism`
+    /// worker threads. Small worlds (< [`PARALLEL_BOOT_THRESHOLD`]
+    /// nodes) boot serially — thread setup would cost more than it
+    /// saves, and tests stay single-threaded.
     pub fn boot_all_with_config(
         topology: Arc<Topology>,
         config: TmConfig,
     ) -> Result<Vec<Arc<PadicoTM>>, TmError> {
-        topology
-            .nodes()
-            .iter()
-            .map(|n| n.id)
-            .collect::<Vec<_>>()
+        let ids: Vec<NodeId> = topology.nodes().iter().map(|n| n.id).collect();
+        if ids.len() < PARALLEL_BOOT_THRESHOLD {
+            return ids
+                .into_iter()
+                .map(|id| PadicoTM::boot_with_config(Arc::clone(&topology), id, config))
+                .collect();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(ids.len());
+        let chunk = ids.len().div_ceil(workers);
+        let mut out: Vec<Option<Arc<PadicoTM>>> = Vec::new();
+        out.resize_with(ids.len(), || None);
+        let mut first_err: Option<TmError> = None;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (slot_chunk, id_chunk) in out.chunks_mut(chunk).zip(ids.chunks(chunk)) {
+                let topology = Arc::clone(&topology);
+                handles.push(scope.spawn(move || -> Result<(), TmError> {
+                    for (slot, &id) in slot_chunk.iter_mut().zip(id_chunk) {
+                        *slot = Some(PadicoTM::boot_with_config(
+                            Arc::clone(&topology),
+                            id,
+                            config,
+                        )?);
+                    }
+                    Ok(())
+                }));
+            }
+            for handle in handles {
+                if let Err(e) = handle.join().expect("boot worker panicked") {
+                    first_err.get_or_insert(e);
+                }
+            }
+        });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(out
             .into_iter()
-            .map(|id| PadicoTM::boot_with_config(Arc::clone(&topology), id, config))
-            .collect()
+            .map(|tm| tm.expect("boot worker filled every slot"))
+            .collect())
     }
 
     pub fn node(&self) -> NodeId {

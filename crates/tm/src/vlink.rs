@@ -323,6 +323,15 @@ impl VLinkStream {
         self.write_payload(Payload::copy_from(data))
     }
 
+    /// Push any coalesced frames to the wire now (no-op when coalescing
+    /// is off). With coalescing on by default, call this at protocol
+    /// barriers — end of an RPC write, before blocking on the peer's
+    /// reply. Entering this stream's own receive path flushes
+    /// implicitly, and [`VLinkStream::close`] flushes before the FIN.
+    pub fn flush(&self) -> Result<(), TmError> {
+        self.core.flush()
+    }
+
     /// Write a payload to the stream without copying it (zero-copy path
     /// for single-segment payloads on trusted routes).
     pub fn write_payload(&self, body: Payload) -> Result<(), TmError> {
@@ -416,6 +425,38 @@ impl VLinkStream {
         })?;
         // `None` here means a FIN arrived: end of stream.
         Ok(out)
+    }
+
+    /// Hand the stream over to a reactive frame handler (see
+    /// [`LinkCore::go_reactive`]): every subsequent DATA frame is
+    /// decrypted and run through `on_frame` inline on the node's progress
+    /// engine — under the event-loop engine that is a scheduler worker,
+    /// so no thread ever parks on this stream. `on_frame` receives `None`
+    /// exactly once when the peer's FIN arrives (or on a framing error).
+    ///
+    /// Must be called while the stream is quiescent inbound (a client
+    /// connection right after its handshake qualifies); afterwards the
+    /// pull-style `read*` methods are unavailable.
+    pub fn on_frames(
+        self: &Arc<Self>,
+        on_frame: Arc<dyn Fn(Option<Payload>) + Send + Sync>,
+    ) -> Result<(), TmError> {
+        let this = Arc::clone(self);
+        self.core.go_reactive(Arc::new(move |msg| {
+            let mut out = None;
+            match this.ingest(msg, |body, _buffer| out = Some(body)) {
+                Ok(()) => match out {
+                    Some(frame) => on_frame(Some(frame)),
+                    None => {
+                        // No frame produced means a FIN landed.
+                        if this.buffer.lock().eof {
+                            on_frame(None);
+                        }
+                    }
+                },
+                Err(_) => on_frame(None),
+            }
+        }))
     }
 
     fn ingest(
@@ -534,6 +575,7 @@ mod tests {
         let s = a.vlink_connect(b.node(), "svc", FabricChoice::Auto).unwrap();
         let server = bt.join().unwrap();
         s.write_all(b"abcdef").unwrap();
+        s.flush().unwrap();
         let mut part = [0u8; 2];
         server.read_exact(&mut part).unwrap();
         assert_eq!(&part, b"ab");

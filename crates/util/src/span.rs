@@ -184,6 +184,7 @@ struct Open {
     clock: SimClock,
     prev: Option<SpanCtx>,
     explicit_end: Option<Vt>,
+    detached: bool,
     span: Span,
 }
 
@@ -212,6 +213,7 @@ impl SpanGuard {
                 clock: clock.share(),
                 prev,
                 explicit_end: None,
+                detached: false,
                 span: Span {
                     trace_id,
                     span_id,
@@ -250,6 +252,23 @@ impl SpanGuard {
             open.explicit_end = Some(t);
         }
     }
+
+    /// Restore the thread's previous context *now* while keeping the span
+    /// itself open (it still records on drop). Two-phase callers need
+    /// this: an attempt span opened at `submit()` time outlives the
+    /// submitting scope and is dropped from `wait()` — possibly after
+    /// other guards opened later have already closed — so the LIFO
+    /// save/restore discipline of the thread-local stack cannot hold.
+    /// Detaching hands the context back immediately; the deferred drop
+    /// then only stamps `end` and records.
+    pub fn detach(&mut self) {
+        if let Some(open) = &mut self.open {
+            if !open.detached {
+                CURRENT.with(|c| c.set(open.prev));
+                open.detached = true;
+            }
+        }
+    }
 }
 
 impl Drop for SpanGuard {
@@ -257,7 +276,9 @@ impl Drop for SpanGuard {
         let Some(mut open) = self.open.take() else {
             return;
         };
-        CURRENT.with(|c| c.set(open.prev));
+        if !open.detached {
+            CURRENT.with(|c| c.set(open.prev));
+        }
         open.span.end = open
             .explicit_end
             .unwrap_or_else(|| open.clock.now())

@@ -32,6 +32,19 @@ echo "== experiment bins (human-readable output)"
 cargo run --release -q -p padico-bench --bin fig7_bandwidth -- 3
 cargo run --release -q -p padico-bench --bin concurrent_share
 
+echo "== serving storm (10k pipelined two-way invocations, gated)"
+# The RequestMux scalability fence: 10k concurrent requests from 8
+# threads through one pooled connection must sustain the throughput
+# floor, keep the p99 sojourn under the ceiling, and — the tentpole
+# claim — fit in SERVING_STORM_THREADS_MAX OS threads while all 10k are
+# in flight. JSON lands in serving_storm.json for the CI artifact.
+cargo run --release -q -p padico-bench --bin serving_storm -- \
+  10000 8 \
+  "${SERVING_STORM_MIN_RPS:-5000}" \
+  "${SERVING_STORM_P99_MAX_US:-2000000}" \
+  "${SERVING_STORM_THREADS_MAX:-64}" \
+  | tee serving_storm.json
+
 echo "== world_10k smoke (discrete-event core throughput floor)"
 # A 10k-node ring must sustain at least 10k events/s end-to-end; well
 # below any real regression (a healthy run does >100k events/s even on

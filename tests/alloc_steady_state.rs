@@ -45,10 +45,15 @@ fn steady_state_roundtrips_make_zero_pool_misses() {
     let proto = Payload::from_vec(body.to_vec());
 
     let roundtrip = |h: u64| {
+        // One thread drives both ends, so each send is its own protocol
+        // barrier: flush before blocking in the peer's recv (coalescing
+        // is on by default).
         circuits[0].send(1, h, proto.clone()).unwrap();
+        circuits[0].flush().unwrap();
         let (_, _, p) = circuits[1].recv().unwrap();
         assert_eq!(p.to_vec(), body);
         circuits[1].send(0, h, proto.clone()).unwrap();
+        circuits[1].flush().unwrap();
         let (_, _, p) = circuits[0].recv().unwrap();
         assert_eq!(p.to_vec(), body);
     };
@@ -113,10 +118,15 @@ fn steady_state_event_engine_makes_zero_record_misses() {
     let body: &[u8] = b"steady-state-event-engine-ping!!";
     let proto = Payload::from_vec(body.to_vec());
     let roundtrip = |h: u64| {
+        // One thread drives both ends, so each send is its own protocol
+        // barrier: flush before blocking in the peer's recv (coalescing
+        // is on by default).
         circuits[0].send(1, h, proto.clone()).unwrap();
+        circuits[0].flush().unwrap();
         let (_, _, p) = circuits[1].recv().unwrap();
         assert_eq!(p.to_vec(), body);
         circuits[1].send(0, h, proto.clone()).unwrap();
+        circuits[1].flush().unwrap();
         let (_, _, p) = circuits[0].recv().unwrap();
         assert_eq!(p.to_vec(), body);
     };

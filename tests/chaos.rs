@@ -736,3 +736,89 @@ fn expired_deadline_short_circuits_server_dispatch() {
         "the recovered call must not trip the deadline check again"
     );
 }
+
+#[test]
+fn mid_pipeline_link_down_fails_in_flight_and_retries_queued() {
+    // A pipeline with requests in two states when the link dies:
+    // *in flight* (delivered, parked in a server dispatch, reply not yet
+    // sent) and *queued* (submitted into the dead link, never delivered).
+    // The mux must fail exactly the in-flight handles — their replies
+    // died on the wire and non-idempotent work must not be re-issued —
+    // while the queued idempotent ones ride the retry loop onto a fresh
+    // connection once the link heals.
+    let _iso = padico::util::trace::isolated();
+    let (client, server, _tms, topo, ids) = orb_pair_with(chaos_config());
+    let (started_tx, started_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    let ior = server.activate(Arc::new(Blocker {
+        started: started_tx,
+        release: std::sync::Mutex::new(release_rx),
+    }));
+    let obj = client.object_ref(ior.clone());
+
+    obj.request("ok").invoke().unwrap(); // connection warm-up
+    await_quiescent(&server);
+
+    // Three non-idempotent requests reach the server and park mid-dispatch.
+    let in_flight: Vec<_> = (0..3).map(|_| obj.request("block").submit()).collect();
+    for _ in 0..3 {
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    }
+
+    // The link dies in both directions, mid-pipeline.
+    let fabrics = topo.fabrics_between(ids[0], ids[1]);
+    for f in &fabrics {
+        f.faults().partition_pair(ids[0], ids[1]);
+    }
+
+    // Four idempotent requests submitted into the dead link: each send
+    // fails with the transient LINK_DOWN and parks — the retry decision
+    // belongs to wait().
+    let queued: Vec<_> = (0..4)
+        .map(|_| obj.request("ok").idempotent().submit())
+        .collect();
+
+    // Release the blockers; their replies die on the partitioned link.
+    for _ in 0..3 {
+        release_tx.send(()).unwrap();
+    }
+    await_quiescent(&server);
+
+    // Heal. The queued handles must now retry onto a fresh connection
+    // and succeed — every one of them recording at least one retry.
+    for f in &fabrics {
+        f.faults().heal_pair(ids[0], ids[1]);
+    }
+    let before = client.tm().recovery().snapshot().giop_retries;
+    for q in queued {
+        let mut reply = q.wait().unwrap();
+        assert_eq!(reply.read_i32().unwrap(), 1, "queued request lost its reply");
+    }
+    let retries = client.tm().recovery().snapshot().giop_retries - before;
+    assert!(
+        retries >= 4,
+        "each queued request must have retried its dead-link send, saw {retries}"
+    );
+
+    // The in-flight handles fail: their replies are gone, and without
+    // the idempotent marker the lost exchange must not be re-issued —
+    // the reply deadline surfaces as the retryable-but-unretried
+    // transport error.
+    for h in in_flight {
+        let err = h.wait().unwrap_err();
+        assert!(
+            err.is_transport(),
+            "an in-flight handle must fail at the transport layer: {err:?}"
+        );
+    }
+    assert_eq!(
+        client.tm().recovery().snapshot().giop_retries - before,
+        retries,
+        "non-idempotent in-flight requests must not be re-issued"
+    );
+    assert_eq!(
+        client.pending_request_count(ior.node, &ior.endpoint),
+        0,
+        "failed handles must not leak pending-table entries"
+    );
+}

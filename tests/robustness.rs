@@ -360,3 +360,71 @@ fn cancel_request_suppresses_the_late_reply() {
     let mut reply = obj.request("ok").invoke().unwrap();
     assert_eq!(reply.read_i32().unwrap(), 1);
 }
+
+mod pipelining {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Replies after a wall-clock delay derived from the argument, so a
+    /// batch of pipelined requests completes in an order unrelated to
+    /// submission order.
+    struct Scramble;
+    impl Servant for Scramble {
+        fn repository_id(&self) -> &str {
+            "IDL:Rb/Scramble:1.0"
+        }
+        fn dispatch(
+            &self,
+            _op: &str,
+            args: &mut CdrReader,
+            reply: &mut CdrWriter,
+            _ctx: &ServerCtx,
+        ) -> Result<(), OrbError> {
+            let v = args.read_u32()?;
+            std::thread::sleep(std::time::Duration::from_millis(u64::from(v % 3)));
+            reply.write_u32(v.wrapping_mul(31) ^ 0x5a5a);
+            Ok(())
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn out_of_order_replies_route_to_their_handles(
+            vals in proptest::collection::vec(any::<u32>(), 2..17),
+            seed in any::<u64>(),
+        ) {
+            // Every request rides the same pooled RequestMux connection.
+            // Dispatches run concurrently server-side and each sleeps a
+            // value-derived amount, so replies come back out of order;
+            // handles are then *collected* in a seed-shuffled order, so a
+            // handle is routinely consumed while earlier-submitted ones
+            // still have parked replies. Each handle must produce exactly
+            // its own request's answer.
+            let (client, server) = orb_pair();
+            let obj = client.object_ref(server.activate(Arc::new(Scramble)));
+            let handles: Vec<_> = vals
+                .iter()
+                .map(|&v| (v, obj.request("scramble").arg_u32(v).submit()))
+                .collect();
+
+            // Fisher–Yates on the wait order, driven by the case seed.
+            let mut order: Vec<usize> = (0..handles.len()).collect();
+            let mut s = seed | 1;
+            for i in (1..order.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                order.swap(i, (s >> 33) as usize % (i + 1));
+            }
+
+            let mut results = vec![None; handles.len()];
+            let mut pending: Vec<_> = handles.into_iter().map(Some).collect();
+            for idx in order {
+                let (v, handle) = pending[idx].take().unwrap();
+                let mut reply = handle.wait().unwrap();
+                results[idx] = Some((v, reply.read_u32().unwrap()));
+            }
+            for (v, got) in results.into_iter().flatten() {
+                prop_assert_eq!(got, v.wrapping_mul(31) ^ 0x5a5a, "cross-routed reply");
+            }
+        }
+    }
+}
